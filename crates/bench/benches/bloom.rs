@@ -1,0 +1,43 @@
+//! Micro-benchmark: Bloom filter construction and probing (the CPU side of
+//! the Figure 6(K) trade-off — one hash digest per probe).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lethe_storage::BloomFilter;
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    let n = 10_000usize;
+
+    group.bench_function("insert_10k_keys", |b| {
+        b.iter(|| {
+            let mut bf = BloomFilter::new(n, 10.0);
+            for k in 0..n as u64 {
+                bf.insert(black_box(k));
+            }
+            bf
+        })
+    });
+
+    let mut bf = BloomFilter::new(n, 10.0);
+    for k in 0..n as u64 {
+        bf.insert(k);
+    }
+    group.bench_function("probe_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % n as u64;
+            black_box(bf.may_contain(black_box(k)))
+        })
+    });
+    group.bench_function("probe_miss", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(bf.may_contain(black_box(n as u64 * 10 + k)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Micro-benchmark: sort-merge with tombstone semantics (the inner loop of
+//! every flush and compaction).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lethe_lsm::merge::merge_entries;
+use lethe_storage::Entry;
+
+fn runs(num_runs: usize, per_run: usize, delete_every: u64) -> Vec<Vec<Entry>> {
+    (0..num_runs)
+        .map(|r| {
+            (0..per_run as u64)
+                .map(|k| {
+                    let key = k * 2 + r as u64;
+                    let seq = (r * per_run) as u64 + k;
+                    if delete_every > 0 && key % delete_every == 0 {
+                        Entry::point_tombstone(key, seq)
+                    } else {
+                        Entry::put(key, key, seq, Bytes::from(vec![0u8; 64]))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    for &(num_runs, per_run) in &[(2usize, 2_000usize), (8, 1_000)] {
+        group.bench_function(format!("{num_runs}_runs_x_{per_run}"), |b| {
+            b.iter(|| {
+                black_box(merge_entries(black_box(runs(num_runs, per_run, 10)), vec![], false))
+            })
+        });
+        group.bench_function(format!("{num_runs}_runs_x_{per_run}_last_level"), |b| {
+            b.iter(|| {
+                black_box(merge_entries(black_box(runs(num_runs, per_run, 10)), vec![], true))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

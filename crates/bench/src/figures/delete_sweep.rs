@@ -1,0 +1,370 @@
+//! Figures 6(A)–(G): the primary-delete experiments.
+//!
+//! The paper ingests a YCSB-A-style stream (updates + point deletes) into an
+//! initially empty store, then measures space amplification, compaction
+//! counts, total bytes written, read throughput, the tombstone-age
+//! distribution, the amortisation of write amplification over time, and
+//! scalability with data size — for a RocksDB-like baseline and Lethe at
+//! three delete-persistence thresholds (16%, 25%, 50% of the experiment's
+//! run-time).
+
+use crate::{apply_all, cell, experiment_config, print_table, EngineSpec};
+use lethe_core::baseline::BaselineKind;
+use lethe_storage::{CostModel, Timestamp};
+use lethe_workload::{Operation, WorkloadGenerator, WorkloadSpec};
+
+/// Metrics captured from one (engine, delete-percentage) run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Engine label.
+    pub engine: String,
+    /// Percentage of the ingestion that was point deletes.
+    pub delete_pct: f64,
+    /// Space amplification at the end of the run (Figure 6A).
+    pub space_amplification: f64,
+    /// Number of compactions performed (Figure 6B).
+    pub compactions: u64,
+    /// Total bytes written to the device (Figure 6C).
+    pub bytes_written: u64,
+    /// Modeled read throughput in lookups/s (Figure 6D).
+    pub read_throughput: f64,
+    /// `(file age µs, tombstone count)` for every file still holding
+    /// tombstones (Figure 6E).
+    pub tombstone_file_ages: Vec<(Timestamp, u64)>,
+    /// The delete persistence threshold used (µs of logical time), if any.
+    pub dth_micros: Option<Timestamp>,
+    /// Total logical duration of the ingestion phase in µs.
+    pub duration_micros: Timestamp,
+}
+
+/// The ingestion phase of the sweep: `ops` ingestion operations of which
+/// `delete_pct`% are point deletes on previously inserted keys, followed by a
+/// read phase of `lookups` point lookups on inserted keys.
+pub fn run_one(
+    spec: &EngineSpec,
+    ops: u64,
+    delete_pct: f64,
+    lookups: u64,
+) -> RunMetrics {
+    let cfg = experiment_config();
+    let mut engine = spec.build(cfg.clone()).expect("engine builds");
+    let value_size = cfg.entry_size - 32;
+
+    let workload = WorkloadSpec {
+        operations: ops,
+        // the key space matches the ingestion volume so most puts are unique
+        // inserts and a minority are updates, as in the paper's setup
+        key_space: ops.max(1024),
+        value_size,
+        update_fraction: 1.0 - delete_pct / 100.0,
+        point_lookup_fraction: 0.0,
+        point_delete_fraction: delete_pct / 100.0,
+        ..Default::default()
+    };
+    let mut gen = WorkloadGenerator::new(workload);
+    let ops_stream = gen.operations();
+    apply_all(engine.tree_mut(), &ops_stream, value_size).expect("ingest");
+    engine.persist().expect("persist");
+
+    let duration_micros = engine.tree().clock().now();
+    let io_after_ingest = engine.tree().io_snapshot();
+    let stats = engine.tree().stats().clone();
+    let snapshot = engine.tree().snapshot_contents().expect("snapshot");
+
+    // read phase: point lookups on keys that were inserted (some of which
+    // have since been deleted), measured with the paper's latency constants
+    let inserted: Vec<u64> = ops_stream
+        .iter()
+        .filter_map(|op| match op {
+            Operation::Put { key, .. } => Some(*key),
+            _ => None,
+        })
+        .collect();
+    let before_reads = engine.tree().io_snapshot();
+    let mut issued = 0u64;
+    if !inserted.is_empty() {
+        for i in 0..lookups {
+            let key = inserted[(i as usize * 7919) % inserted.len()];
+            let _ = engine.tree_mut().get(key);
+            issued += 1;
+        }
+    }
+    let read_delta = engine.tree().io_snapshot().since(&before_reads);
+    let read_throughput = CostModel::default().throughput_ops_per_sec(issued, &read_delta);
+
+    let dth_micros = match spec {
+        EngineSpec::Lethe { dth_micros, .. } => Some(*dth_micros),
+        EngineSpec::Baseline(_) => None,
+    };
+    RunMetrics {
+        engine: spec.label(),
+        delete_pct,
+        space_amplification: snapshot.space_amplification(),
+        compactions: stats.compactions,
+        bytes_written: io_after_ingest.bytes_written,
+        read_throughput,
+        tombstone_file_ages: snapshot.tombstone_file_ages,
+        dth_micros,
+        duration_micros,
+    }
+}
+
+/// The engines compared in Figures 6(A)–(E): the RocksDB-like baseline and
+/// Lethe with `D_th` at 16%, 25% and 50% of the run-time.
+pub fn sweep_engines(ops: u64) -> Vec<EngineSpec> {
+    let cfg = experiment_config();
+    let duration = ops * cfg.micros_per_ingest();
+    vec![
+        EngineSpec::Baseline(BaselineKind::RocksDbLike),
+        EngineSpec::Lethe { dth_micros: (duration as f64 * 0.1667) as u64, h: 1 },
+        EngineSpec::Lethe { dth_micros: (duration as f64 * 0.25) as u64, h: 1 },
+        EngineSpec::Lethe { dth_micros: (duration as f64 * 0.50) as u64, h: 1 },
+    ]
+}
+
+/// Runs the full sweep used by Figures 6(A)–(D).
+pub fn run_sweep(ops: u64, lookups: u64, delete_pcts: &[f64]) -> Vec<RunMetrics> {
+    let mut out = Vec::new();
+    for spec in sweep_engines(ops) {
+        for &pct in delete_pcts {
+            out.push(run_one(&spec, ops, pct, lookups));
+        }
+    }
+    out
+}
+
+fn print_metric<F: Fn(&RunMetrics) -> f64>(
+    title: &str,
+    metric_name: &str,
+    results: &[RunMetrics],
+    delete_pcts: &[f64],
+    f: F,
+) {
+    let mut header = vec![format!("engine \\ deletes%  ({metric_name})")];
+    header.extend(delete_pcts.iter().map(|p| format!("{p}%")));
+    let mut rows = Vec::new();
+    let mut engines: Vec<String> = Vec::new();
+    for r in results {
+        if !engines.contains(&r.engine) {
+            engines.push(r.engine.clone());
+        }
+    }
+    for engine in engines {
+        let mut row = vec![engine.clone()];
+        for &pct in delete_pcts {
+            let v = results
+                .iter()
+                .find(|r| r.engine == engine && (r.delete_pct - pct).abs() < 1e-9)
+                .map(&f)
+                .unwrap_or(f64::NAN);
+            row.push(cell(v));
+        }
+        rows.push(row);
+    }
+    print_table(title, &header, &rows);
+}
+
+/// Figure 6(A): space amplification vs % deletes.
+pub fn fig6a(ops: u64, lookups: u64) {
+    let pcts = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let results = run_sweep(ops, lookups, &pcts);
+    print_metric(
+        "Figure 6(A) — space amplification vs %deletes",
+        "space amp",
+        &results,
+        &pcts,
+        |r| r.space_amplification,
+    );
+}
+
+/// Figure 6(B): number of compactions vs % deletes.
+pub fn fig6b(ops: u64, lookups: u64) {
+    let pcts = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let results = run_sweep(ops, lookups, &pcts);
+    print_metric(
+        "Figure 6(B) — #compactions vs %deletes",
+        "compactions",
+        &results,
+        &pcts,
+        |r| r.compactions as f64,
+    );
+}
+
+/// Figure 6(C): total data written vs % deletes.
+pub fn fig6c(ops: u64, lookups: u64) {
+    let pcts = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let results = run_sweep(ops, lookups, &pcts);
+    print_metric(
+        "Figure 6(C) — total data written (MB) vs %deletes",
+        "MB written",
+        &results,
+        &pcts,
+        |r| r.bytes_written as f64 / 1.0e6,
+    );
+}
+
+/// Figure 6(D): read throughput vs % deletes.
+pub fn fig6d(ops: u64, lookups: u64) {
+    let pcts = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+    let results = run_sweep(ops, lookups, &pcts);
+    print_metric(
+        "Figure 6(D) — modeled read throughput (lookups/s) vs %deletes",
+        "ops/s",
+        &results,
+        &pcts,
+        |r| r.read_throughput,
+    );
+}
+
+/// Figure 6(E): cumulative tombstones by tombstone-file age, at 10% deletes.
+pub fn fig6e(ops: u64) {
+    let pcts = [10.0];
+    let results = run_sweep(ops, 0, &pcts);
+    let duration = results.first().map(|r| r.duration_micros).unwrap_or(1).max(1);
+    // age buckets as fractions of the experiment duration
+    let fractions = [0.05, 0.1, 0.1667, 0.25, 0.5, 0.75, 1.0];
+    let mut header = vec!["engine \\ file age (fraction of run-time)".to_string()];
+    header.extend(fractions.iter().map(|f| format!("≤{f}")));
+    header.push("older than Dth".into());
+    let mut rows = Vec::new();
+    for r in &results {
+        let thresholds: Vec<Timestamp> =
+            fractions.iter().map(|f| (duration as f64 * f) as Timestamp).collect();
+        let mut row = vec![r.engine.clone()];
+        let snapshot = lethe_lsm::stats::ContentSnapshot {
+            tombstone_file_ages: r.tombstone_file_ages.clone(),
+            ..Default::default()
+        };
+        for (_, count) in snapshot.cumulative_tombstones_by_age(&thresholds) {
+            row.push(count.to_string());
+        }
+        let overdue: u64 = match r.dth_micros {
+            Some(dth) => r
+                .tombstone_file_ages
+                .iter()
+                .filter(|(age, _)| *age > dth)
+                .map(|(_, n)| *n)
+                .sum(),
+            None => 0,
+        };
+        row.push(if r.dth_micros.is_some() { overdue.to_string() } else { "n/a".into() });
+        rows.push(row);
+    }
+    print_table(
+        "Figure 6(E) — cumulative #tombstones by age of the file containing them (10% deletes)",
+        &header,
+        &rows,
+    );
+}
+
+/// Figure 6(F): normalized bytes written over time (write-amplification
+/// amortisation). `D_th` is set to 1/15 of the run, as in the paper's
+/// worst-case setup.
+pub fn fig6f(ops: u64) {
+    let cfg = experiment_config();
+    let value_size = cfg.entry_size - 32;
+    let duration = ops * cfg.micros_per_ingest();
+    let snapshots = 10usize;
+    let specs = [
+        EngineSpec::Baseline(BaselineKind::RocksDbLike),
+        EngineSpec::Lethe { dth_micros: duration / 15, h: 1 },
+    ];
+    // generate one shared stream with 5% deletes
+    let workload = WorkloadSpec {
+        operations: ops,
+        key_space: (ops / 2).max(1024),
+        value_size,
+        update_fraction: 0.95,
+        point_lookup_fraction: 0.0,
+        point_delete_fraction: 0.05,
+        ..Default::default()
+    };
+    let stream = WorkloadGenerator::new(workload).operations();
+    let chunk = (stream.len() / snapshots).max(1);
+
+    let mut series: Vec<(String, Vec<u64>)> = Vec::new();
+    for spec in &specs {
+        let mut engine = spec.build(cfg.clone()).expect("engine builds");
+        let mut bytes = Vec::new();
+        for ops_chunk in stream.chunks(chunk) {
+            apply_all(engine.tree_mut(), ops_chunk, value_size).expect("ingest");
+            engine.tree_mut().flush().expect("flush");
+            engine.tree_mut().maintain().expect("maintain");
+            bytes.push(engine.tree().io_snapshot().bytes_written);
+        }
+        series.push((spec.label(), bytes));
+    }
+
+    let baseline = series[0].1.clone();
+    let mut header = vec!["snapshot (time)".to_string()];
+    header.extend(series.iter().map(|(label, _)| label.clone()));
+    header.push("lethe / rocksdb".into());
+    let mut rows = Vec::new();
+    for i in 0..baseline.len() {
+        let mut row = vec![format!("t{}", i + 1)];
+        for (_, bytes) in &series {
+            row.push(cell(bytes.get(i).copied().unwrap_or(0) as f64 / 1.0e6));
+        }
+        let ratio = series[1].1.get(i).copied().unwrap_or(0) as f64
+            / baseline.get(i).copied().unwrap_or(1).max(1) as f64;
+        row.push(cell(ratio));
+        rows.push(row);
+    }
+    print_table(
+        "Figure 6(F) — cumulative MB written over time and Lethe/RocksDB ratio (Dth = run/15)",
+        &header,
+        &rows,
+    );
+}
+
+/// Figure 6(G): average modeled latency vs data size, for a write-only and a
+/// mixed (YCSB-A) workload.
+pub fn fig6g(max_ops: u64) {
+    let cfg = experiment_config();
+    let value_size = cfg.entry_size - 32;
+    let sizes: Vec<u64> = (0..4).map(|i| (max_ops / 8) << i).filter(|&n| n >= 512).collect();
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let duration = n * cfg.micros_per_ingest();
+        let engines = [
+            ("write/rocksdb", EngineSpec::Baseline(BaselineKind::RocksDbLike), true),
+            ("write/lethe", EngineSpec::Lethe { dth_micros: duration / 4, h: 1 }, true),
+            ("mixed/rocksdb", EngineSpec::Baseline(BaselineKind::RocksDbLike), false),
+            ("mixed/lethe", EngineSpec::Lethe { dth_micros: duration / 4, h: 1 }, false),
+        ];
+        let mut row = vec![format!("{n}")];
+        for (_, spec, write_only) in &engines {
+            let workload = if *write_only {
+                WorkloadSpec { operations: n, key_space: (n / 2).max(1024), value_size, ..WorkloadSpec::write_only(n) }
+            } else {
+                WorkloadSpec {
+                    operations: n,
+                    key_space: (n / 2).max(1024),
+                    value_size,
+                    ..WorkloadSpec::ycsb_a_with_deletes(n, 5.0)
+                }
+            };
+            let mut engine = spec.build(cfg.clone()).expect("engine builds");
+            let stream = WorkloadGenerator::new(workload).operations();
+            apply_all(engine.tree_mut(), &stream, value_size).expect("run");
+            engine.persist().expect("persist");
+            let io = engine.tree().io_snapshot();
+            let avg_latency_ms =
+                crate::modeled_time_us(&io) / 1000.0 / stream.len().max(1) as f64;
+            row.push(cell(avg_latency_ms));
+        }
+        rows.push(row);
+    }
+    let header = vec![
+        "data size (ops)".to_string(),
+        "write-only rocksdb (ms/op)".to_string(),
+        "write-only lethe (ms/op)".to_string(),
+        "mixed rocksdb (ms/op)".to_string(),
+        "mixed lethe (ms/op)".to_string(),
+    ];
+    print_table(
+        "Figure 6(G) — average modeled latency vs data size (write-only and mixed workloads)",
+        &header,
+        &rows,
+    );
+}

@@ -1,0 +1,15 @@
+//! One module per group of evaluation figures.
+//!
+//! * [`delete_sweep`] — Figures 6(A)–(G): the primary-delete experiments
+//!   (space amplification, compaction counts, bytes written, read
+//!   throughput, tombstone-age distribution, write-amplification
+//!   amortisation, scalability).
+//! * [`kiwi`] — Figures 6(H)–(L): the secondary-range-delete experiments
+//!   (full page drops, lookup cost vs `h`, optimal layout, CPU/I-O
+//!   trade-off, sort/delete-key correlation).
+//! * [`summary`] — Figure 1 and Table 2 (qualitative comparison and the
+//!   analytical model).
+
+pub mod delete_sweep;
+pub mod kiwi;
+pub mod summary;

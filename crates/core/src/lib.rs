@@ -1,0 +1,66 @@
+//! # lethe-core
+//!
+//! The primary contribution of *Lethe: A Tunable Delete-Aware LSM Engine*
+//! (SIGMOD 2020), built on top of the `lethe-lsm` substrate:
+//!
+//! * [`fade`] — the FADE family of delete-aware compaction strategies:
+//!   per-level TTLs derived from the delete persistence threshold `D_th`,
+//!   delete-driven triggers, and the SO/SD/DD file-selection modes.
+//! * [`kiwi`] — planning and accounting helpers for the Key Weaving Storage
+//!   Layout (full/partial page-drop prediction, metadata overhead, CPU-cost
+//!   multipliers).
+//! * [`engine`] — [`Lethe`], the engine that combines FADE and KiWi behind a
+//!   single API with the two tuning knobs `D_th` and `h`.
+//! * [`baseline`] — the state-of-the-art engines the paper compares against.
+//! * [`tuning`] — the navigable-design equations (1)–(3) that pick the
+//!   optimal delete-tile granularity for a workload.
+//! * [`model`] — the closed-form cost model of Table 2.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lethe_core::{Lethe, LetheBuilder};
+//!
+//! let mut db = LetheBuilder::new()
+//!     .buffer(8, 4, 64)
+//!     .size_ratio(4)
+//!     .delete_persistence_threshold_secs(60.0)
+//!     .delete_tile_pages(4)
+//!     .build()
+//!     .unwrap();
+//!
+//! db.put(1, 20200614, "hello").unwrap();
+//! assert_eq!(db.get(1).unwrap().unwrap(), &b"hello"[..]);
+//! db.delete(1).unwrap();
+//! assert_eq!(db.get(1).unwrap(), None);
+//!
+//! // secondary range delete: purge everything with delete key < 20200101
+//! db.delete_where_delete_key_in(0, 20200101).unwrap();
+//! ```
+
+pub mod baseline;
+pub mod engine;
+pub mod fade;
+pub mod kiwi;
+pub mod model;
+pub mod tuning;
+
+pub use baseline::{Baseline, BaselineKind};
+pub use engine::{Lethe, LetheBuilder};
+pub use fade::{level_ttls, FadePolicy, SaturationSelection};
+pub use kiwi::{
+    hash_cost_multiplier, metadata_overhead_bytes, plan_secondary_delete, DropPlan,
+};
+pub use model::{table2, Design, MergeStyle, ModelParams, Table2Row};
+pub use tuning::{
+    best_delete_tile_pages_numeric, optimal_delete_tile_pages, workload_cost, TreeShape,
+    WorkloadProfile,
+};
+
+// Re-export the substrate types a user of the public API touches directly.
+pub use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
+pub use lethe_lsm::sstable::SecondaryDeleteStats;
+pub use lethe_lsm::stats::{ContentSnapshot, TreeStats};
+pub use lethe_storage::{
+    CostModel, DeleteKey, Entry, EntryKind, IoSnapshot, LogicalClock, SortKey, Timestamp,
+};

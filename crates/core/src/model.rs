@@ -1,0 +1,463 @@
+//! Analytical cost model — the closed forms of Table 2.
+//!
+//! Every row of the paper's Table 2 is expressed as a function of the Table 1
+//! parameters, for each of the four designs (state of the art, FADE only,
+//! KiWi only, Lethe = FADE + KiWi) under both merge policies. The benchmark
+//! harness evaluates the model at the Table 1 reference point and
+//! cross-checks the orderings (better / worse / same / tunable markers of the
+//! table) against the empirical engines.
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the four designs of Table 2 a cost is evaluated for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Design {
+    /// State-of-the-art LSM engine (no FADE, no KiWi).
+    StateOfTheArt,
+    /// FADE compactions on the classic layout.
+    Fade,
+    /// KiWi layout with state-of-the-art compactions.
+    Kiwi,
+    /// Lethe: FADE + KiWi.
+    Lethe,
+}
+
+impl Design {
+    /// All four designs, in the column order of Table 2.
+    pub const ALL: [Design; 4] = [Design::StateOfTheArt, Design::Fade, Design::Kiwi, Design::Lethe];
+
+    /// True if the design uses FADE (timely delete persistence).
+    pub fn has_fade(&self) -> bool {
+        matches!(self, Design::Fade | Design::Lethe)
+    }
+
+    /// True if the design uses the KiWi interweaved layout.
+    pub fn has_kiwi(&self) -> bool {
+        matches!(self, Design::Kiwi | Design::Lethe)
+    }
+}
+
+/// Merge policy column of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeStyle {
+    /// One run per level.
+    Leveling,
+    /// Up to `T` runs per level.
+    Tiering,
+}
+
+/// The Table 1 parameters the model is evaluated at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Entries inserted in the tree, including tombstones (`N`).
+    pub entries: f64,
+    /// Size ratio (`T`).
+    pub size_ratio: f64,
+    /// Number of disk levels with `N` entries (`L`).
+    pub levels: f64,
+    /// Entries per disk page (`B`).
+    pub entries_per_page: f64,
+    /// Average entry size in bytes (`E`).
+    pub entry_size: f64,
+    /// Memory buffer size in pages (`P`).
+    pub buffer_pages: f64,
+    /// Bits of Bloom-filter memory per entry (`m/N`).
+    pub bits_per_entry: f64,
+    /// Tombstone size ratio (`λ`).
+    pub tombstone_size_ratio: f64,
+    /// Pages per delete tile (`h`).
+    pub pages_per_tile: f64,
+    /// Entries remaining after deletes are persisted (`N_δ`).
+    pub entries_after_deletes: f64,
+    /// Disk levels needed for `N_δ` entries (`L_δ`).
+    pub levels_after_deletes: f64,
+    /// Ingestion rate of unique entries per second (`I`).
+    pub ingestion_rate: f64,
+    /// Selectivity of long range lookups (`s`).
+    pub long_range_selectivity: f64,
+    /// Delete persistence threshold in seconds (`D_th`).
+    pub delete_persistence_threshold_secs: f64,
+}
+
+impl Default for ModelParams {
+    /// The reference values of Table 1.
+    fn default() -> Self {
+        let entries = (1u64 << 20) as f64;
+        ModelParams {
+            entries,
+            size_ratio: 10.0,
+            levels: 3.0,
+            entries_per_page: 4.0,
+            entry_size: 1024.0,
+            buffer_pages: 512.0,
+            bits_per_entry: 10.0,
+            tombstone_size_ratio: 0.1,
+            pages_per_tile: 16.0,
+            // ~30% of the entries are invalidated at the reference point
+            // (3·10^5 point deletes + 10^3 range deletes of σ = 5·10^-4)
+            entries_after_deletes: entries * 0.7,
+            levels_after_deletes: 3.0,
+            ingestion_rate: 1024.0,
+            long_range_selectivity: 1.0e-3,
+            delete_persistence_threshold_secs: 60.0,
+        }
+    }
+}
+
+impl ModelParams {
+    /// Bloom filter false positive rate `e^{−(m/N)·ln²2}` over `n` entries,
+    /// assuming the same total filter memory.
+    fn fpr_over(&self, n: f64) -> f64 {
+        let total_bits = self.bits_per_entry * self.entries;
+        (-(total_bits / n) * std::f64::consts::LN_2.powi(2)).exp()
+    }
+
+    fn n(&self, design: Design) -> f64 {
+        if design.has_fade() { self.entries_after_deletes } else { self.entries }
+    }
+
+    fn l(&self, design: Design) -> f64 {
+        if design.has_fade() { self.levels_after_deletes } else { self.levels }
+    }
+
+    fn h(&self, design: Design) -> f64 {
+        if design.has_kiwi() { self.pages_per_tile.max(1.0) } else { 1.0 }
+    }
+
+    /// Number of entries resident in the tree (Table 2 row 1).
+    pub fn entries_in_tree(&self, design: Design, _style: MergeStyle) -> f64 {
+        self.n(design)
+    }
+
+    /// Worst-case space amplification for a workload *with deletes*
+    /// (Table 2 row 3).
+    pub fn space_amplification_with_deletes(&self, design: Design, style: MergeStyle) -> f64 {
+        let lambda = self.tombstone_size_ratio;
+        match (design.has_fade(), style) {
+            // FADE bounds it back to the update-only worst case
+            (true, MergeStyle::Leveling) => 1.0 / self.size_ratio,
+            (true, MergeStyle::Tiering) => self.size_ratio,
+            // the paper's worst-case expressions: a few tombstone bytes can
+            // invalidate many key-value bytes, so the bound grows with N
+            (false, MergeStyle::Leveling) => {
+                ((1.0 - lambda) * self.entries + 1.0) / (lambda * self.size_ratio) / self.entries
+            }
+            (false, MergeStyle::Tiering) => 1.0 / (1.0 - lambda),
+        }
+    }
+
+    /// Worst-case space amplification without deletes (Table 2 row 2).
+    pub fn space_amplification_without_deletes(&self, _design: Design, style: MergeStyle) -> f64 {
+        match style {
+            MergeStyle::Leveling => 1.0 / self.size_ratio,
+            MergeStyle::Tiering => self.size_ratio,
+        }
+    }
+
+    /// Total bytes written to the device over the tree's lifetime
+    /// (Table 2 row 4).
+    pub fn total_bytes_written(&self, design: Design, style: MergeStyle) -> f64 {
+        let n = self.n(design);
+        let l = self.l(design);
+        match style {
+            MergeStyle::Leveling => n * self.entry_size * l * self.size_ratio,
+            MergeStyle::Tiering => n * self.entry_size * l,
+        }
+    }
+
+    /// Write amplification (Table 2 row 5).
+    pub fn write_amplification(&self, design: Design, style: MergeStyle) -> f64 {
+        let l = self.l(design);
+        match style {
+            MergeStyle::Leveling => l * self.size_ratio,
+            MergeStyle::Tiering => l,
+        }
+    }
+
+    /// Worst-case delete persistence latency in seconds (Table 2 row 6).
+    pub fn delete_persistence_latency_secs(&self, design: Design, style: MergeStyle) -> f64 {
+        if design.has_fade() {
+            return self.delete_persistence_threshold_secs;
+        }
+        let exp = match style {
+            MergeStyle::Leveling => self.levels - 1.0,
+            MergeStyle::Tiering => self.levels,
+        };
+        self.size_ratio.powf(exp) * self.buffer_pages * self.entries_per_page
+            / self.ingestion_rate
+    }
+
+    /// Expected I/O cost of a point lookup on a non-existing key
+    /// (Table 2 row 7).
+    pub fn zero_result_lookup_cost(&self, design: Design, style: MergeStyle) -> f64 {
+        let fpr = self.fpr_over(self.n(design));
+        let h = self.h(design);
+        match style {
+            MergeStyle::Leveling => h * fpr,
+            MergeStyle::Tiering => h * fpr * self.size_ratio,
+        }
+    }
+
+    /// Expected I/O cost of a point lookup on an existing key
+    /// (Table 2 row 8).
+    pub fn existing_lookup_cost(&self, design: Design, style: MergeStyle) -> f64 {
+        let fpr = self.fpr_over(self.n(design));
+        let h = self.h(design);
+        match style {
+            MergeStyle::Leveling => 1.0 + h * fpr,
+            MergeStyle::Tiering => 1.0 + h * fpr * self.size_ratio,
+        }
+    }
+
+    /// Expected I/O cost of a short range lookup (Table 2 row 9).
+    pub fn short_range_lookup_cost(&self, design: Design, style: MergeStyle) -> f64 {
+        let l = self.l(design);
+        let h = self.h(design);
+        match style {
+            MergeStyle::Leveling => h * l,
+            MergeStyle::Tiering => h * l * self.size_ratio,
+        }
+    }
+
+    /// Expected I/O cost of a long range lookup (Table 2 row 10).
+    pub fn long_range_lookup_cost(&self, design: Design, style: MergeStyle) -> f64 {
+        let n = self.n(design);
+        let s = self.long_range_selectivity;
+        match style {
+            MergeStyle::Leveling => s * n / self.entries_per_page,
+            MergeStyle::Tiering => self.size_ratio * s * n / self.entries_per_page,
+        }
+    }
+
+    /// Amortised insert/update cost (Table 2 row 11).
+    pub fn insert_cost(&self, design: Design, style: MergeStyle) -> f64 {
+        let l = self.l(design);
+        match style {
+            MergeStyle::Leveling => l * self.size_ratio / self.entries_per_page,
+            MergeStyle::Tiering => l / self.entries_per_page,
+        }
+    }
+
+    /// I/O cost of a secondary range delete (Table 2 row 12).
+    pub fn secondary_range_delete_cost(&self, design: Design, _style: MergeStyle) -> f64 {
+        let n = self.n(design);
+        let h = self.h(design);
+        n / (self.entries_per_page * h)
+    }
+
+    /// Main memory footprint in bits (Table 2 row 13): Bloom filter memory
+    /// plus fence-pointer metadata. `k` is taken as the sort-key size and `c`
+    /// as the delete-key size, both in bits (64 here).
+    pub fn memory_footprint_bits(&self, design: Design, _style: MergeStyle) -> f64 {
+        let key_bits = 64.0;
+        let n = self.n(design);
+        let h = self.h(design);
+        let filter_bits = self.bits_per_entry * self.entries;
+        let sort_fences = n * key_bits / (self.entries_per_page * h);
+        let delete_fences = if design.has_kiwi() {
+            n * key_bits / self.entries_per_page
+        } else {
+            0.0
+        };
+        filter_bits + sort_fences + delete_fences
+    }
+}
+
+/// One evaluated row of Table 2 for all four designs (used by the harness to
+/// print the table).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Metric name as it appears in the paper.
+    pub metric: &'static str,
+    /// Values in design order: state of the art, FADE, KiWi, Lethe.
+    pub values: [f64; 4],
+}
+
+/// Evaluates every row of Table 2 at `params` under the given merge style.
+pub fn table2(params: &ModelParams, style: MergeStyle) -> Vec<Table2Row> {
+    let eval = |f: &dyn Fn(Design) -> f64| {
+        let mut values = [0.0; 4];
+        for (i, d) in Design::ALL.iter().enumerate() {
+            values[i] = f(*d);
+        }
+        values
+    };
+    vec![
+        Table2Row {
+            metric: "entries in tree",
+            values: eval(&|d| params.entries_in_tree(d, style)),
+        },
+        Table2Row {
+            metric: "space amplification (no deletes)",
+            values: eval(&|d| params.space_amplification_without_deletes(d, style)),
+        },
+        Table2Row {
+            metric: "space amplification (with deletes)",
+            values: eval(&|d| params.space_amplification_with_deletes(d, style)),
+        },
+        Table2Row {
+            metric: "total bytes written",
+            values: eval(&|d| params.total_bytes_written(d, style)),
+        },
+        Table2Row {
+            metric: "write amplification",
+            values: eval(&|d| params.write_amplification(d, style)),
+        },
+        Table2Row {
+            metric: "delete persistence latency (s)",
+            values: eval(&|d| params.delete_persistence_latency_secs(d, style)),
+        },
+        Table2Row {
+            metric: "zero-result point lookup (I/Os)",
+            values: eval(&|d| params.zero_result_lookup_cost(d, style)),
+        },
+        Table2Row {
+            metric: "existing point lookup (I/Os)",
+            values: eval(&|d| params.existing_lookup_cost(d, style)),
+        },
+        Table2Row {
+            metric: "short range lookup (I/Os)",
+            values: eval(&|d| params.short_range_lookup_cost(d, style)),
+        },
+        Table2Row {
+            metric: "long range lookup (I/Os)",
+            values: eval(&|d| params.long_range_lookup_cost(d, style)),
+        },
+        Table2Row {
+            metric: "insert/update cost (I/Os)",
+            values: eval(&|d| params.insert_cost(d, style)),
+        },
+        Table2Row {
+            metric: "secondary range delete (I/Os)",
+            values: eval(&|d| params.secondary_range_delete_cost(d, style)),
+        },
+        Table2Row {
+            metric: "memory footprint (bits)",
+            values: eval(&|d| params.memory_footprint_bits(d, style)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::default()
+    }
+
+    #[test]
+    fn fade_improves_persistence_latency_to_dth() {
+        let p = p();
+        for style in [MergeStyle::Leveling, MergeStyle::Tiering] {
+            let soa = p.delete_persistence_latency_secs(Design::StateOfTheArt, style);
+            let fade = p.delete_persistence_latency_secs(Design::Fade, style);
+            let lethe = p.delete_persistence_latency_secs(Design::Lethe, style);
+            assert!(soa > fade, "state of the art should be worse ({soa} vs {fade})");
+            assert_eq!(fade, p.delete_persistence_threshold_secs);
+            assert_eq!(lethe, fade);
+        }
+        // tiering is worse than leveling by a factor of T for the baseline
+        let lvl = p.delete_persistence_latency_secs(Design::StateOfTheArt, MergeStyle::Leveling);
+        let tier = p.delete_persistence_latency_secs(Design::StateOfTheArt, MergeStyle::Tiering);
+        assert!((tier / lvl - p.size_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fade_reduces_entries_and_lookup_costs() {
+        let p = p();
+        assert!(
+            p.entries_in_tree(Design::Fade, MergeStyle::Leveling)
+                < p.entries_in_tree(Design::StateOfTheArt, MergeStyle::Leveling)
+        );
+        // fewer hashed entries ⇒ lower FPR ⇒ cheaper zero-result lookups
+        assert!(
+            p.zero_result_lookup_cost(Design::Fade, MergeStyle::Leveling)
+                < p.zero_result_lookup_cost(Design::StateOfTheArt, MergeStyle::Leveling)
+        );
+    }
+
+    #[test]
+    fn kiwi_trades_lookups_for_secondary_deletes() {
+        let p = p();
+        for style in [MergeStyle::Leveling, MergeStyle::Tiering] {
+            // KiWi lookups are more expensive by ~h
+            assert!(
+                p.zero_result_lookup_cost(Design::Kiwi, style)
+                    > p.zero_result_lookup_cost(Design::StateOfTheArt, style)
+            );
+            // but secondary range deletes are cheaper by h
+            let soa = p.secondary_range_delete_cost(Design::StateOfTheArt, style);
+            let kiwi = p.secondary_range_delete_cost(Design::Kiwi, style);
+            assert!((soa / kiwi - p.pages_per_tile).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lethe_combines_both_effects() {
+        let p = p();
+        let style = MergeStyle::Leveling;
+        // cheaper secondary deletes than both the baseline and FADE
+        assert!(
+            p.secondary_range_delete_cost(Design::Lethe, style)
+                < p.secondary_range_delete_cost(Design::Fade, style)
+        );
+        // persistence bounded like FADE
+        assert_eq!(
+            p.delete_persistence_latency_secs(Design::Lethe, style),
+            p.delete_persistence_threshold_secs
+        );
+        // lookup cost between the baseline (better) and raw KiWi (worse),
+        // because FADE's smaller N offsets part of the h penalty
+        let soa = p.zero_result_lookup_cost(Design::StateOfTheArt, style);
+        let kiwi = p.zero_result_lookup_cost(Design::Kiwi, style);
+        let lethe = p.zero_result_lookup_cost(Design::Lethe, style);
+        assert!(lethe > soa);
+        assert!(lethe < kiwi);
+    }
+
+    #[test]
+    fn write_amplification_orderings() {
+        let p = p();
+        // leveling pays T× more write amplification than tiering
+        let lvl = p.write_amplification(Design::StateOfTheArt, MergeStyle::Leveling);
+        let tier = p.write_amplification(Design::StateOfTheArt, MergeStyle::Tiering);
+        assert!((lvl / tier - p.size_ratio).abs() < 1e-9);
+        // KiWi does not change write amplification
+        assert_eq!(lvl, p.write_amplification(Design::Kiwi, MergeStyle::Leveling));
+    }
+
+    #[test]
+    fn space_amplification_with_deletes_is_bounded_by_fade() {
+        let p = p();
+        let soa = p.space_amplification_with_deletes(Design::StateOfTheArt, MergeStyle::Leveling);
+        let fade = p.space_amplification_with_deletes(Design::Fade, MergeStyle::Leveling);
+        assert!(soa > fade, "soa {soa} should exceed fade {fade}");
+        assert_eq!(fade, 1.0 / p.size_ratio);
+        let soa_t = p.space_amplification_with_deletes(Design::StateOfTheArt, MergeStyle::Tiering);
+        let fade_t = p.space_amplification_with_deletes(Design::Fade, MergeStyle::Tiering);
+        assert!(soa_t > 1.0);
+        assert_eq!(fade_t, p.size_ratio);
+    }
+
+    #[test]
+    fn table2_has_all_rows_for_both_styles() {
+        let p = p();
+        for style in [MergeStyle::Leveling, MergeStyle::Tiering] {
+            let rows = table2(&p, style);
+            assert_eq!(rows.len(), 13);
+            for row in &rows {
+                assert!(row.values.iter().all(|v| v.is_finite()), "{}", row.metric);
+            }
+        }
+    }
+
+    #[test]
+    fn design_flags() {
+        assert!(Design::Lethe.has_fade() && Design::Lethe.has_kiwi());
+        assert!(Design::Fade.has_fade() && !Design::Fade.has_kiwi());
+        assert!(!Design::Kiwi.has_fade() && Design::Kiwi.has_kiwi());
+        assert!(!Design::StateOfTheArt.has_fade() && !Design::StateOfTheArt.has_kiwi());
+        assert_eq!(Design::ALL.len(), 4);
+    }
+}

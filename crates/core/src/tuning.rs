@@ -1,0 +1,238 @@
+//! Navigable design: choosing the delete-tile granularity `h` (paper §4.2.6).
+//!
+//! KiWi trades secondary-range-delete cost against lookup cost. Given the
+//! composition of the workload (how frequent each operation class is relative
+//! to secondary range deletes), Equation (3) of the paper bounds the largest
+//! `h` for which Lethe's weighted cost stays below the state of the art:
+//!
+//! ```text
+//! h ≤ (N/B) / ( (f_EPQ + f_PQ)/f_SRD · FPR  +  f_SRQ/f_SRD · L )
+//! ```
+//!
+//! [`WorkloadProfile`] describes the workload, [`optimal_delete_tile_pages`]
+//! evaluates the bound, and [`workload_cost`] evaluates the full Equation (1)
+//! cost for any candidate `h` so the two can be cross-checked numerically.
+
+/// Relative frequencies of the operation classes of a workload
+/// (paper §4.2.6). Values are weights; only their ratios matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Point queries with an empty result (`f_EPQ`).
+    pub empty_point_lookups: f64,
+    /// Point queries on existing keys (`f_PQ`).
+    pub point_lookups: f64,
+    /// Short range queries (`f_SRQ`).
+    pub short_range_lookups: f64,
+    /// Long range queries (`f_LRQ`).
+    pub long_range_lookups: f64,
+    /// Selectivity `s` of long range queries.
+    pub long_range_selectivity: f64,
+    /// Secondary range deletes (`f_SRD`).
+    pub secondary_range_deletes: f64,
+    /// Inserts / updates (`f_I`).
+    pub inserts: f64,
+}
+
+impl Default for WorkloadProfile {
+    /// The running example of §4.2.6: between two secondary range deletes the
+    /// application executes 50 M point queries and 10 K short range queries.
+    fn default() -> Self {
+        WorkloadProfile {
+            empty_point_lookups: 25.0e6,
+            point_lookups: 25.0e6,
+            short_range_lookups: 10.0e3,
+            long_range_lookups: 0.0,
+            long_range_selectivity: 0.0,
+            secondary_range_deletes: 1.0,
+            inserts: 0.0,
+        }
+    }
+}
+
+/// Static parameters of the tree needed to evaluate Equations (1)–(3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeShape {
+    /// Total entries in the tree (`N`).
+    pub entries: f64,
+    /// Entries per page (`B`).
+    pub entries_per_page: f64,
+    /// Number of disk levels (`L`).
+    pub levels: f64,
+    /// Bloom filter false positive rate (`FPR`).
+    pub false_positive_rate: f64,
+    /// Size ratio (`T`), used for the insert cost term.
+    pub size_ratio: f64,
+}
+
+impl TreeShape {
+    /// The 400 GB / 4 KB-page example of §4.2.6.
+    pub fn paper_example() -> Self {
+        let pages = 400.0e9 / 4096.0;
+        TreeShape {
+            entries: pages * 4.0,
+            entries_per_page: 4.0,
+            levels: (pages).log10(), // log_T(N/B) with T = 10
+            false_positive_rate: 0.02,
+            size_ratio: 10.0,
+        }
+    }
+
+    /// Number of pages in the tree (`N/B`).
+    pub fn pages(&self) -> f64 {
+        self.entries / self.entries_per_page
+    }
+}
+
+/// Evaluates the bound of Equation (3): the largest delete-tile granularity
+/// `h` (in pages) for which Lethe's workload cost does not exceed the state
+/// of the art. Returns at least 1. When the workload has no secondary range
+/// deletes the bound is unbounded and the function returns 1 (the classic
+/// layout is optimal — there is nothing to gain from larger tiles).
+pub fn optimal_delete_tile_pages(profile: &WorkloadProfile, shape: &TreeShape) -> usize {
+    if profile.secondary_range_deletes <= 0.0 {
+        return 1;
+    }
+    let lookups_per_srd =
+        (profile.empty_point_lookups + profile.point_lookups) / profile.secondary_range_deletes;
+    let srq_per_srd = profile.short_range_lookups / profile.secondary_range_deletes;
+    let denominator =
+        lookups_per_srd * shape.false_positive_rate + srq_per_srd * shape.levels;
+    if denominator <= 0.0 {
+        // no read pressure at all: any h is fine, cap at one tile per file
+        return usize::MAX;
+    }
+    let bound = shape.pages() / denominator;
+    bound.floor().max(1.0) as usize
+}
+
+/// Evaluates the weighted per-operation cost of Equation (1) for a given
+/// delete-tile granularity, in expected page I/Os. Setting `h = 1` yields the
+/// state-of-the-art cost, so `workload_cost(profile, shape, h)` ≤
+/// `workload_cost(profile, shape, 1)` exactly when Equation (3) admits `h`.
+pub fn workload_cost(profile: &WorkloadProfile, shape: &TreeShape, h: usize) -> f64 {
+    let h = h.max(1) as f64;
+    let fpr = shape.false_positive_rate;
+    let pages = shape.pages();
+    let levels = shape.levels;
+    let empty_pq = profile.empty_point_lookups * fpr * h;
+    let pq = profile.point_lookups * (1.0 + fpr * h);
+    let srq = profile.short_range_lookups * levels * h;
+    let lrq = profile.long_range_lookups * profile.long_range_selectivity * pages;
+    let srd = profile.secondary_range_deletes * pages / h;
+    let ins = profile.inserts * (pages.log(shape.size_ratio.max(2.0)) / shape.entries_per_page);
+    empty_pq + pq + srq + lrq + srd + ins
+}
+
+/// Numerically searches powers of two up to `max_h` for the granularity with
+/// the lowest Equation-(1) cost. This is how Lethe picks `h` when the
+/// analytic bound and the cost curve disagree slightly (e.g. extremely
+/// delete-heavy workloads where the optimum exceeds the bound).
+pub fn best_delete_tile_pages_numeric(
+    profile: &WorkloadProfile,
+    shape: &TreeShape,
+    max_h: usize,
+) -> usize {
+    let mut best_h = 1usize;
+    let mut best_cost = workload_cost(profile, shape, 1);
+    let mut h = 2usize;
+    while h <= max_h {
+        let c = workload_cost(profile, shape, h);
+        if c < best_cost {
+            best_cost = c;
+            best_h = h;
+        }
+        h *= 2;
+    }
+    best_h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_running_example_gives_about_one_hundred() {
+        // §4.2.6: h ≤ 10^8 / (10^6 + 8·10^4) ≈ 102
+        let shape = TreeShape {
+            entries: 4.0 * 1.0e8,
+            entries_per_page: 4.0,
+            levels: 8.0,
+            false_positive_rate: 0.02,
+            size_ratio: 10.0,
+        };
+        let profile = WorkloadProfile::default();
+        let h = optimal_delete_tile_pages(&profile, &shape);
+        assert!((90..=110).contains(&h), "h = {h}");
+    }
+
+    #[test]
+    fn no_secondary_deletes_means_classic_layout() {
+        let shape = TreeShape::paper_example();
+        let profile = WorkloadProfile { secondary_range_deletes: 0.0, ..Default::default() };
+        assert_eq!(optimal_delete_tile_pages(&profile, &shape), 1);
+    }
+
+    #[test]
+    fn read_free_workload_is_unbounded() {
+        let shape = TreeShape::paper_example();
+        let profile = WorkloadProfile {
+            empty_point_lookups: 0.0,
+            point_lookups: 0.0,
+            short_range_lookups: 0.0,
+            long_range_lookups: 0.0,
+            long_range_selectivity: 0.0,
+            secondary_range_deletes: 1.0,
+            inserts: 0.0,
+        };
+        assert_eq!(optimal_delete_tile_pages(&profile, &shape), usize::MAX);
+    }
+
+    #[test]
+    fn more_lookups_shrink_h_more_deletes_grow_it() {
+        let shape = TreeShape::paper_example();
+        let read_heavy = WorkloadProfile { point_lookups: 500.0e6, ..Default::default() };
+        let delete_heavy = WorkloadProfile { secondary_range_deletes: 50.0, ..Default::default() };
+        let base = optimal_delete_tile_pages(&WorkloadProfile::default(), &shape);
+        assert!(optimal_delete_tile_pages(&read_heavy, &shape) < base);
+        assert!(optimal_delete_tile_pages(&delete_heavy, &shape) > base);
+    }
+
+    #[test]
+    fn equation_one_and_three_agree() {
+        let shape = TreeShape {
+            entries: 4.0e6,
+            entries_per_page: 4.0,
+            levels: 4.0,
+            false_positive_rate: 0.02,
+            size_ratio: 10.0,
+        };
+        let profile = WorkloadProfile {
+            empty_point_lookups: 2_000.0,
+            point_lookups: 2_000.0,
+            short_range_lookups: 50.0,
+            long_range_lookups: 0.0,
+            long_range_selectivity: 0.0,
+            secondary_range_deletes: 1.0,
+            inserts: 0.0,
+        };
+        let bound = optimal_delete_tile_pages(&profile, &shape);
+        assert!(bound >= 2, "bound = {bound}");
+        // any admissible h is no worse than the state of the art (h = 1)
+        let soa = workload_cost(&profile, &shape, 1);
+        assert!(workload_cost(&profile, &shape, bound.min(1024)) <= soa * 1.01);
+        // the numeric optimum is admissible and at least as good
+        let best = best_delete_tile_pages_numeric(&profile, &shape, 4096);
+        assert!(workload_cost(&profile, &shape, best) <= workload_cost(&profile, &shape, 1));
+    }
+
+    #[test]
+    fn cost_curve_is_u_shaped_in_h() {
+        let shape = TreeShape::paper_example();
+        let profile = WorkloadProfile::default();
+        let c1 = workload_cost(&profile, &shape, 1);
+        let c64 = workload_cost(&profile, &shape, 64);
+        let c_huge = workload_cost(&profile, &shape, 1 << 20);
+        assert!(c64 < c1, "moderate h should beat the classic layout");
+        assert!(c_huge > c64, "oversized tiles hurt lookups");
+    }
+}

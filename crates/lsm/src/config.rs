@@ -1,0 +1,250 @@
+//! Engine configuration — the knobs of Table 1 plus the Lethe-specific ones
+//! (`D_th`, delete-tile granularity `h`, compaction policy selection).
+
+use lethe_storage::clock::MICROS_PER_SEC;
+use lethe_storage::Timestamp;
+
+/// How runs are merged across levels (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// At most one run per level; an incoming run is greedily sort-merged
+    /// with the resident run.
+    Leveling,
+    /// A level accumulates up to `T` runs before they are merged together and
+    /// pushed down.
+    Tiering,
+}
+
+/// How a secondary range delete (on the delete key) is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecondaryDeleteMode {
+    /// The state-of-the-art fallback: read, merge and rewrite the entire tree
+    /// (cost `O(N/B)`, independent of selectivity — paper §3.3).
+    FullTreeCompaction,
+    /// KiWi: use delete fence pointers to drop fully-covered pages without
+    /// reading them and rewrite only the at most one partially-covered page
+    /// per delete tile (paper §4.2.2).
+    KiwiPageDrops,
+}
+
+/// Configuration of an LSM tree / Lethe engine instance.
+///
+/// Field names follow the symbols of Table 1 where applicable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsmConfig {
+    /// Size ratio `T` between consecutive levels.
+    pub size_ratio: usize,
+    /// Memory buffer capacity in disk pages (`P`).
+    pub buffer_pages: usize,
+    /// Entries per disk page (`B`).
+    pub entries_per_page: usize,
+    /// Average key-value entry size in bytes (`E`), used to size the buffer
+    /// (`M = P · B · E`) and as the default payload size.
+    pub entry_size: usize,
+    /// Bloom filter budget in bits per entry (`m / N`).
+    pub bits_per_key: f64,
+    /// Leveling or tiering.
+    pub merge_policy: MergePolicy,
+    /// Pages per delete tile (`h`). `1` reproduces the classic sort-key-only
+    /// layout; larger values trade lookup cost for cheaper secondary range
+    /// deletes (paper §4.2.3).
+    pub pages_per_delete_tile: usize,
+    /// Maximum pages per on-disk file (the partial-compaction granularity).
+    pub max_pages_per_file: usize,
+    /// Delete persistence threshold `D_th` in microseconds of logical time.
+    /// `None` disables TTL-driven compactions (state-of-the-art behaviour).
+    pub delete_persistence_threshold: Option<Timestamp>,
+    /// Ingestion rate `I` in entries per second; used when
+    /// `auto_advance_clock` is on to advance the logical clock by `1/I` per
+    /// ingested entry.
+    pub ingestion_rate: u64,
+    /// If `true`, every ingestion advances the logical clock by `1/I`.
+    pub auto_advance_clock: bool,
+    /// If `true`, point deletes first probe the filters and are dropped when
+    /// the key cannot exist (FADE's blind-delete suppression, §4.1.5).
+    pub suppress_blind_deletes: bool,
+    /// How secondary (delete-key) range deletes are executed.
+    pub secondary_delete_mode: SecondaryDeleteMode,
+    /// Number of buckets in the system-wide key histograms used to estimate
+    /// range-tombstone invalidation counts.
+    pub histogram_buckets: usize,
+    /// Upper bound of the sort-key / delete-key domain used by the
+    /// histograms (keys above are clamped; purely an estimation aid).
+    pub key_domain: u64,
+}
+
+impl Default for LsmConfig {
+    /// The reference configuration of Table 1: `T = 10`, `P = 512` pages,
+    /// `B = 4` entries/page, `E = 1024` bytes (16 MB buffer), 10 bits/key.
+    fn default() -> Self {
+        LsmConfig {
+            size_ratio: 10,
+            buffer_pages: 512,
+            entries_per_page: 4,
+            entry_size: 1024,
+            bits_per_key: 10.0,
+            merge_policy: MergePolicy::Leveling,
+            pages_per_delete_tile: 1,
+            max_pages_per_file: 256,
+            delete_persistence_threshold: None,
+            ingestion_rate: 1024,
+            auto_advance_clock: true,
+            suppress_blind_deletes: false,
+            secondary_delete_mode: SecondaryDeleteMode::FullTreeCompaction,
+            histogram_buckets: 256,
+            key_domain: u64::MAX,
+        }
+    }
+}
+
+impl LsmConfig {
+    /// A small configuration convenient for tests: tiny buffer, small pages.
+    pub fn small_for_test() -> Self {
+        LsmConfig {
+            size_ratio: 4,
+            buffer_pages: 4,
+            entries_per_page: 4,
+            entry_size: 64,
+            bits_per_key: 10.0,
+            max_pages_per_file: 8,
+            histogram_buckets: 64,
+            key_domain: 1 << 20,
+            ..Default::default()
+        }
+    }
+
+    /// Buffer capacity `M = P · B · E` in bytes.
+    pub fn buffer_capacity_bytes(&self) -> usize {
+        self.buffer_pages * self.entries_per_page * self.entry_size
+    }
+
+    /// Number of entries the buffer holds when full (`P · B`).
+    pub fn buffer_capacity_entries(&self) -> usize {
+        self.buffer_pages * self.entries_per_page
+    }
+
+    /// Capacity in bytes of disk level `level` (1-based: level 1 is the first
+    /// disk level), `M · T^level`.
+    pub fn level_capacity_bytes(&self, level: usize) -> u64 {
+        let mut cap = self.buffer_capacity_bytes() as u64;
+        for _ in 0..level {
+            cap = cap.saturating_mul(self.size_ratio as u64);
+        }
+        cap
+    }
+
+    /// Entries per delete tile (`h · B`).
+    pub fn entries_per_tile(&self) -> usize {
+        self.pages_per_delete_tile * self.entries_per_page
+    }
+
+    /// Entries per file (`max_pages_per_file · B`).
+    pub fn entries_per_file(&self) -> usize {
+        self.max_pages_per_file * self.entries_per_page
+    }
+
+    /// Microseconds of logical time per ingested entry (`1/I`).
+    pub fn micros_per_ingest(&self) -> u64 {
+        (MICROS_PER_SEC / self.ingestion_rate.max(1)).max(1)
+    }
+
+    /// Sets the delete persistence threshold from seconds of logical time.
+    pub fn with_delete_persistence_secs(mut self, secs: f64) -> Self {
+        self.delete_persistence_threshold = Some((secs * MICROS_PER_SEC as f64) as Timestamp);
+        self
+    }
+
+    /// Validates internal consistency (non-zero knobs, tile divides file).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size_ratio < 2 {
+            return Err("size_ratio must be at least 2".into());
+        }
+        if self.buffer_pages == 0 || self.entries_per_page == 0 || self.entry_size == 0 {
+            return Err("buffer_pages, entries_per_page and entry_size must be positive".into());
+        }
+        if self.pages_per_delete_tile == 0 {
+            return Err("pages_per_delete_tile (h) must be at least 1".into());
+        }
+        if self.max_pages_per_file == 0 {
+            return Err("max_pages_per_file must be at least 1".into());
+        }
+        if self.max_pages_per_file % self.pages_per_delete_tile != 0 {
+            return Err(format!(
+                "pages per file ({}) must be a multiple of pages per delete tile ({})",
+                self.max_pages_per_file, self.pages_per_delete_tile
+            ));
+        }
+        if self.bits_per_key <= 0.0 {
+            return Err("bits_per_key must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reference_values() {
+        let c = LsmConfig::default();
+        assert_eq!(c.size_ratio, 10);
+        assert_eq!(c.buffer_pages, 512);
+        assert_eq!(c.entries_per_page, 4);
+        assert_eq!(c.entry_size, 1024);
+        // M = P * B * E = 512 * 4 * 1024 = 2 MiB... the paper's Table 1 lists
+        // 16 MB for an 8 KB page; our page is B·E = 4 KiB, so M = 2 MiB.
+        assert_eq!(c.buffer_capacity_bytes(), 512 * 4 * 1024);
+        assert_eq!(c.buffer_capacity_entries(), 2048);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn level_capacities_grow_by_t() {
+        let c = LsmConfig::default();
+        let m = c.buffer_capacity_bytes() as u64;
+        assert_eq!(c.level_capacity_bytes(0), m);
+        assert_eq!(c.level_capacity_bytes(1), m * 10);
+        assert_eq!(c.level_capacity_bytes(3), m * 1000);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let mut c = LsmConfig::small_for_test();
+        c.pages_per_delete_tile = 2;
+        assert_eq!(c.entries_per_tile(), 8);
+        assert_eq!(c.entries_per_file(), 32);
+        assert_eq!(LsmConfig { ingestion_rate: 1_000_000, ..c.clone() }.micros_per_ingest(), 1);
+        assert_eq!(LsmConfig { ingestion_rate: 1024, ..c }.micros_per_ingest(), 976);
+    }
+
+    #[test]
+    fn with_delete_persistence_secs_sets_threshold() {
+        let c = LsmConfig::default().with_delete_persistence_secs(60.0);
+        assert_eq!(c.delete_persistence_threshold, Some(60_000_000));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = LsmConfig::default();
+        c.size_ratio = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = LsmConfig::default();
+        c.pages_per_delete_tile = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = LsmConfig::default();
+        c.pages_per_delete_tile = 3;
+        c.max_pages_per_file = 256; // not a multiple of 3
+        assert!(c.validate().is_err());
+
+        let mut c = LsmConfig::default();
+        c.bits_per_key = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = LsmConfig::default();
+        c.entries_per_page = 0;
+        assert!(c.validate().is_err());
+    }
+}

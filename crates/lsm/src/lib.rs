@@ -1,0 +1,44 @@
+//! # lethe-lsm
+//!
+//! A complete LSM-tree storage engine substrate for the Lethe reproduction
+//! (*Lethe: A Tunable Delete-Aware LSM Engine*, SIGMOD 2020).
+//!
+//! The crate provides the tree itself and the state-of-the-art baselines the
+//! paper compares against:
+//!
+//! * [`config`] — every knob of the paper's Table 1 (size ratio `T`, buffer
+//!   geometry, Bloom bits, leveling/tiering, delete-tile granularity `h`,
+//!   delete persistence threshold `D_th`).
+//! * [`sstable`] — immutable sorted files laid out as delete tiles (the Key
+//!   Weaving Storage Layout; `h = 1` is the classic layout).
+//! * [`level`] — runs and levels.
+//! * [`merge`] — sort-merge with tombstone semantics.
+//! * [`compaction`] — the [`compaction::CompactionPolicy`] trait plus the
+//!   baseline policies (saturation + min-overlap, saturation + most
+//!   tombstones, periodic full-tree compaction).
+//! * [`tree`] — [`tree::LsmTree`], the engine: puts, deletes, range deletes,
+//!   secondary range deletes, lookups, scans, flush and compaction.
+//! * [`stats`] — space/write amplification and tombstone-age accounting.
+//!
+//! The delete-aware pieces of the paper (the FADE compaction policy and the
+//! Lethe engine wrapper) live in the `lethe-core` crate and plug into this
+//! substrate through [`compaction::CompactionPolicy`] and [`config::LsmConfig`].
+
+pub mod compaction;
+pub mod config;
+pub mod level;
+pub mod merge;
+pub mod sstable;
+pub mod stats;
+pub mod tree;
+
+pub use compaction::{
+    CompactionPolicy, CompactionTask, FileSelection, PeriodicFullCompactionPolicy,
+    SaturationPolicy, TreeView,
+};
+pub use config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
+pub use level::{Level, Run};
+pub use merge::{merge_entries, MergeOutput};
+pub use sstable::{DeleteTile, PageHandle, SecondaryDeleteStats, SsTable, SsTableMeta};
+pub use stats::{ContentSnapshot, TreeStats};
+pub use tree::LsmTree;

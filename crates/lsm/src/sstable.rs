@@ -1,0 +1,793 @@
+//! Sorted immutable files ("SSTables") with the Key Weaving Storage Layout.
+//!
+//! Every file is a sequence of **delete tiles**; a tile is a sequence of `h`
+//! pages (paper §4.2.1):
+//!
+//! * files within a level are sorted and non-overlapping on the sort key `S`;
+//! * delete tiles within a file are sorted on `S`;
+//! * **pages within a delete tile are sorted on the delete key `D`**;
+//! * entries within a page are sorted on `S`.
+//!
+//! With `h = 1` a tile is a single page and the layout degenerates to the
+//! classic sort-key-only layout of state-of-the-art engines, so baselines and
+//! Lethe share this one implementation.
+//!
+//! The file keeps per-page Bloom filters and delete fence pointers, and
+//! per-tile fence pointers on `S`, entirely in memory (their footprint is
+//! reported by [`SsTable::memory_footprint`]). Secondary range deletes are
+//! served by [`SsTable::secondary_range_delete`], which drops fully-covered
+//! pages without reading them (*full page drops*) and rewrites at most the
+//! boundary pages of each tile (*partial page drops*).
+
+use crate::config::LsmConfig;
+use lethe_storage::{
+    BloomFilter, DeleteFence, DeleteFences, DeleteKey, Entry, FencePointers, IoStats, Page,
+    PageId, Result, SeqNum, SortKey, StorageBackend, Timestamp,
+};
+
+/// In-memory handle to one on-device page.
+#[derive(Debug, Clone)]
+pub struct PageHandle {
+    /// Device page id.
+    pub id: PageId,
+    /// Bloom filter over the page's sort keys.
+    pub bloom: BloomFilter,
+    /// Smallest sort key stored in the page.
+    pub min_sort: SortKey,
+    /// Largest sort key stored in the page.
+    pub max_sort: SortKey,
+    /// Smallest delete key stored in the page.
+    pub min_delete: DeleteKey,
+    /// Largest delete key stored in the page.
+    pub max_delete: DeleteKey,
+    /// Number of entries in the page.
+    pub num_entries: usize,
+    /// Number of tombstones (point + range) in the page.
+    pub num_tombstones: usize,
+    /// Encoded size of the page's entries in bytes.
+    pub data_bytes: usize,
+}
+
+impl PageHandle {
+    fn from_page(id: PageId, page: &Page, bits_per_key: f64) -> Self {
+        let mut bloom = BloomFilter::new(page.len().max(1), bits_per_key);
+        for e in page.entries() {
+            bloom.insert(e.sort_key);
+        }
+        PageHandle {
+            id,
+            bloom,
+            min_sort: page.min_sort_key().unwrap_or(0),
+            max_sort: page.max_sort_key().unwrap_or(0),
+            min_delete: page.min_delete_key().unwrap_or(0),
+            max_delete: page.max_delete_key().unwrap_or(0),
+            num_entries: page.len(),
+            num_tombstones: page.tombstone_count(),
+            data_bytes: page.data_size(),
+        }
+    }
+}
+
+/// A delete tile: `h` pages whose union covers a contiguous range of sort
+/// keys, internally ordered by delete key.
+#[derive(Debug, Clone)]
+pub struct DeleteTile {
+    /// Page handles in delete-key order.
+    pub pages: Vec<PageHandle>,
+    /// Per-page delete-key bounds (the *delete fence pointers*).
+    pub delete_fences: DeleteFences,
+    /// Smallest sort key in the tile.
+    pub min_sort: SortKey,
+    /// Largest sort key in the tile.
+    pub max_sort: SortKey,
+}
+
+impl DeleteTile {
+    fn from_pages(pages: Vec<PageHandle>) -> Self {
+        let delete_fences = DeleteFences::new(
+            pages.iter().map(|p| DeleteFence { min: p.min_delete, max: p.max_delete }).collect(),
+        );
+        let min_sort = pages.iter().map(|p| p.min_sort).min().unwrap_or(0);
+        let max_sort = pages.iter().map(|p| p.max_sort).max().unwrap_or(0);
+        DeleteTile { pages, delete_fences, min_sort, max_sort }
+    }
+
+    /// Number of entries across all pages of the tile.
+    pub fn num_entries(&self) -> usize {
+        self.pages.iter().map(|p| p.num_entries).sum()
+    }
+}
+
+/// Immutable metadata describing a file.
+#[derive(Debug, Clone)]
+pub struct SsTableMeta {
+    /// Unique file id assigned by the tree.
+    pub id: u64,
+    /// Total number of entries (including tombstones) in the file.
+    pub num_entries: u64,
+    /// Number of point tombstones (RocksDB's `num_deletes`).
+    pub num_point_tombstones: u64,
+    /// Number of range tombstones stored in the file's range-tombstone block.
+    pub num_range_tombstones: u64,
+    /// Encoded data size of the file in bytes.
+    pub data_bytes: u64,
+    /// Smallest sort key in the file.
+    pub min_sort: SortKey,
+    /// Largest sort key in the file.
+    pub max_sort: SortKey,
+    /// Smallest delete key in the file.
+    pub min_delete: DeleteKey,
+    /// Largest delete key in the file.
+    pub max_delete: DeleteKey,
+    /// Logical time the file was created (flush or compaction output).
+    pub created_at: Timestamp,
+    /// Insertion time of the oldest tombstone contained in the file; `None`
+    /// when the file holds no tombstones. The tombstone age `a_max` of the
+    /// paper is `now - oldest_tombstone_ts`.
+    pub oldest_tombstone_ts: Option<Timestamp>,
+    /// Largest sequence number stored in the file.
+    pub max_seqnum: SeqNum,
+}
+
+/// One immutable sorted file of the tree.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    /// File metadata (the inputs to FADE's `a_max` and `b`).
+    pub meta: SsTableMeta,
+    /// Delete tiles, sorted on the sort key.
+    pub tiles: Vec<DeleteTile>,
+    /// Fence pointers on the sort key, one per delete tile.
+    pub tile_fences: FencePointers,
+    /// The file's range-tombstone block (kept in memory; range tombstones are
+    /// rare and tiny).
+    pub range_tombstones: Vec<Entry>,
+}
+
+/// Outcome counters of one secondary range delete over one file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SecondaryDeleteStats {
+    /// Pages dropped in their entirety without being read.
+    pub full_page_drops: u64,
+    /// Pages read, filtered and rewritten because the delete range only
+    /// partially covered them.
+    pub partial_page_drops: u64,
+    /// Pages left untouched.
+    pub pages_untouched: u64,
+    /// Entries removed from the file.
+    pub entries_deleted: u64,
+}
+
+impl SecondaryDeleteStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &SecondaryDeleteStats) {
+        self.full_page_drops += other.full_page_drops;
+        self.partial_page_drops += other.partial_page_drops;
+        self.pages_untouched += other.pages_untouched;
+        self.entries_deleted += other.entries_deleted;
+    }
+}
+
+impl SsTable {
+    /// Builds a file from entries already sorted on the sort key (newest
+    /// version per key only — the tree deduplicates before building) and a
+    /// list of range tombstones, writing its pages to `backend`.
+    ///
+    /// `oldest_tombstone_ts` is the insertion time of the oldest tombstone
+    /// among the inputs that ended up in this file; the caller (flush or
+    /// compaction) tracks it.
+    pub fn build(
+        id: u64,
+        entries: Vec<Entry>,
+        range_tombstones: Vec<Entry>,
+        created_at: Timestamp,
+        oldest_tombstone_ts: Option<Timestamp>,
+        config: &LsmConfig,
+        backend: &dyn StorageBackend,
+    ) -> Result<SsTable> {
+        debug_assert!(entries.windows(2).all(|w| w[0].sort_key <= w[1].sort_key));
+        let entries_per_page = config.entries_per_page.max(1);
+        let entries_per_tile = config.entries_per_tile().max(1);
+
+        let num_entries = (entries.len() + range_tombstones.len()) as u64;
+        let num_point_tombstones = entries.iter().filter(|e| e.is_point_tombstone()).count() as u64;
+        let num_range_tombstones = range_tombstones.len() as u64;
+        let data_bytes: u64 = entries.iter().map(|e| e.encoded_size() as u64).sum::<u64>()
+            + range_tombstones.iter().map(|e| e.encoded_size() as u64).sum::<u64>();
+        // the file's key range covers both its point entries and the spans of
+        // its range tombstones, so overlap-based file selection never misses
+        // files whose range tombstones cover keys beyond their point entries
+        let min_sort = entries
+            .first()
+            .map(|e| e.sort_key)
+            .into_iter()
+            .chain(range_tombstones.iter().map(|t| t.sort_key))
+            .min()
+            .unwrap_or(0);
+        let max_sort = entries
+            .last()
+            .map(|e| e.sort_key)
+            .into_iter()
+            .chain(range_tombstones.iter().filter_map(|t| t.range_end().map(|e| e.saturating_sub(1))))
+            .max()
+            .unwrap_or(0);
+        let min_delete = entries.iter().map(|e| e.delete_key).min().unwrap_or(0);
+        let max_delete = entries.iter().map(|e| e.delete_key).max().unwrap_or(0);
+        let max_seqnum = entries
+            .iter()
+            .map(|e| e.seqnum)
+            .chain(range_tombstones.iter().map(|e| e.seqnum))
+            .max()
+            .unwrap_or(0);
+
+        // Key weaving: chunk the S-sorted stream into tiles of h·B entries;
+        // inside each tile order by D, cut pages of B entries, and let the
+        // page itself re-sort its contents on S.
+        let mut tiles = Vec::new();
+        let mut tile_mins = Vec::new();
+        let mut idx = 0usize;
+        while idx < entries.len() {
+            let end = (idx + entries_per_tile).min(entries.len());
+            let mut tile_entries: Vec<Entry> = entries[idx..end].to_vec();
+            let tile_min_sort = tile_entries.iter().map(|e| e.sort_key).min().unwrap_or(0);
+            tile_entries.sort_by_key(|e| e.delete_key);
+            let mut pages = Vec::new();
+            for chunk in tile_entries.chunks(entries_per_page) {
+                let page = Page::new(chunk.to_vec());
+                let pid = backend.write_page(&page)?;
+                pages.push(PageHandle::from_page(pid, &page, config.bits_per_key));
+            }
+            tiles.push(DeleteTile::from_pages(pages));
+            tile_mins.push(tile_min_sort);
+            idx = end;
+        }
+
+        Ok(SsTable {
+            meta: SsTableMeta {
+                id,
+                num_entries,
+                num_point_tombstones,
+                num_range_tombstones,
+                data_bytes,
+                min_sort,
+                max_sort,
+                min_delete,
+                max_delete,
+                created_at,
+                oldest_tombstone_ts,
+                max_seqnum,
+            },
+            tiles,
+            tile_fences: FencePointers::new(tile_mins),
+            range_tombstones,
+        })
+    }
+
+    /// Number of tombstones (point + range) in the file.
+    pub fn tombstone_count(&self) -> u64 {
+        self.meta.num_point_tombstones + self.meta.num_range_tombstones
+    }
+
+    /// `true` if the file contains at least one tombstone.
+    pub fn has_tombstones(&self) -> bool {
+        self.tombstone_count() > 0
+    }
+
+    /// Number of pages in the file.
+    pub fn page_count(&self) -> usize {
+        self.tiles.iter().map(|t| t.pages.len()).sum()
+    }
+
+    /// Tombstone age `a_max` of the file at logical time `now`
+    /// (0 for files without tombstones, per the paper).
+    pub fn tombstone_age(&self, now: Timestamp) -> u64 {
+        match self.meta.oldest_tombstone_ts {
+            Some(ts) => now.saturating_sub(ts),
+            None => 0,
+        }
+    }
+
+    /// `true` if the file's sort-key range may contain `key`.
+    pub fn key_in_range(&self, key: SortKey) -> bool {
+        self.meta.num_entries > 0 && key >= self.meta.min_sort && key <= self.meta.max_sort
+    }
+
+    /// `true` if the file's sort-key range overlaps `[lo, hi)`.
+    pub fn overlaps_sort_range(&self, lo: SortKey, hi: SortKey) -> bool {
+        self.meta.num_entries > 0 && lo <= self.meta.max_sort && hi > self.meta.min_sort
+    }
+
+    /// `true` if the file's sort-key range overlaps the other file's range.
+    pub fn overlaps_table(&self, other: &SsTable) -> bool {
+        self.meta.min_sort <= other.meta.max_sort && other.meta.min_sort <= self.meta.max_sort
+    }
+
+    /// In-memory footprint of the file's navigation metadata in bytes
+    /// (Bloom filters + fence pointers + delete fences).
+    pub fn memory_footprint(&self) -> usize {
+        let blooms: usize = self.tiles.iter().flat_map(|t| t.pages.iter()).map(|p| p.bloom.size_bytes()).sum();
+        let delete_fences: usize = self.tiles.iter().map(|t| t.delete_fences.size_bytes()).sum();
+        blooms + delete_fences + self.tile_fences.size_bytes()
+    }
+
+    /// The newest version of `key` stored in this file, if any. Consults the
+    /// range-tombstone block; a covering range tombstone that is newer than
+    /// the point entry is returned as a point tombstone.
+    ///
+    /// Bloom probes and page reads are charged to `stats`.
+    pub fn get(
+        &self,
+        key: SortKey,
+        backend: &dyn StorageBackend,
+        stats: &IoStats,
+    ) -> Result<Option<Entry>> {
+        let mut found: Option<Entry> = None;
+        if self.key_in_range(key) {
+            if let Some(tile_idx) = self.tile_fences.locate(key) {
+                let tile = &self.tiles[tile_idx];
+                // probe the filter of every page in the tile (one hash each)
+                stats.record_bloom_probes(tile.pages.len() as u64);
+                for handle in &tile.pages {
+                    if key < handle.min_sort || key > handle.max_sort {
+                        continue;
+                    }
+                    if !handle.bloom.may_contain(key) {
+                        continue;
+                    }
+                    let page = backend.read_page(handle.id)?;
+                    if let Some(e) = page.get(key) {
+                        found = Some(e.clone());
+                        break;
+                    }
+                    // false positive: fall through to the next page of the tile
+                }
+            }
+        }
+        // range tombstones can shadow the point entry (or apply on their own)
+        let covering = self
+            .range_tombstones
+            .iter()
+            .filter(|t| t.covers(key))
+            .max_by_key(|t| t.seqnum);
+        match (found, covering) {
+            (Some(e), Some(rt)) if rt.seqnum > e.seqnum => {
+                Ok(Some(Entry::point_tombstone(key, rt.seqnum)))
+            }
+            (Some(e), _) => Ok(Some(e)),
+            (None, Some(rt)) => Ok(Some(Entry::point_tombstone(key, rt.seqnum))),
+            (None, None) => Ok(None),
+        }
+    }
+
+    /// Every entry of the file whose sort key lies in `[lo, hi)`, including
+    /// tombstones (the caller merges across files and applies them). All
+    /// pages of every overlapping tile must be read because pages inside a
+    /// tile are ordered on the delete key, not the sort key.
+    pub fn range_scan(
+        &self,
+        lo: SortKey,
+        hi: SortKey,
+        backend: &dyn StorageBackend,
+    ) -> Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        if self.overlaps_sort_range(lo, hi) {
+            if let Some((start, end)) = self.tile_fences.locate_range(lo, hi) {
+                for tile in &self.tiles[start..=end.min(self.tiles.len() - 1)] {
+                    if tile.max_sort < lo || tile.min_sort >= hi {
+                        continue;
+                    }
+                    for handle in &tile.pages {
+                        if handle.max_sort < lo || handle.min_sort >= hi {
+                            continue;
+                        }
+                        let page = backend.read_page(handle.id)?;
+                        out.extend(page.range(lo, hi).iter().cloned());
+                    }
+                }
+            }
+        }
+        for rt in &self.range_tombstones {
+            let end = rt.range_end().unwrap_or(rt.sort_key);
+            if rt.sort_key < hi && end > lo {
+                out.push(rt.clone());
+            }
+        }
+        out.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum)));
+        Ok(out)
+    }
+
+    /// Reads every point entry of the file (used by compactions), sorted on
+    /// the sort key. Range tombstones are available separately via
+    /// [`SsTable::range_tombstones`].
+    pub fn read_all_entries(&self, backend: &dyn StorageBackend) -> Result<Vec<Entry>> {
+        let mut out = Vec::with_capacity(self.meta.num_entries as usize);
+        for tile in &self.tiles {
+            for handle in &tile.pages {
+                let page = backend.read_page(handle.id)?;
+                out.extend(page.into_entries());
+            }
+        }
+        out.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum)));
+        Ok(out)
+    }
+
+    /// Releases every page of the file (after the file was compacted away).
+    /// Errors on already-missing pages are ignored.
+    pub fn release_pages(&self, backend: &dyn StorageBackend) {
+        for tile in &self.tiles {
+            for handle in &tile.pages {
+                let _ = backend.drop_page(handle.id);
+            }
+        }
+    }
+
+    /// Executes a secondary range delete: removes every non-tombstone entry
+    /// whose **delete key** lies in `[d_lo, d_hi)`.
+    ///
+    /// Pages fully covered by the range are dropped without being read; pages
+    /// partially covered are read, filtered and rewritten. Returns the
+    /// surviving file (or `None` if nothing survived) along with drop
+    /// statistics.
+    pub fn secondary_range_delete(
+        &self,
+        d_lo: DeleteKey,
+        d_hi: DeleteKey,
+        config: &LsmConfig,
+        backend: &dyn StorageBackend,
+        now: Timestamp,
+    ) -> Result<(Option<SsTable>, SecondaryDeleteStats)> {
+        let mut stats = SecondaryDeleteStats::default();
+        let mut new_tiles: Vec<DeleteTile> = Vec::with_capacity(self.tiles.len());
+        let mut tile_mins: Vec<SortKey> = Vec::with_capacity(self.tiles.len());
+
+        for tile in &self.tiles {
+            let (full, partial) = tile.delete_fences.classify_range(d_lo, d_hi);
+            let mut surviving: Vec<PageHandle> = Vec::with_capacity(tile.pages.len());
+            for (idx, handle) in tile.pages.iter().enumerate() {
+                if full.contains(&idx) {
+                    // the whole page qualifies, unless it holds tombstones
+                    // which must survive to keep primary-delete persistence
+                    if handle.num_tombstones > 0 {
+                        let page = backend.read_page(handle.id)?;
+                        let (deleted, kept) = page.partition_by_delete_key(d_lo, d_hi);
+                        stats.entries_deleted += deleted.len() as u64;
+                        backend.drop_page(handle.id)?;
+                        if kept.is_empty() {
+                            stats.full_page_drops += 1;
+                        } else {
+                            stats.partial_page_drops += 1;
+                            let new_page = Page::new(kept);
+                            let pid = backend.write_page(&new_page)?;
+                            surviving.push(PageHandle::from_page(pid, &new_page, config.bits_per_key));
+                        }
+                    } else {
+                        stats.entries_deleted += handle.num_entries as u64;
+                        stats.full_page_drops += 1;
+                        backend.drop_page(handle.id)?;
+                    }
+                } else if partial.contains(&idx) {
+                    let page = backend.read_page(handle.id)?;
+                    let (deleted, kept) = page.partition_by_delete_key(d_lo, d_hi);
+                    stats.entries_deleted += deleted.len() as u64;
+                    if deleted.is_empty() {
+                        // the fence over-approximated; nothing actually matched
+                        stats.pages_untouched += 1;
+                        surviving.push(handle.clone());
+                    } else {
+                        backend.drop_page(handle.id)?;
+                        if kept.is_empty() {
+                            stats.full_page_drops += 1;
+                        } else {
+                            stats.partial_page_drops += 1;
+                            let new_page = Page::new(kept);
+                            let pid = backend.write_page(&new_page)?;
+                            surviving.push(PageHandle::from_page(pid, &new_page, config.bits_per_key));
+                        }
+                    }
+                } else {
+                    stats.pages_untouched += 1;
+                    surviving.push(handle.clone());
+                }
+            }
+            if !surviving.is_empty() {
+                let tile = DeleteTile::from_pages(surviving);
+                tile_mins.push(tile.min_sort);
+                new_tiles.push(tile);
+            }
+        }
+
+        if new_tiles.is_empty() && self.range_tombstones.is_empty() {
+            return Ok((None, stats));
+        }
+
+        // recompute the metadata of the surviving file
+        let num_entries: u64 = new_tiles.iter().map(|t| t.num_entries() as u64).sum::<u64>()
+            + self.range_tombstones.len() as u64;
+        let num_point_tombstones: u64 =
+            new_tiles.iter().flat_map(|t| t.pages.iter()).map(|p| p.num_tombstones as u64).sum();
+        let data_bytes: u64 = new_tiles
+            .iter()
+            .flat_map(|t| t.pages.iter())
+            .map(|p| p.data_bytes as u64)
+            .sum::<u64>()
+            + self.range_tombstones.iter().map(|e| e.encoded_size() as u64).sum::<u64>();
+        // the surviving key range must still cover the spans of the file's
+        // range tombstones, otherwise lookups would skip this file and keys
+        // shadowed by those tombstones would resurface from deeper levels
+        let min_sort = new_tiles
+            .iter()
+            .map(|t| t.min_sort)
+            .chain(self.range_tombstones.iter().map(|t| t.sort_key))
+            .min()
+            .unwrap_or(self.meta.min_sort);
+        let max_sort = new_tiles
+            .iter()
+            .map(|t| t.max_sort)
+            .chain(self.range_tombstones.iter().filter_map(|t| t.range_end().map(|e| e.saturating_sub(1))))
+            .max()
+            .unwrap_or(self.meta.max_sort);
+        let min_delete =
+            new_tiles.iter().flat_map(|t| t.pages.iter()).map(|p| p.min_delete).min().unwrap_or(0);
+        let max_delete =
+            new_tiles.iter().flat_map(|t| t.pages.iter()).map(|p| p.max_delete).max().unwrap_or(0);
+
+        let table = SsTable {
+            meta: SsTableMeta {
+                id: self.meta.id,
+                num_entries,
+                num_point_tombstones,
+                num_range_tombstones: self.meta.num_range_tombstones,
+                data_bytes,
+                min_sort,
+                max_sort,
+                min_delete,
+                max_delete,
+                created_at: now,
+                oldest_tombstone_ts: if num_point_tombstones + self.meta.num_range_tombstones > 0 {
+                    self.meta.oldest_tombstone_ts
+                } else {
+                    None
+                },
+                max_seqnum: self.meta.max_seqnum,
+            },
+            tiles: new_tiles,
+            tile_fences: FencePointers::new(tile_mins),
+            range_tombstones: self.range_tombstones.clone(),
+        };
+        Ok((Some(table), stats))
+    }
+
+    /// Returns every live entry whose **delete key** lies in `[d_lo, d_hi)` —
+    /// a secondary range *lookup* (paper §4.2.5). Only pages whose delete
+    /// fences overlap the range are read.
+    pub fn secondary_range_scan(
+        &self,
+        d_lo: DeleteKey,
+        d_hi: DeleteKey,
+        backend: &dyn StorageBackend,
+    ) -> Result<Vec<Entry>> {
+        let mut out = Vec::new();
+        for tile in &self.tiles {
+            for (idx, handle) in tile.pages.iter().enumerate() {
+                if tile.delete_fences.coverage(idx, d_lo, d_hi)
+                    == lethe_storage::PageCoverage::None
+                {
+                    continue;
+                }
+                let page = backend.read_page(handle.id)?;
+                out.extend(
+                    page.entries()
+                        .iter()
+                        .filter(|e| !e.is_tombstone() && e.delete_key >= d_lo && e.delete_key < d_hi)
+                        .cloned(),
+                );
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lethe_storage::InMemoryBackend;
+
+    fn config(h: usize) -> LsmConfig {
+        let mut c = LsmConfig::small_for_test();
+        c.pages_per_delete_tile = h;
+        c.max_pages_per_file = h * 8;
+        c
+    }
+
+    /// entries with sort key k and delete key (k*37 % 1000) to decorrelate
+    fn entries(n: u64) -> Vec<Entry> {
+        (0..n).map(|k| Entry::put(k, (k * 37) % 1000, k + 1, Bytes::from(vec![b'v'; 16]))).collect()
+    }
+
+    fn build(h: usize, n: u64) -> (SsTable, std::sync::Arc<InMemoryBackend>) {
+        let backend = InMemoryBackend::new_shared();
+        let cfg = config(h);
+        let t = SsTable::build(1, entries(n), vec![], 0, None, &cfg, backend.as_ref()).unwrap();
+        (t, backend)
+    }
+
+    #[test]
+    fn kiwi_layout_invariants() {
+        let (t, backend) = build(4, 64);
+        // tiles sorted on S and non-overlapping
+        for w in t.tiles.windows(2) {
+            assert!(w[0].max_sort < w[1].min_sort);
+        }
+        for tile in &t.tiles {
+            // pages within a tile sorted on D
+            for w in tile.pages.windows(2) {
+                assert!(w[0].max_delete <= w[1].min_delete, "pages must be sorted on delete key");
+            }
+            // entries within a page sorted on S
+            for p in &tile.pages {
+                let page = backend.read_page(p.id).unwrap();
+                let keys: Vec<u64> = page.entries().iter().map(|e| e.sort_key).collect();
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                assert_eq!(keys, sorted);
+            }
+        }
+        assert_eq!(t.meta.num_entries, 64);
+        assert_eq!(t.page_count(), 16);
+        assert_eq!(t.tiles.len(), 4);
+    }
+
+    #[test]
+    fn h_equal_one_is_classic_layout() {
+        let (t, backend) = build(1, 32);
+        assert_eq!(t.tiles.len(), t.page_count());
+        // with one page per tile the file is globally sorted on S
+        let mut all = Vec::new();
+        for tile in &t.tiles {
+            let page = backend.read_page(tile.pages[0].id).unwrap();
+            all.extend(page.entries().iter().map(|e| e.sort_key));
+        }
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(all, sorted);
+    }
+
+    #[test]
+    fn get_finds_every_key_and_rejects_missing() {
+        let (t, backend) = build(4, 100);
+        let stats = IoStats::new_shared();
+        for k in 0..100u64 {
+            let e = t.get(k, backend.as_ref(), &stats).unwrap().unwrap();
+            assert_eq!(e.sort_key, k);
+            assert_eq!(e.delete_key, (k * 37) % 1000);
+        }
+        assert!(t.get(5000, backend.as_ref(), &stats).unwrap().is_none());
+        // probing costs were charged
+        assert!(stats.snapshot().bloom_probes > 0);
+    }
+
+    #[test]
+    fn get_respects_range_tombstone_block() {
+        let backend = InMemoryBackend::new_shared();
+        let cfg = config(2);
+        let rt = Entry::range_tombstone(10, 20, 1000);
+        let t = SsTable::build(1, entries(30), vec![rt], 0, Some(5), &cfg, backend.as_ref()).unwrap();
+        let stats = IoStats::new_shared();
+        // key 15 was written with seqnum 16 < 1000 → shadowed by the range tombstone
+        let e = t.get(15, backend.as_ref(), &stats).unwrap().unwrap();
+        assert!(e.is_tombstone());
+        // key 25 unaffected
+        assert!(!t.get(25, backend.as_ref(), &stats).unwrap().unwrap().is_tombstone());
+        // key 12 never written but covered → reported as tombstone
+        assert_eq!(t.meta.num_range_tombstones, 1);
+        assert!(t.has_tombstones());
+        assert_eq!(t.tombstone_age(105), 100);
+    }
+
+    #[test]
+    fn range_scan_returns_sorted_slice() {
+        let (t, backend) = build(4, 200);
+        let got = t.range_scan(50, 70, backend.as_ref()).unwrap();
+        let keys: Vec<u64> = got.iter().map(|e| e.sort_key).collect();
+        assert_eq!(keys, (50..70).collect::<Vec<u64>>());
+        assert!(t.range_scan(1000, 2000, backend.as_ref()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn read_all_entries_roundtrips() {
+        let (t, backend) = build(8, 128);
+        let all = t.read_all_entries(backend.as_ref()).unwrap();
+        assert_eq!(all.len(), 128);
+        assert!(all.windows(2).all(|w| w[0].sort_key <= w[1].sort_key));
+    }
+
+    #[test]
+    fn secondary_range_delete_uses_full_drops_on_uncorrelated_data() {
+        // delete keys uniformly cover [0, 1000); delete 40% of that domain
+        let (t, backend) = build(8, 512);
+        let before_reads = backend.stats().snapshot().pages_read;
+        let (survivor, stats) =
+            t.secondary_range_delete(0, 400, &config(8), backend.as_ref(), 1).unwrap();
+        let survivor = survivor.expect("not everything deleted");
+        assert!(stats.full_page_drops > 0, "expected some full page drops: {stats:?}");
+        assert!(stats.entries_deleted > 150);
+        // full drops do not read pages; only partial drops do
+        let reads = backend.stats().snapshot().pages_read - before_reads;
+        assert_eq!(reads, stats.partial_page_drops, "only partial drops should read pages");
+        // surviving file has no entry with delete key in [0, 400)
+        let remaining = survivor.read_all_entries(backend.as_ref()).unwrap();
+        assert!(remaining.iter().all(|e| e.delete_key >= 400));
+        assert_eq!(
+            remaining.len() as u64 + stats.entries_deleted,
+            512,
+            "deleted + kept must cover all entries"
+        );
+    }
+
+    #[test]
+    fn secondary_range_delete_everything_returns_none() {
+        let (t, backend) = build(4, 64);
+        let (survivor, stats) =
+            t.secondary_range_delete(0, u64::MAX, &config(4), backend.as_ref(), 1).unwrap();
+        assert!(survivor.is_none());
+        assert_eq!(stats.entries_deleted, 64);
+        assert_eq!(backend.live_pages(), 0);
+    }
+
+    #[test]
+    fn secondary_range_delete_preserves_tombstones() {
+        let backend = InMemoryBackend::new_shared();
+        let cfg = config(2);
+        let mut es = entries(16);
+        es.push(Entry::point_tombstone(100, 200));
+        es.sort_by_key(|e| e.sort_key);
+        let t = SsTable::build(1, es, vec![], 0, Some(3), &cfg, backend.as_ref()).unwrap();
+        let (survivor, _) =
+            t.secondary_range_delete(0, u64::MAX, &cfg, backend.as_ref(), 1).unwrap();
+        let survivor = survivor.expect("tombstone must survive");
+        assert_eq!(survivor.meta.num_point_tombstones, 1);
+        let all = survivor.read_all_entries(backend.as_ref()).unwrap();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_point_tombstone());
+    }
+
+    #[test]
+    fn secondary_range_scan_filters_by_delete_key() {
+        let (t, backend) = build(4, 200);
+        let hits = t.secondary_range_scan(100, 200, backend.as_ref()).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|e| e.delete_key >= 100 && e.delete_key < 200));
+        // every qualifying key is found
+        let expected = (0..200u64).filter(|k| (k * 37) % 1000 >= 100 && (k * 37) % 1000 < 200).count();
+        assert_eq!(hits.len(), expected);
+    }
+
+    #[test]
+    fn overlap_and_range_predicates() {
+        let (t, _) = build(2, 50);
+        assert!(t.key_in_range(0));
+        assert!(t.key_in_range(49));
+        assert!(!t.key_in_range(50));
+        assert!(t.overlaps_sort_range(40, 60));
+        assert!(!t.overlaps_sort_range(50, 60));
+        assert!(t.overlaps_sort_range(0, 1));
+    }
+
+    #[test]
+    fn memory_footprint_grows_with_h_metadata() {
+        let (t1, _) = build(1, 256);
+        let (t8, _) = build(8, 256);
+        // per-tile fence pointers shrink as h grows, delete fences stay per page
+        assert!(t1.memory_footprint() > 0);
+        assert!(t8.memory_footprint() > 0);
+        assert!(t8.tile_fences.len() < t1.tile_fences.len());
+    }
+
+    #[test]
+    fn release_pages_frees_device() {
+        let (t, backend) = build(2, 32);
+        assert!(backend.live_pages() > 0);
+        t.release_pages(backend.as_ref());
+        assert_eq!(backend.live_pages(), 0);
+    }
+}

@@ -1,0 +1,1183 @@
+//! The LSM tree engine.
+//!
+//! [`LsmTree`] wires together the memtable, the leveled/tiered on-device
+//! structure, a pluggable [`CompactionPolicy`](crate::compaction::CompactionPolicy)
+//! and the KiWi file layout into a complete storage engine: puts, point and
+//! range deletes on the sort key, secondary range deletes on the delete key,
+//! point lookups, range scans, flushing and compaction.
+//!
+//! The same type serves as the state-of-the-art baseline (saturation-driven
+//! policies, `h = 1`, full-tree compaction for secondary deletes) and as the
+//! substrate that the `lethe-core` crate configures into Lethe (FADE policy,
+//! `h > 1`, KiWi page drops).
+
+use crate::compaction::{CompactionPolicy, CompactionTask, TreeView};
+use crate::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
+use crate::level::{Level, Run};
+use crate::merge::merge_entries;
+use crate::sstable::{SecondaryDeleteStats, SsTable};
+use crate::stats::{ContentSnapshot, TreeStats};
+use bytes::Bytes;
+use lethe_storage::{
+    DeleteKey, Entry, EntryKind, Histogram, IoSnapshot, LogicalClock, Result, SeqNum, SortKey,
+    StorageBackend, StorageError, Timestamp, Wal, WalRecord,
+};
+use std::sync::Arc;
+
+/// Safety bound on back-to-back compactions triggered by a single flush.
+const MAX_MAINTENANCE_ROUNDS: usize = 10_000;
+
+/// A complete LSM storage engine instance.
+pub struct LsmTree {
+    config: LsmConfig,
+    backend: Arc<dyn StorageBackend>,
+    clock: LogicalClock,
+    policy: Box<dyn CompactionPolicy>,
+    memtable: lethe_storage::MemTable,
+    /// Insertion time of the oldest tombstone currently buffered.
+    buffer_oldest_tombstone_ts: Option<Timestamp>,
+    levels: Vec<Level>,
+    next_seqnum: SeqNum,
+    next_file_id: u64,
+    stats: TreeStats,
+    sort_key_histogram: Histogram,
+    delete_key_histogram: Histogram,
+    wal: Option<Box<dyn Wal>>,
+}
+
+impl LsmTree {
+    /// Creates an engine on `backend` with the given compaction policy.
+    pub fn new(
+        config: LsmConfig,
+        backend: Arc<dyn StorageBackend>,
+        clock: LogicalClock,
+        policy: Box<dyn CompactionPolicy>,
+    ) -> Result<Self> {
+        config.validate().map_err(StorageError::InvalidOperation)?;
+        let domain = config.key_domain.max(2);
+        Ok(LsmTree {
+            sort_key_histogram: Histogram::new(0, domain, config.histogram_buckets),
+            delete_key_histogram: Histogram::new(0, domain, config.histogram_buckets),
+            config,
+            backend,
+            clock,
+            policy,
+            memtable: lethe_storage::MemTable::new(),
+            buffer_oldest_tombstone_ts: None,
+            levels: Vec::new(),
+            next_seqnum: 1,
+            next_file_id: 1,
+            stats: TreeStats::default(),
+            wal: None,
+        })
+    }
+
+    /// Attaches a write-ahead log; every subsequent mutation is logged before
+    /// it is buffered.
+    pub fn with_wal(mut self, wal: Box<dyn Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// Replays a WAL into the (empty) engine, re-ingesting every record.
+    pub fn recover_from(&mut self, wal: &dyn Wal) -> Result<usize> {
+        let records = wal.replay()?;
+        let n = records.len();
+        for r in records {
+            match r {
+                WalRecord::Put { sort_key, delete_key, value, ts } => {
+                    self.clock.advance_to(ts);
+                    self.put(sort_key, delete_key, value)?;
+                }
+                WalRecord::Delete { sort_key, ts } => {
+                    self.clock.advance_to(ts);
+                    self.delete(sort_key)?;
+                }
+                WalRecord::DeleteRange { start, end, ts } => {
+                    self.clock.advance_to(ts);
+                    self.delete_range(start, end)?;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    // ----------------------------------------------------------------- writes
+
+    /// Inserts (or updates) `sort_key` with the given delete key and value.
+    pub fn put(&mut self, sort_key: SortKey, delete_key: DeleteKey, value: Bytes) -> Result<()> {
+        self.advance_clock_for_ingest();
+        let now = self.clock.now();
+        if let Some(wal) = &self.wal {
+            wal.append(WalRecord::Put { sort_key, delete_key, value: value.clone(), ts: now })?;
+        }
+        let seq = self.next_seq();
+        let entry = Entry::put(sort_key, delete_key, seq, value);
+        self.stats.record_ingest(entry.encoded_size() as u64);
+        self.sort_key_histogram.add(sort_key);
+        self.delete_key_histogram.add(delete_key);
+        self.memtable.put(sort_key, delete_key, seq, entry.value);
+        self.maybe_flush()
+    }
+
+    /// Issues a point delete for `sort_key`. Returns `false` when the delete
+    /// was suppressed as *blind* (the key cannot exist anywhere in the tree —
+    /// only checked when `suppress_blind_deletes` is enabled).
+    pub fn delete(&mut self, sort_key: SortKey) -> Result<bool> {
+        self.advance_clock_for_ingest();
+        if self.config.suppress_blind_deletes && !self.key_may_exist(sort_key)? {
+            self.stats.blind_deletes_suppressed += 1;
+            return Ok(false);
+        }
+        let now = self.clock.now();
+        if let Some(wal) = &self.wal {
+            wal.append(WalRecord::Delete { sort_key, ts: now })?;
+        }
+        let seq = self.next_seq();
+        let entry = Entry::point_tombstone(sort_key, seq);
+        self.stats.record_ingest(entry.encoded_size() as u64);
+        self.stats.point_deletes_issued += 1;
+        self.buffer_oldest_tombstone_ts.get_or_insert(now);
+        self.memtable.delete(sort_key, seq);
+        self.maybe_flush()?;
+        Ok(true)
+    }
+
+    /// Issues a range delete on the **sort key** for `[start, end)`.
+    pub fn delete_range(&mut self, start: SortKey, end: SortKey) -> Result<()> {
+        if end <= start {
+            return Ok(());
+        }
+        self.advance_clock_for_ingest();
+        let now = self.clock.now();
+        if let Some(wal) = &self.wal {
+            wal.append(WalRecord::DeleteRange { start, end, ts: now })?;
+        }
+        let seq = self.next_seq();
+        let entry = Entry::range_tombstone(start, end, seq);
+        self.stats.record_ingest(entry.encoded_size() as u64);
+        self.stats.range_deletes_issued += 1;
+        self.buffer_oldest_tombstone_ts.get_or_insert(now);
+        self.memtable.delete_range(start, end, seq);
+        self.maybe_flush()
+    }
+
+    /// Executes a secondary range delete: removes every entry whose **delete
+    /// key** lies in `[d_lo, d_hi)`, using the strategy selected by
+    /// [`LsmConfig::secondary_delete_mode`].
+    pub fn secondary_range_delete(
+        &mut self,
+        d_lo: DeleteKey,
+        d_hi: DeleteKey,
+    ) -> Result<SecondaryDeleteStats> {
+        self.stats.secondary_range_deletes += 1;
+        // the buffered portion is purged in place in both modes
+        self.memtable.purge_by_delete_key(d_lo, d_hi);
+        let result = match self.config.secondary_delete_mode {
+            SecondaryDeleteMode::KiwiPageDrops => self.secondary_delete_with_drops(d_lo, d_hi),
+            SecondaryDeleteMode::FullTreeCompaction => {
+                self.secondary_delete_with_full_compaction(d_lo, d_hi)
+            }
+        }?;
+        self.stats.secondary_delete.merge(&result);
+        Ok(result)
+    }
+
+    fn secondary_delete_with_drops(
+        &mut self,
+        d_lo: DeleteKey,
+        d_hi: DeleteKey,
+    ) -> Result<SecondaryDeleteStats> {
+        let now = self.clock.now();
+        let mut total = SecondaryDeleteStats::default();
+        for level in &mut self.levels {
+            for run in &mut level.runs {
+                let ids: Vec<u64> = run.tables().iter().map(|t| t.meta.id).collect();
+                for id in ids {
+                    let table = match run.find_by_id(id) {
+                        Some(t) => Arc::clone(t),
+                        None => continue,
+                    };
+                    if table.meta.num_entries == 0
+                        || table.meta.max_delete < d_lo
+                        || table.meta.min_delete >= d_hi
+                    {
+                        continue;
+                    }
+                    let (replacement, stats) = table.secondary_range_delete(
+                        d_lo,
+                        d_hi,
+                        &self.config,
+                        self.backend.as_ref(),
+                        now,
+                    )?;
+                    total.merge(&stats);
+                    run.replace(id, replacement.map(Arc::new));
+                }
+            }
+            level.prune_empty_runs();
+        }
+        Ok(total)
+    }
+
+    fn secondary_delete_with_full_compaction(
+        &mut self,
+        d_lo: DeleteKey,
+        d_hi: DeleteKey,
+    ) -> Result<SecondaryDeleteStats> {
+        // the state-of-the-art path: read, merge and rewrite the whole tree
+        let mut stats = SecondaryDeleteStats::default();
+        let before_entries: u64 = self.levels.iter().map(|l| l.total_entries()).sum();
+        self.full_tree_compaction_filtered(Some((d_lo, d_hi)))?;
+        let after_entries: u64 = self.levels.iter().map(|l| l.total_entries()).sum();
+        stats.entries_deleted = before_entries.saturating_sub(after_entries);
+        // every surviving page was read and rewritten
+        stats.partial_page_drops =
+            self.levels.iter().flat_map(|l| l.all_tables()).map(|t| t.page_count() as u64).sum();
+        Ok(stats)
+    }
+
+    /// Forces a full-tree compaction (reads, merges and rewrites every file
+    /// into the last level). This is the operation Lethe is designed to make
+    /// unnecessary; it is exposed for the baselines and experiments.
+    pub fn force_full_compaction(&mut self) -> Result<()> {
+        self.full_tree_compaction_filtered(None)
+    }
+
+    // ----------------------------------------------------------------- reads
+
+    /// Point lookup: returns the current value of `sort_key`, or `None` if
+    /// the key does not exist or has been deleted.
+    pub fn get(&mut self, sort_key: SortKey) -> Result<Option<Bytes>> {
+        self.stats.point_lookups += 1;
+        Ok(match self.get_entry(sort_key)? {
+            Some(e) if e.kind == EntryKind::Put => Some(e.value),
+            _ => None,
+        })
+    }
+
+    /// Internal point lookup returning the newest version (possibly a
+    /// tombstone) of `sort_key`.
+    fn get_entry(&self, sort_key: SortKey) -> Result<Option<Entry>> {
+        if let Some(e) = self.memtable.get(sort_key) {
+            return Ok(Some(e));
+        }
+        let stats = self.backend.stats();
+        for level in &self.levels {
+            for run in &level.runs {
+                // a key normally maps to one file, but range tombstones can
+                // stretch a file's range over its neighbours
+                let mut candidate: Option<Entry> = None;
+                for table in run.tables() {
+                    if !table.key_in_range(sort_key) {
+                        continue;
+                    }
+                    if let Some(e) = table.get(sort_key, self.backend.as_ref(), &stats)? {
+                        candidate = match candidate {
+                            Some(c) if c.seqnum >= e.seqnum => Some(c),
+                            _ => Some(e),
+                        };
+                    }
+                }
+                if candidate.is_some() {
+                    return Ok(candidate);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range lookup on the sort key: returns the live `(key, value)` pairs in
+    /// `[lo, hi)`, newest version per key, in key order.
+    pub fn range(&mut self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
+        self.stats.range_lookups += 1;
+        if hi <= lo {
+            return Ok(Vec::new());
+        }
+        let mut inputs: Vec<Vec<Entry>> = vec![self.memtable.range(lo, hi)];
+        let mut rts: Vec<Entry> = self.memtable.range_tombstones().to_vec();
+        for level in &self.levels {
+            for run in &level.runs {
+                for table in run.overlapping_range(lo, hi) {
+                    inputs.push(table.range_scan(lo, hi, self.backend.as_ref())?);
+                    rts.extend(table.range_tombstones.iter().cloned());
+                }
+            }
+        }
+        let merged = merge_entries(inputs, rts, true);
+        Ok(merged
+            .entries
+            .into_iter()
+            .filter(|e| e.sort_key >= lo && e.sort_key < hi)
+            .map(|e| (e.sort_key, e.value))
+            .collect())
+    }
+
+    /// Secondary range lookup: returns every live entry whose **delete key**
+    /// lies in `[d_lo, d_hi)`.
+    pub fn secondary_range_scan(&mut self, d_lo: DeleteKey, d_hi: DeleteKey) -> Result<Vec<Entry>> {
+        self.stats.range_lookups += 1;
+        let mut hits: Vec<Entry> = self
+            .memtable
+            .iter()
+            .filter(|e| !e.is_tombstone() && e.delete_key >= d_lo && e.delete_key < d_hi)
+            .cloned()
+            .collect();
+        for level in &self.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    hits.extend(table.secondary_range_scan(d_lo, d_hi, self.backend.as_ref())?);
+                }
+            }
+        }
+        // keep only the globally newest version of each key, and only if that
+        // version is live and still qualifies
+        hits.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum)));
+        let mut out: Vec<Entry> = Vec::with_capacity(hits.len());
+        for e in hits {
+            if out.last().map(|p: &Entry| p.sort_key) == Some(e.sort_key) {
+                continue;
+            }
+            // verify this is the newest version tree-wide (it may have been
+            // updated or deleted by a newer entry outside the delete-key range)
+            if let Some(newest) = self.get_entry(e.sort_key)? {
+                if newest.seqnum == e.seqnum && newest.kind == EntryKind::Put {
+                    out.push(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if `sort_key` may exist in the tree (memtable check
+    /// plus Bloom probes; no page reads). Used for blind-delete suppression.
+    pub fn key_may_exist(&self, sort_key: SortKey) -> Result<bool> {
+        if self.memtable.get(sort_key).is_some() {
+            return Ok(true);
+        }
+        let stats = self.backend.stats();
+        for level in &self.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    if !table.key_in_range(sort_key) {
+                        continue;
+                    }
+                    if !table.range_tombstones.is_empty() {
+                        return Ok(true);
+                    }
+                    if let Some(tile_idx) = table.tile_fences.locate(sort_key) {
+                        let tile = &table.tiles[tile_idx];
+                        stats.record_bloom_probes(tile.pages.len() as u64);
+                        if tile.pages.iter().any(|p| {
+                            sort_key >= p.min_sort
+                                && sort_key <= p.max_sort
+                                && p.bloom.may_contain(sort_key)
+                        }) {
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // ------------------------------------------------------------ flush/compact
+
+    fn next_seq(&mut self) -> SeqNum {
+        let s = self.next_seqnum;
+        self.next_seqnum += 1;
+        s
+    }
+
+    fn next_file_id(&mut self) -> u64 {
+        let id = self.next_file_id;
+        self.next_file_id += 1;
+        id
+    }
+
+    fn advance_clock_for_ingest(&self) {
+        if self.config.auto_advance_clock {
+            self.clock.advance_micros(self.config.micros_per_ingest());
+        }
+    }
+
+    fn maybe_flush(&mut self) -> Result<()> {
+        if self.memtable.size_bytes() >= self.config.buffer_capacity_bytes() {
+            self.flush()?;
+            self.maintain()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the memtable to the first disk level and runs the compaction
+    /// loop. A no-op when the buffer is empty.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let (entries, rts) = self.memtable.drain_sorted();
+        let oldest_ts = self.buffer_oldest_tombstone_ts.take();
+        if let Some(wal) = &self.wal {
+            wal.truncate()?;
+        }
+        self.stats.flushes += 1;
+        if self.levels.is_empty() {
+            self.levels.push(Level::new());
+        }
+        match self.config.merge_policy {
+            MergePolicy::Tiering => {
+                // the flushed buffer becomes a fresh run (newest first)
+                let tables = self.build_tables(entries, rts, oldest_ts)?;
+                self.levels[0].runs.insert(0, Run::new(tables));
+            }
+            MergePolicy::Leveling => {
+                // greedy sort-merge with the resident run of level 1
+                let mut inputs = vec![entries];
+                let mut all_rts = rts;
+                let mut oldest = oldest_ts;
+                let resident = std::mem::take(&mut self.levels[0]);
+                let mut victim_tables = Vec::new();
+                for run in resident.runs {
+                    for table in run.tables() {
+                        inputs.push(table.read_all_entries(self.backend.as_ref())?);
+                        all_rts.extend(table.range_tombstones.iter().cloned());
+                        oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
+                        victim_tables.push(Arc::clone(table));
+                    }
+                }
+                let drop_tombstones = self.deepest_nonempty_level().map_or(true, |d| d == 0);
+                let merged = merge_entries(inputs, all_rts, drop_tombstones);
+                for t in victim_tables {
+                    t.release_pages(self.backend.as_ref());
+                }
+                let oldest = if drop_tombstones { None } else { oldest };
+                let tables = self.build_tables(merged.entries, merged.range_tombstones, oldest)?;
+                self.levels[0] = Level::new();
+                if !tables.is_empty() {
+                    self.levels[0].runs.push(Run::new(tables));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the compaction loop: repeatedly asks the policy for work until it
+    /// reports none is needed.
+    pub fn maintain(&mut self) -> Result<()> {
+        for _ in 0..MAX_MAINTENANCE_ROUNDS {
+            self.policy.on_tree_growth(self.levels.len());
+            let task = {
+                let view = TreeView {
+                    levels: &self.levels,
+                    capacities: (0..self.levels.len())
+                        .map(|i| self.config.level_capacity_bytes(i + 1))
+                        .collect(),
+                    now: self.clock.now(),
+                    config: &self.config,
+                    sort_key_histogram: &self.sort_key_histogram,
+                };
+                self.policy.pick(&view)
+            };
+            match task {
+                None => break,
+                Some(CompactionTask::LeveledPartial { level, file_id }) => {
+                    self.compact_files(level, &[file_id])?;
+                }
+                Some(CompactionTask::LeveledMulti { level, file_ids }) => {
+                    self.compact_files(level, &file_ids)?;
+                }
+                Some(CompactionTask::TieredLevel { level }) => {
+                    self.compact_tier(level)?;
+                }
+                Some(CompactionTask::FullTree) => {
+                    self.full_tree_compaction_filtered(None)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn deepest_nonempty_level(&self) -> Option<usize> {
+        (0..self.levels.len()).rev().find(|&i| !self.levels[i].is_empty())
+    }
+
+    fn ensure_level(&mut self, idx: usize) {
+        while self.levels.len() <= idx {
+            self.levels.push(Level::new());
+        }
+    }
+
+    /// Builds one or more files (each at most `max_pages_per_file` pages)
+    /// from a merged, sorted entry stream.
+    fn build_tables(
+        &mut self,
+        entries: Vec<Entry>,
+        range_tombstones: Vec<Entry>,
+        oldest_tombstone_ts: Option<Timestamp>,
+    ) -> Result<Vec<Arc<SsTable>>> {
+        if entries.is_empty() && range_tombstones.is_empty() {
+            return Ok(Vec::new());
+        }
+        let per_file = self.config.entries_per_file().max(1);
+        let now = self.clock.now();
+        let mut tables = Vec::new();
+        let chunks: Vec<Vec<Entry>> = if entries.is_empty() {
+            vec![Vec::new()]
+        } else {
+            entries.chunks(per_file).map(|c| c.to_vec()).collect()
+        };
+        let n_chunks = chunks.len();
+        let mut rts_remaining = range_tombstones;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            // attach range tombstones that start within this chunk's range
+            // (the last chunk absorbs whatever is left)
+            let rts: Vec<Entry> = if i + 1 == n_chunks {
+                std::mem::take(&mut rts_remaining)
+            } else {
+                let upper = chunk.last().map(|e| e.sort_key).unwrap_or(0);
+                let (take, keep): (Vec<Entry>, Vec<Entry>) =
+                    rts_remaining.into_iter().partition(|rt| rt.sort_key <= upper);
+                rts_remaining = keep;
+                take
+            };
+            let has_tombstones = rts.iter().len() > 0 || chunk.iter().any(|e| e.is_tombstone());
+            let id = self.next_file_id();
+            let table = SsTable::build(
+                id,
+                chunk,
+                rts,
+                now,
+                if has_tombstones { oldest_tombstone_ts } else { None },
+                &self.config,
+                self.backend.as_ref(),
+            )?;
+            if table.meta.num_entries > 0 {
+                tables.push(Arc::new(table));
+            }
+        }
+        Ok(tables)
+    }
+
+    /// Merges one or more files of `level` into `level + 1` (leveling
+    /// partial compaction). FADE's delete-driven trigger passes every
+    /// TTL-expired file of the level so they are compacted in a single job.
+    fn compact_files(&mut self, level: usize, file_ids: &[u64]) -> Result<()> {
+        let sources: Vec<Arc<SsTable>> = {
+            let run = match self.levels[level].runs.first() {
+                Some(r) => r,
+                None => return Ok(()),
+            };
+            file_ids.iter().filter_map(|id| run.find_by_id(*id).map(Arc::clone)).collect()
+        };
+        if sources.is_empty() {
+            return Ok(());
+        }
+        let now = self.clock.now();
+        let ttl_trigger = self
+            .config
+            .delete_persistence_threshold
+            .map(|dth| {
+                sources
+                    .iter()
+                    .any(|s| s.has_tombstones() && s.tombstone_age(now) >= dth / 2)
+            })
+            .unwrap_or(false);
+
+        let deepest = self.deepest_nonempty_level().unwrap_or(level);
+        // Files picked from the deepest level while that level still has
+        // headroom are being compacted only to persist their tombstones (a
+        // TTL-driven compaction): rewrite them in place instead of growing
+        // the tree by a level. A saturated deepest level still spills down.
+        let saturated = self.levels[level].total_bytes() > self.config.level_capacity_bytes(level + 1);
+        let dst_level = if level == deepest && !saturated { level } else { level + 1 };
+        self.ensure_level(dst_level);
+
+        let overlapping: Vec<Arc<SsTable>> = if dst_level == level {
+            Vec::new()
+        } else {
+            self.levels[dst_level]
+                .runs
+                .first()
+                .map(|r| {
+                    r.tables()
+                        .iter()
+                        .filter(|t| sources.iter().any(|s| t.overlaps_table(s)))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+
+        let drop_tombstones = dst_level >= deepest;
+
+        let mut inputs = Vec::with_capacity(sources.len() + overlapping.len());
+        let mut rts = Vec::new();
+        let mut oldest: Option<Timestamp> = None;
+        let mut input_entries = 0u64;
+        for table in sources.iter().chain(overlapping.iter()) {
+            inputs.push(table.read_all_entries(self.backend.as_ref())?);
+            rts.extend(table.range_tombstones.iter().cloned());
+            oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
+            input_entries += table.meta.num_entries;
+        }
+        let merged = merge_entries(inputs, rts, drop_tombstones);
+
+        // detach inputs and release their pages
+        if let Some(run) = self.levels[level].runs.first_mut() {
+            run.remove_ids(file_ids);
+        }
+        self.levels[level].prune_empty_runs();
+        if dst_level != level {
+            if let Some(run) = self.levels[dst_level].runs.first_mut() {
+                run.remove_ids(&overlapping.iter().map(|t| t.meta.id).collect::<Vec<_>>());
+            }
+            self.levels[dst_level].prune_empty_runs();
+        }
+        for t in sources.iter().chain(overlapping.iter()) {
+            t.release_pages(self.backend.as_ref());
+        }
+
+        let oldest = if drop_tombstones { None } else { oldest };
+        let tables = self.build_tables(merged.entries, merged.range_tombstones, oldest)?;
+        if !tables.is_empty() {
+            if self.levels[dst_level].runs.is_empty() {
+                self.levels[dst_level].runs.push(Run::default());
+            }
+            self.levels[dst_level].runs[0].add_tables(tables);
+        }
+        self.stats.compactions += 1;
+        if ttl_trigger {
+            self.stats.ttl_triggered_compactions += 1;
+        }
+        self.stats.entries_compacted += input_entries;
+        Ok(())
+    }
+
+    /// Merges every run of `level` into one run appended to `level + 1`
+    /// (tiering compaction).
+    fn compact_tier(&mut self, level: usize) -> Result<()> {
+        self.ensure_level(level + 1);
+        let source_runs = std::mem::take(&mut self.levels[level].runs);
+        if source_runs.is_empty() {
+            return Ok(());
+        }
+        // Tiering merges only the source level's runs; runs already resident
+        // in deeper levels are not part of the merge, so tombstones may only
+        // be discarded when *nothing* exists at the destination level or
+        // below — otherwise an older version they cover could resurface.
+        let drop_tombstones = self.deepest_nonempty_level().map_or(true, |d| d < level + 1);
+        let mut inputs = Vec::new();
+        let mut rts = Vec::new();
+        let mut oldest: Option<Timestamp> = None;
+        let mut input_entries = 0u64;
+        let mut victims = Vec::new();
+        for run in &source_runs {
+            for table in run.tables() {
+                inputs.push(table.read_all_entries(self.backend.as_ref())?);
+                rts.extend(table.range_tombstones.iter().cloned());
+                oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
+                input_entries += table.meta.num_entries;
+                victims.push(Arc::clone(table));
+            }
+        }
+        let merged = merge_entries(inputs, rts, drop_tombstones);
+        for t in victims {
+            t.release_pages(self.backend.as_ref());
+        }
+        let oldest = if drop_tombstones { None } else { oldest };
+        let tables = self.build_tables(merged.entries, merged.range_tombstones, oldest)?;
+        if !tables.is_empty() {
+            self.levels[level + 1].runs.insert(0, Run::new(tables));
+        }
+        self.stats.compactions += 1;
+        self.stats.entries_compacted += input_entries;
+        Ok(())
+    }
+
+    /// Reads, merges and rewrites the entire tree into its last level,
+    /// optionally filtering out entries whose delete key falls in the given
+    /// range (the state-of-the-art implementation of secondary range
+    /// deletes).
+    fn full_tree_compaction_filtered(
+        &mut self,
+        delete_key_range: Option<(DeleteKey, DeleteKey)>,
+    ) -> Result<()> {
+        let deepest = match self.deepest_nonempty_level() {
+            Some(d) => d,
+            None => return Ok(()),
+        };
+        let mut inputs = Vec::new();
+        let mut rts = Vec::new();
+        let mut input_entries = 0u64;
+        let mut victims = Vec::new();
+        for level in &self.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    inputs.push(table.read_all_entries(self.backend.as_ref())?);
+                    rts.extend(table.range_tombstones.iter().cloned());
+                    input_entries += table.meta.num_entries;
+                    victims.push(Arc::clone(table));
+                }
+            }
+        }
+        let mut merged = merge_entries(inputs, rts, true);
+        if let Some((d_lo, d_hi)) = delete_key_range {
+            merged.entries.retain(|e| e.delete_key < d_lo || e.delete_key >= d_hi);
+        }
+        for level in &mut self.levels {
+            *level = Level::new();
+        }
+        for t in victims {
+            t.release_pages(self.backend.as_ref());
+        }
+        let tables = self.build_tables(merged.entries, Vec::new(), None)?;
+        if !tables.is_empty() {
+            self.ensure_level(deepest);
+            self.levels[deepest].runs.push(Run::new(tables));
+        }
+        self.stats.compactions += 1;
+        self.stats.full_tree_compactions += 1;
+        self.stats.entries_compacted += input_entries;
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- introspection
+
+    /// Engine configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+
+    /// The logical clock driving TTLs and tombstone ages.
+    pub fn clock(&self) -> &LogicalClock {
+        &self.clock
+    }
+
+    /// Lifetime operation counters.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// Snapshot of the device's I/O counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.backend.stats().snapshot()
+    }
+
+    /// The storage device the tree writes to.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    /// Number of disk levels currently allocated.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of files per level (index 0 = first disk level).
+    pub fn files_per_level(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.file_count()).collect()
+    }
+
+    /// Total entries currently stored on disk (including tombstones and
+    /// stale versions).
+    pub fn disk_entries(&self) -> u64 {
+        self.levels.iter().map(|l| l.total_entries()).sum()
+    }
+
+    /// Total bytes currently stored on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.levels.iter().map(|l| l.total_bytes()).sum()
+    }
+
+    /// Number of entries currently buffered in memory.
+    pub fn buffered_entries(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Read-only access to the disk levels (used by policies' tests and the
+    /// benchmark harness for white-box assertions).
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Write amplification so far (paper §3.2.3): device bytes written beyond
+    /// the bytes of new/modified data, relative to the latter.
+    pub fn write_amplification(&self) -> f64 {
+        self.stats.write_amplification(self.io_snapshot().bytes_written)
+    }
+
+    /// In-memory footprint of all filters and fence pointers, in bytes.
+    pub fn metadata_footprint(&self) -> u64 {
+        self.levels
+            .iter()
+            .flat_map(|l| l.all_tables())
+            .map(|t| t.memory_footprint() as u64)
+            .sum()
+    }
+
+    /// Produces a measurement-time snapshot of the tree contents: space
+    /// amplification inputs, tombstone counts and tombstone-age distribution.
+    ///
+    /// Note: this reads every page of the tree through the backend, so take
+    /// an [`LsmTree::io_snapshot`] *before* calling it if you are measuring
+    /// I/O activity.
+    pub fn snapshot_contents(&self) -> Result<ContentSnapshot> {
+        let now = self.clock.now();
+        let mut all: Vec<Entry> = Vec::new();
+        let mut rts: Vec<Entry> = Vec::new();
+        let mut tombstone_file_ages = Vec::new();
+        let mut files = 0usize;
+        let mut metadata_bytes = 0u64;
+        for level in &self.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    files += 1;
+                    metadata_bytes += table.memory_footprint() as u64;
+                    if table.has_tombstones() {
+                        tombstone_file_ages.push((table.tombstone_age(now), table.tombstone_count()));
+                    }
+                    all.extend(table.read_all_entries(self.backend.as_ref())?);
+                    rts.extend(table.range_tombstones.iter().cloned());
+                }
+            }
+        }
+        // include the buffer
+        all.extend(self.memtable.iter().cloned());
+        rts.extend(self.memtable.range_tombstones().iter().cloned());
+
+        let total_entries = (all.len() + rts.len()) as u64;
+        let total_bytes: u64 = all.iter().map(|e| e.encoded_size() as u64).sum::<u64>()
+            + rts.iter().map(|e| e.encoded_size() as u64).sum::<u64>();
+        let tombstones =
+            all.iter().filter(|e| e.is_tombstone()).count() as u64 + rts.len() as u64;
+
+        let merged = merge_entries(vec![all], rts, true);
+        let unique_entries = merged.entries.len() as u64;
+        let unique_bytes: u64 = merged.entries.iter().map(|e| e.encoded_size() as u64).sum();
+
+        Ok(ContentSnapshot {
+            total_bytes,
+            unique_bytes,
+            total_entries,
+            unique_entries,
+            tombstones,
+            tombstone_file_ages,
+            populated_levels: self.levels.iter().filter(|l| !l.is_empty()).count(),
+            files,
+            metadata_bytes,
+        })
+    }
+}
+
+fn min_opt(a: Option<Timestamp>, b: Option<Timestamp>) -> Option<Timestamp> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compaction::{FileSelection, SaturationPolicy};
+
+    fn tree(config: LsmConfig) -> LsmTree {
+        let backend = lethe_storage::InMemoryBackend::new_shared();
+        LsmTree::new(
+            config,
+            backend,
+            LogicalClock::new(),
+            Box::new(SaturationPolicy::new(FileSelection::MinOverlap)),
+        )
+        .unwrap()
+    }
+
+    fn value(i: u64) -> Bytes {
+        Bytes::from(format!("value-{i:08}"))
+    }
+
+    #[test]
+    fn put_get_roundtrip_through_flushes() {
+        let mut t = tree(LsmConfig::small_for_test());
+        for k in 0..500u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        for k in (0..500u64).step_by(7) {
+            assert_eq!(t.get(k).unwrap(), Some(value(k)), "key {k}");
+        }
+        assert_eq!(t.get(10_000).unwrap(), None);
+        assert!(t.level_count() >= 1);
+        assert!(t.stats().flushes > 0);
+    }
+
+    #[test]
+    fn updates_return_newest_value() {
+        let mut t = tree(LsmConfig::small_for_test());
+        for k in 0..200u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        for k in 0..200u64 {
+            t.put(k, k, Bytes::from(format!("new-{k}"))).unwrap();
+        }
+        t.flush().unwrap();
+        for k in (0..200u64).step_by(11) {
+            assert_eq!(t.get(k).unwrap(), Some(Bytes::from(format!("new-{k}"))));
+        }
+    }
+
+    #[test]
+    fn point_delete_hides_key_everywhere() {
+        let mut t = tree(LsmConfig::small_for_test());
+        for k in 0..300u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        for k in (0..300u64).step_by(3) {
+            t.delete(k).unwrap();
+        }
+        // visible immediately (from the buffer)
+        assert_eq!(t.get(0).unwrap(), None);
+        assert_eq!(t.get(3).unwrap(), None);
+        assert_eq!(t.get(1).unwrap(), Some(value(1)));
+        // and still deleted after flush + compaction
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        assert_eq!(t.get(0).unwrap(), None);
+        assert_eq!(t.get(299).unwrap(), Some(value(299)));
+    }
+
+    #[test]
+    fn range_delete_on_sort_key() {
+        let mut t = tree(LsmConfig::small_for_test());
+        for k in 0..200u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.delete_range(50, 100).unwrap();
+        assert_eq!(t.get(49).unwrap(), Some(value(49)));
+        assert_eq!(t.get(50).unwrap(), None);
+        assert_eq!(t.get(99).unwrap(), None);
+        assert_eq!(t.get(100).unwrap(), Some(value(100)));
+        // after flush and compaction the result is identical
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        assert_eq!(t.get(75).unwrap(), None);
+        let live = t.range(0, 200).unwrap();
+        assert_eq!(live.len(), 150);
+        // empty range delete is a no-op
+        t.delete_range(10, 10).unwrap();
+        assert_eq!(t.get(10).unwrap(), Some(value(10)));
+    }
+
+    #[test]
+    fn range_scan_merges_memtable_and_disk() {
+        let mut t = tree(LsmConfig::small_for_test());
+        for k in 0..100u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        // overwrite some keys in the buffer only
+        for k in 40..60u64 {
+            t.put(k, k, Bytes::from_static(b"fresh")).unwrap();
+        }
+        let got = t.range(30, 70).unwrap();
+        assert_eq!(got.len(), 40);
+        for (k, v) in got {
+            if (40..60).contains(&k) {
+                assert_eq!(v, Bytes::from_static(b"fresh"));
+            } else {
+                assert_eq!(v, value(k));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_grows_levels_under_load() {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.size_ratio = 3;
+        let mut t = tree(cfg);
+        for k in 0..3000u64 {
+            t.put(k % 1000, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        assert!(t.level_count() >= 2, "levels: {}", t.level_count());
+        assert!(t.stats().compactions > 0);
+        assert!(t.write_amplification() > 0.0);
+        assert!(t.disk_entries() > 0);
+        assert!(t.disk_bytes() > 0);
+        assert!(t.metadata_footprint() > 0);
+    }
+
+    #[test]
+    fn tiering_keeps_multiple_runs() {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.merge_policy = MergePolicy::Tiering;
+        cfg.size_ratio = 4;
+        let mut t = tree(cfg);
+        for k in 0..2000u64 {
+            t.put(k % 500, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        for k in (0..500u64).step_by(13) {
+            assert!(t.get(k).unwrap().is_some(), "key {k}");
+        }
+        assert!(t.stats().compactions > 0);
+    }
+
+    #[test]
+    fn secondary_range_delete_with_page_drops() {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.pages_per_delete_tile = 4;
+        cfg.max_pages_per_file = 8;
+        cfg.secondary_delete_mode = SecondaryDeleteMode::KiwiPageDrops;
+        let mut t = tree(cfg);
+        // delete key is decorrelated from sort key
+        for k in 0..1000u64 {
+            t.put(k, (k * 7919) % 10_000, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        let stats = t.secondary_range_delete(0, 5_000).unwrap();
+        assert!(stats.entries_deleted > 300, "{stats:?}");
+        assert!(stats.full_page_drops > 0, "{stats:?}");
+        // all surviving entries have delete keys outside the range
+        let survivors = t.secondary_range_scan(0, 10_000).unwrap();
+        assert!(survivors.iter().all(|e| e.delete_key >= 5_000));
+        // point lookups agree
+        for k in 0..1000u64 {
+            let deleted = (k * 7919) % 10_000 < 5_000;
+            assert_eq!(t.get(k).unwrap().is_none(), deleted, "key {k}");
+        }
+    }
+
+    #[test]
+    fn secondary_range_delete_with_full_compaction_baseline() {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.secondary_delete_mode = SecondaryDeleteMode::FullTreeCompaction;
+        let mut t = tree(cfg);
+        for k in 0..500u64 {
+            t.put(k, (k * 31) % 1000, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        let before = t.stats().full_tree_compactions;
+        let stats = t.secondary_range_delete(0, 500).unwrap();
+        assert_eq!(t.stats().full_tree_compactions, before + 1);
+        assert!(stats.entries_deleted > 100);
+        for k in 0..500u64 {
+            let deleted = (k * 31) % 1000 < 500;
+            assert_eq!(t.get(k).unwrap().is_none(), deleted, "key {k}");
+        }
+    }
+
+    #[test]
+    fn blind_delete_suppression() {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.suppress_blind_deletes = true;
+        let mut t = tree(cfg);
+        for k in 0..100u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        // deleting an existing key inserts a tombstone
+        assert!(t.delete(5).unwrap());
+        // deleting a key that never existed is suppressed
+        assert!(!t.delete(1_000_000).unwrap());
+        assert_eq!(t.stats().blind_deletes_suppressed, 1);
+        assert_eq!(t.get(5).unwrap(), None);
+    }
+
+    #[test]
+    fn force_full_compaction_collapses_tree() {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.size_ratio = 3;
+        let mut t = tree(cfg);
+        for k in 0..2000u64 {
+            t.put(k % 700, k, value(k)).unwrap();
+        }
+        for k in (0..700u64).step_by(2) {
+            t.delete(k).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        t.force_full_compaction().unwrap();
+        let snap = t.snapshot_contents().unwrap();
+        // a full compaction persists every delete: no tombstones remain
+        assert_eq!(snap.tombstones, 0);
+        assert_eq!(snap.populated_levels, 1);
+        // and queries still work
+        assert_eq!(t.get(1).unwrap().is_some(), true);
+        assert_eq!(t.get(0).unwrap(), None);
+    }
+
+    #[test]
+    fn snapshot_reports_space_amplification() {
+        let mut t = tree(LsmConfig::small_for_test());
+        for k in 0..400u64 {
+            t.put(k % 100, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        let snap = t.snapshot_contents().unwrap();
+        assert_eq!(snap.unique_entries, 100);
+        assert!(snap.total_entries >= snap.unique_entries);
+        assert!(snap.space_amplification() >= 0.0);
+        assert!(snap.files > 0);
+    }
+
+    #[test]
+    fn wal_recovery_restores_unflushed_writes() {
+        // large buffer so nothing is flushed (and the WAL never truncated):
+        // the whole working set must be recoverable from the log alone
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.buffer_pages = 1024;
+        let wal = std::sync::Arc::new(lethe_storage::MemWal::new());
+
+        struct SharedWal(std::sync::Arc<lethe_storage::MemWal>);
+        impl Wal for SharedWal {
+            fn append(&self, r: WalRecord) -> Result<()> {
+                self.0.append(r)
+            }
+            fn replay(&self) -> Result<Vec<WalRecord>> {
+                self.0.replay()
+            }
+            fn truncate(&self) -> Result<()> {
+                self.0.truncate()
+            }
+            fn sync(&self) -> Result<()> {
+                self.0.sync()
+            }
+            fn purge_older_than(&self, cutoff: Timestamp) -> Result<usize> {
+                self.0.purge_older_than(cutoff)
+            }
+        }
+
+        let mut t = tree(cfg.clone()).with_wal(Box::new(SharedWal(std::sync::Arc::clone(&wal))));
+        for k in 0..50u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        t.delete(7).unwrap();
+        // simulate a crash: build a fresh tree and replay the WAL
+        let mut recovered = tree(cfg);
+        let replayed = recovered.recover_from(wal.as_ref()).unwrap();
+        assert_eq!(replayed, 51);
+        assert_eq!(recovered.get(3).unwrap(), Some(value(3)));
+        assert_eq!(recovered.get(7).unwrap(), None);
+    }
+
+    #[test]
+    fn clock_advances_with_ingestion() {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.ingestion_rate = 1000; // 1000 entries/s → 1ms per entry
+        let mut t = tree(cfg);
+        for k in 0..100u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        assert_eq!(t.clock().now(), 100_000);
+    }
+}

@@ -1,0 +1,104 @@
+//! Logical time.
+//!
+//! The paper's delete-persistence machinery (per-level TTLs, tombstone ages,
+//! the threshold `D_th`) is defined over wall-clock time driven by the
+//! ingestion rate `I`. To keep experiments deterministic and fast, the engine
+//! runs on a *logical clock*: a shared microsecond counter that the workload
+//! driver advances (e.g. by `1/I` seconds per ingested entry). Wall-clock
+//! deployments simply advance the clock from `std::time::Instant`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A timestamp in microseconds since an arbitrary epoch.
+pub type Timestamp = u64;
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// A shared, monotonically non-decreasing logical clock.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl LogicalClock {
+    /// Creates a clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `start_micros`.
+    pub fn starting_at(start_micros: Timestamp) -> Self {
+        let c = Self::new();
+        c.micros.store(start_micros, Ordering::SeqCst);
+        c
+    }
+
+    /// Current logical time in microseconds.
+    pub fn now(&self) -> Timestamp {
+        self.micros.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `delta` microseconds and returns the new time.
+    pub fn advance_micros(&self, delta: u64) -> Timestamp {
+        self.micros.fetch_add(delta, Ordering::SeqCst) + delta
+    }
+
+    /// Advances the clock by (possibly fractional) seconds.
+    pub fn advance_secs(&self, secs: f64) -> Timestamp {
+        self.advance_micros((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Sets the clock forward to `t` if `t` is in the future; never moves the
+    /// clock backwards.
+    pub fn advance_to(&self, t: Timestamp) {
+        self.micros.fetch_max(t, Ordering::SeqCst);
+    }
+
+    /// Elapsed microseconds since `earlier` (saturating).
+    pub fn elapsed_since(&self, earlier: Timestamp) -> u64 {
+        self.now().saturating_sub(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = LogicalClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance_micros(10), 10);
+        assert_eq!(c.now(), 10);
+        c.advance_secs(1.5);
+        assert_eq!(c.now(), 10 + 1_500_000);
+    }
+
+    #[test]
+    fn clones_share_the_same_time() {
+        let a = LogicalClock::new();
+        let b = a.clone();
+        a.advance_micros(100);
+        assert_eq!(b.now(), 100);
+        b.advance_micros(1);
+        assert_eq!(a.now(), 101);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = LogicalClock::starting_at(500);
+        c.advance_to(200);
+        assert_eq!(c.now(), 500);
+        c.advance_to(700);
+        assert_eq!(c.now(), 700);
+    }
+
+    #[test]
+    fn elapsed_is_saturating() {
+        let c = LogicalClock::starting_at(100);
+        assert_eq!(c.elapsed_since(40), 60);
+        assert_eq!(c.elapsed_since(1000), 0);
+    }
+}

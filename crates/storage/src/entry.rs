@@ -1,0 +1,214 @@
+//! The fundamental key-value record stored by the engine.
+//!
+//! Every record carries a *sort key* `S` (the key the tree is ordered and
+//! queried on), a *delete key* `D` (a secondary attribute — e.g. a creation
+//! timestamp — that secondary range deletes operate on), a monotonically
+//! increasing sequence number used to order versions of the same sort key,
+//! and a kind: a regular `Put`, a point tombstone, or a range tombstone.
+//!
+//! This mirrors the entry layout of the paper's Figure 3: a key-value pair is
+//! `⟨sort key, delete key, value⟩` and a tombstone is `⟨sort key, flag⟩`
+//! (point) or `⟨start, end, flag⟩` (range).
+
+use bytes::Bytes;
+
+/// The primary (sort) key. The tree is totally ordered on this key.
+pub type SortKey = u64;
+/// The secondary (delete) key, e.g. a timestamp. Secondary range deletes are
+/// expressed as ranges over this key.
+pub type DeleteKey = u64;
+/// Monotonically increasing sequence number assigned at ingestion time.
+/// A larger sequence number always denotes a more recent version.
+pub type SeqNum = u64;
+
+/// Number of bytes used to encode the sort key on disk.
+pub const SORT_KEY_BYTES: usize = 8;
+/// Number of bytes used to encode the delete key on disk.
+pub const DELETE_KEY_BYTES: usize = 8;
+/// Number of bytes used to encode the sequence number on disk.
+pub const SEQNUM_BYTES: usize = 8;
+/// Number of bytes used to encode the entry kind / tombstone flag on disk.
+pub const FLAG_BYTES: usize = 1;
+/// Fixed per-entry header size (everything except the value payload).
+pub const HEADER_BYTES: usize = SORT_KEY_BYTES + DELETE_KEY_BYTES + SEQNUM_BYTES + FLAG_BYTES;
+
+/// What a record represents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A live key-value pair.
+    Put,
+    /// A point tombstone: logically deletes every older version of the same
+    /// sort key.
+    PointTombstone,
+    /// A range tombstone: logically deletes every older version of every sort
+    /// key in `[sort_key, end)`.
+    RangeTombstone {
+        /// Exclusive upper bound of the deleted sort-key range.
+        end: SortKey,
+    },
+}
+
+impl EntryKind {
+    /// Returns `true` for both point and range tombstones.
+    pub fn is_tombstone(&self) -> bool {
+        !matches!(self, EntryKind::Put)
+    }
+}
+
+/// A single record flowing through the engine (memtable, pages, compactions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The sort key `S`.
+    pub sort_key: SortKey,
+    /// The delete key `D` (meaningless for tombstones, kept for uniformity).
+    pub delete_key: DeleteKey,
+    /// Ingestion sequence number; larger is newer.
+    pub seqnum: SeqNum,
+    /// Whether this is a put, a point tombstone, or a range tombstone.
+    pub kind: EntryKind,
+    /// The value payload. Empty for tombstones.
+    pub value: Bytes,
+}
+
+impl Entry {
+    /// Creates a live key-value entry.
+    pub fn put(sort_key: SortKey, delete_key: DeleteKey, seqnum: SeqNum, value: Bytes) -> Self {
+        Entry { sort_key, delete_key, seqnum, kind: EntryKind::Put, value }
+    }
+
+    /// Creates a point tombstone for `sort_key`.
+    pub fn point_tombstone(sort_key: SortKey, seqnum: SeqNum) -> Self {
+        Entry {
+            sort_key,
+            delete_key: 0,
+            seqnum,
+            kind: EntryKind::PointTombstone,
+            value: Bytes::new(),
+        }
+    }
+
+    /// Creates a range tombstone covering sort keys in `[start, end)`.
+    pub fn range_tombstone(start: SortKey, end: SortKey, seqnum: SeqNum) -> Self {
+        Entry {
+            sort_key: start,
+            delete_key: 0,
+            seqnum,
+            kind: EntryKind::RangeTombstone { end },
+            value: Bytes::new(),
+        }
+    }
+
+    /// Returns `true` if this entry is any kind of tombstone.
+    pub fn is_tombstone(&self) -> bool {
+        self.kind.is_tombstone()
+    }
+
+    /// Returns `true` if this entry is a point tombstone.
+    pub fn is_point_tombstone(&self) -> bool {
+        matches!(self.kind, EntryKind::PointTombstone)
+    }
+
+    /// Returns `true` if this entry is a range tombstone.
+    pub fn is_range_tombstone(&self) -> bool {
+        matches!(self.kind, EntryKind::RangeTombstone { .. })
+    }
+
+    /// For range tombstones, the exclusive end of the covered range.
+    pub fn range_end(&self) -> Option<SortKey> {
+        match self.kind {
+            EntryKind::RangeTombstone { end } => Some(end),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this (range tombstone) entry covers `key`.
+    /// Non-range entries cover only their own sort key.
+    pub fn covers(&self, key: SortKey) -> bool {
+        match self.kind {
+            EntryKind::RangeTombstone { end } => self.sort_key <= key && key < end,
+            _ => self.sort_key == key,
+        }
+    }
+
+    /// The on-disk encoded size of this entry in bytes: a fixed header plus
+    /// the value payload. Tombstones carry no payload, which is what makes
+    /// the tombstone size ratio λ = size(tombstone)/size(key-value) small
+    /// (paper §3.2.1).
+    pub fn encoded_size(&self) -> usize {
+        HEADER_BYTES
+            + match self.kind {
+                EntryKind::Put => self.value.len(),
+                EntryKind::PointTombstone => 0,
+                // a range tombstone additionally stores its end key
+                EntryKind::RangeTombstone { .. } => SORT_KEY_BYTES,
+            }
+    }
+
+    /// Returns `true` if `self` is a more recent version than `other` for the
+    /// same sort key (strictly larger sequence number).
+    pub fn supersedes(&self, other: &Entry) -> bool {
+        self.sort_key == other.sort_key && self.seqnum > other.seqnum
+    }
+}
+
+/// Computes the tombstone size ratio λ = size(tombstone) / size(key-value)
+/// for a given average value size (paper §3.2.1). λ ∈ (0, 1].
+pub fn tombstone_size_ratio(avg_value_size: usize) -> f64 {
+    HEADER_BYTES as f64 / (HEADER_BYTES + avg_value_size) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_entry_reports_sizes_and_kind() {
+        let e = Entry::put(10, 99, 7, Bytes::from(vec![0u8; 100]));
+        assert!(!e.is_tombstone());
+        assert_eq!(e.encoded_size(), HEADER_BYTES + 100);
+        assert_eq!(e.range_end(), None);
+        assert!(e.covers(10));
+        assert!(!e.covers(11));
+    }
+
+    #[test]
+    fn point_tombstone_has_no_payload() {
+        let t = Entry::point_tombstone(5, 3);
+        assert!(t.is_tombstone());
+        assert!(t.is_point_tombstone());
+        assert!(!t.is_range_tombstone());
+        assert_eq!(t.encoded_size(), HEADER_BYTES);
+        assert!(t.value.is_empty());
+    }
+
+    #[test]
+    fn range_tombstone_covers_half_open_interval() {
+        let t = Entry::range_tombstone(10, 20, 1);
+        assert!(t.is_range_tombstone());
+        assert_eq!(t.range_end(), Some(20));
+        assert!(t.covers(10));
+        assert!(t.covers(19));
+        assert!(!t.covers(20));
+        assert!(!t.covers(9));
+        assert_eq!(t.encoded_size(), HEADER_BYTES + SORT_KEY_BYTES);
+    }
+
+    #[test]
+    fn supersedes_requires_same_key_and_newer_seqnum() {
+        let old = Entry::put(1, 0, 5, Bytes::from_static(b"a"));
+        let newer = Entry::put(1, 0, 9, Bytes::from_static(b"b"));
+        let other_key = Entry::put(2, 0, 10, Bytes::from_static(b"c"));
+        assert!(newer.supersedes(&old));
+        assert!(!old.supersedes(&newer));
+        assert!(!other_key.supersedes(&old));
+    }
+
+    #[test]
+    fn tombstone_size_ratio_matches_definition() {
+        let lambda = tombstone_size_ratio(1024 - HEADER_BYTES);
+        assert!((lambda - HEADER_BYTES as f64 / 1024.0).abs() < 1e-12);
+        // λ is bounded by (0, 1]
+        assert!(tombstone_size_ratio(0) <= 1.0);
+        assert!(tombstone_size_ratio(1_000_000) > 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Fence pointers.
+//!
+//! Two kinds of in-memory navigation metadata (paper §4.2.3):
+//!
+//! * [`FencePointers`] on the **sort key `S`**: one entry per unit (a page in
+//!   the classic layout, a delete tile under KiWi) recording the smallest
+//!   sort key of that unit. A lookup binary-searches them to find the single
+//!   unit that may contain a key.
+//! * [`DeleteFences`] on the **delete key `D`**: one entry per page inside a
+//!   delete tile recording the delete-key range of that page. A secondary
+//!   range delete consults them to find the pages that are fully covered by
+//!   the deleted range (full page drops — no read required) and the at most
+//!   two pages per tile that are partially covered (partial page drops).
+
+use crate::entry::{DeleteKey, SortKey};
+
+/// Fence pointers over the sort key: `mins[i]` is the smallest sort key of
+/// unit `i`; units are stored in increasing sort-key order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FencePointers {
+    mins: Vec<SortKey>,
+}
+
+impl FencePointers {
+    /// Builds fence pointers from per-unit minimum sort keys (must be
+    /// non-decreasing; debug-asserted).
+    pub fn new(mins: Vec<SortKey>) -> Self {
+        debug_assert!(mins.windows(2).all(|w| w[0] <= w[1]));
+        FencePointers { mins }
+    }
+
+    /// Number of units covered.
+    pub fn len(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// True if no units are covered.
+    pub fn is_empty(&self) -> bool {
+        self.mins.is_empty()
+    }
+
+    /// Returns the index of the unit that may contain `key`: the last unit
+    /// whose minimum is `<= key`. Keys smaller than every minimum fall into
+    /// unit 0 (which will simply not contain them).
+    pub fn locate(&self, key: SortKey) -> Option<usize> {
+        if self.mins.is_empty() {
+            return None;
+        }
+        let idx = self.mins.partition_point(|&m| m <= key);
+        Some(idx.saturating_sub(1))
+    }
+
+    /// Returns the inclusive range of unit indices that may overlap the sort
+    /// key range `[lo, hi)`.
+    pub fn locate_range(&self, lo: SortKey, hi: SortKey) -> Option<(usize, usize)> {
+        if self.mins.is_empty() || hi <= lo {
+            return None;
+        }
+        let start = self.locate(lo)?;
+        // last unit whose min is < hi
+        let end = self.mins.partition_point(|&m| m < hi).saturating_sub(1);
+        Some((start, end.max(start)))
+    }
+
+    /// The raw minimums (for serialisation / introspection).
+    pub fn mins(&self) -> &[SortKey] {
+        &self.mins
+    }
+
+    /// In-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.mins.len() * std::mem::size_of::<SortKey>()
+    }
+}
+
+/// Per-page delete-key bounds inside one delete tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteFence {
+    /// Smallest delete key stored in the page.
+    pub min: DeleteKey,
+    /// Largest delete key stored in the page.
+    pub max: DeleteKey,
+}
+
+/// Delete fence pointers: the delete-key bounds of every page in a delete
+/// tile, in page order (pages inside a tile are sorted on the delete key, so
+/// the bounds are non-decreasing).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeleteFences {
+    fences: Vec<DeleteFence>,
+}
+
+/// How a secondary range delete `[lo, hi)` relates to one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageCoverage {
+    /// Every delete key in the page is inside the deleted range: the page can
+    /// be dropped without being read.
+    Full,
+    /// Some delete keys are inside the range: the page must be read and
+    /// rewritten without the deleted entries.
+    Partial,
+    /// No delete key of the page falls in the range: the page is untouched.
+    None,
+}
+
+impl DeleteFences {
+    /// Builds delete fences from per-page bounds.
+    pub fn new(fences: Vec<DeleteFence>) -> Self {
+        DeleteFences { fences }
+    }
+
+    /// Number of pages covered.
+    pub fn len(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// True if no pages are covered.
+    pub fn is_empty(&self) -> bool {
+        self.fences.is_empty()
+    }
+
+    /// The per-page bounds.
+    pub fn fences(&self) -> &[DeleteFence] {
+        &self.fences
+    }
+
+    /// Classifies page `idx` against the delete-key range `[lo, hi)`.
+    pub fn coverage(&self, idx: usize, lo: DeleteKey, hi: DeleteKey) -> PageCoverage {
+        let f = &self.fences[idx];
+        if hi <= lo || f.max < lo || f.min >= hi {
+            PageCoverage::None
+        } else if f.min >= lo && f.max < hi {
+            PageCoverage::Full
+        } else {
+            PageCoverage::Partial
+        }
+    }
+
+    /// Classifies every page against `[lo, hi)`, returning
+    /// `(full_drop_indices, partial_drop_indices)`.
+    pub fn classify_range(&self, lo: DeleteKey, hi: DeleteKey) -> (Vec<usize>, Vec<usize>) {
+        let mut full = Vec::new();
+        let mut partial = Vec::new();
+        for i in 0..self.fences.len() {
+            match self.coverage(i, lo, hi) {
+                PageCoverage::Full => full.push(i),
+                PageCoverage::Partial => partial.push(i),
+                PageCoverage::None => {}
+            }
+        }
+        (full, partial)
+    }
+
+    /// In-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.fences.len() * std::mem::size_of::<DeleteFence>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_picks_the_right_unit() {
+        let f = FencePointers::new(vec![10, 20, 30, 40]);
+        assert_eq!(f.locate(5), Some(0)); // before the first fence → unit 0
+        assert_eq!(f.locate(10), Some(0));
+        assert_eq!(f.locate(19), Some(0));
+        assert_eq!(f.locate(20), Some(1));
+        assert_eq!(f.locate(35), Some(2));
+        assert_eq!(f.locate(1000), Some(3));
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn locate_on_empty_is_none() {
+        let f = FencePointers::default();
+        assert_eq!(f.locate(1), None);
+        assert_eq!(f.locate_range(1, 10), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn locate_range_spans_overlapping_units() {
+        let f = FencePointers::new(vec![10, 20, 30, 40]);
+        assert_eq!(f.locate_range(12, 35), Some((0, 2)));
+        assert_eq!(f.locate_range(0, 5), Some((0, 0)));
+        assert_eq!(f.locate_range(45, 50), Some((3, 3)));
+        assert_eq!(f.locate_range(20, 21), Some((1, 1)));
+        assert_eq!(f.locate_range(30, 30), None); // empty range
+    }
+
+    #[test]
+    fn size_accounting() {
+        let f = FencePointers::new(vec![1, 2, 3]);
+        assert_eq!(f.size_bytes(), 24);
+        let d = DeleteFences::new(vec![DeleteFence { min: 0, max: 10 }]);
+        assert_eq!(d.size_bytes(), 16);
+    }
+
+    #[test]
+    fn coverage_classification() {
+        let d = DeleteFences::new(vec![
+            DeleteFence { min: 0, max: 9 },
+            DeleteFence { min: 10, max: 19 },
+            DeleteFence { min: 20, max: 29 },
+            DeleteFence { min: 30, max: 39 },
+        ]);
+        // delete range [10, 30): page 1 and 2 fully covered, 0 and 3 untouched
+        assert_eq!(d.coverage(0, 10, 30), PageCoverage::None);
+        assert_eq!(d.coverage(1, 10, 30), PageCoverage::Full);
+        assert_eq!(d.coverage(2, 10, 30), PageCoverage::Full);
+        assert_eq!(d.coverage(3, 10, 30), PageCoverage::None);
+        let (full, partial) = d.classify_range(10, 30);
+        assert_eq!(full, vec![1, 2]);
+        assert!(partial.is_empty());
+    }
+
+    #[test]
+    fn partial_coverage_at_range_edges() {
+        let d = DeleteFences::new(vec![
+            DeleteFence { min: 0, max: 9 },
+            DeleteFence { min: 10, max: 19 },
+            DeleteFence { min: 20, max: 29 },
+        ]);
+        // range [5, 25) partially covers pages 0 and 2, fully covers page 1
+        let (full, partial) = d.classify_range(5, 25);
+        assert_eq!(full, vec![1]);
+        assert_eq!(partial, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_or_inverted_range_covers_nothing() {
+        let d = DeleteFences::new(vec![DeleteFence { min: 0, max: 100 }]);
+        assert_eq!(d.coverage(0, 50, 50), PageCoverage::None);
+        assert_eq!(d.coverage(0, 60, 40), PageCoverage::None);
+    }
+}

@@ -1,0 +1,48 @@
+//! # lethe-storage
+//!
+//! Storage substrate for the Lethe LSM engine reproduction
+//! (*Lethe: A Tunable Delete-Aware LSM Engine*, SIGMOD 2020).
+//!
+//! This crate contains everything below the LSM tree itself:
+//!
+//! * [`entry`] — the record model: sort key `S`, delete key `D`, sequence
+//!   numbers, puts, point tombstones and range tombstones, and the tombstone
+//!   size ratio λ.
+//! * [`page`] — immutable disk pages (entries sorted on `S`), the unit of I/O.
+//! * [`bloom`] — per-page Bloom filters over `S`.
+//! * [`fence`] — fence pointers on `S` and *delete fence pointers* on `D`,
+//!   the metadata that makes KiWi's full page drops possible.
+//! * [`backend`] — the page-granular device abstraction: a simulated SSD with
+//!   exact I/O accounting and a durable file-backed device.
+//! * [`iostats`] — I/O / hash counters plus the latency cost model (100 µs per
+//!   page access, 80 ns per hash) used to reproduce the paper's figures.
+//! * [`memtable`] — the in-memory write buffer with in-place delete/update
+//!   semantics.
+//! * [`wal`] — write-ahead logging with the `D_th`-aware purge routine.
+//! * [`histogram`] — equi-width histograms used to estimate how many entries a
+//!   range tombstone invalidates.
+//! * [`clock`] — the logical clock that drives TTLs and tombstone ages.
+
+pub mod backend;
+pub mod bloom;
+pub mod clock;
+pub mod entry;
+pub mod error;
+pub mod fence;
+pub mod histogram;
+pub mod iostats;
+pub mod memtable;
+pub mod page;
+pub mod wal;
+
+pub use backend::{FileBackend, InMemoryBackend, PageId, StorageBackend};
+pub use bloom::BloomFilter;
+pub use clock::{LogicalClock, Timestamp, MICROS_PER_SEC};
+pub use entry::{DeleteKey, Entry, EntryKind, SeqNum, SortKey};
+pub use error::{Result, StorageError};
+pub use fence::{DeleteFence, DeleteFences, FencePointers, PageCoverage};
+pub use histogram::Histogram;
+pub use iostats::{CostModel, IoSnapshot, IoStats};
+pub use memtable::MemTable;
+pub use page::Page;
+pub use wal::{FileWal, MemWal, Wal, WalRecord};

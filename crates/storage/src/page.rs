@@ -1,0 +1,297 @@
+//! Disk pages.
+//!
+//! A page is the unit of device I/O. It holds up to `B` entries which are
+//! always kept **sorted on the sort key `S`** so that, once a page is in
+//! memory, point lookups binary-search it exactly like the state of the art
+//! (paper §4.2.1 "Page layout"). The page also remembers the min/max of the
+//! *delete key* `D` of its entries, which is what lets KiWi decide whether a
+//! secondary range delete covers the whole page (full page drop) or only part
+//! of it (partial page drop).
+
+use crate::entry::{DeleteKey, Entry, EntryKind, SortKey};
+use crate::error::{Result, StorageError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// An immutable, sorted collection of entries; the unit of device I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    entries: Vec<Entry>,
+}
+
+impl Page {
+    /// Builds a page from entries, sorting them on the sort key (ties broken
+    /// by descending sequence number so the newest version comes first).
+    pub fn new(mut entries: Vec<Entry>) -> Self {
+        entries.sort_by(|a, b| {
+            a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum))
+        });
+        Page { entries }
+    }
+
+    /// Builds a page from entries already sorted on the sort key.
+    /// Debug builds assert the precondition.
+    pub fn from_sorted(entries: Vec<Entry>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].sort_key <= w[1].sort_key));
+        Page { entries }
+    }
+
+    /// Number of entries stored in the page.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the page holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, in sort-key order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Consumes the page and returns its entries.
+    pub fn into_entries(self) -> Vec<Entry> {
+        self.entries
+    }
+
+    /// Smallest sort key in the page.
+    pub fn min_sort_key(&self) -> Option<SortKey> {
+        self.entries.first().map(|e| e.sort_key)
+    }
+
+    /// Largest sort key in the page.
+    pub fn max_sort_key(&self) -> Option<SortKey> {
+        self.entries.last().map(|e| e.sort_key)
+    }
+
+    /// Smallest delete key in the page.
+    pub fn min_delete_key(&self) -> Option<DeleteKey> {
+        self.entries.iter().map(|e| e.delete_key).min()
+    }
+
+    /// Largest delete key in the page.
+    pub fn max_delete_key(&self) -> Option<DeleteKey> {
+        self.entries.iter().map(|e| e.delete_key).max()
+    }
+
+    /// Binary-searches the page for `key` and returns the most recent
+    /// matching entry (the one with the largest sequence number), if any.
+    pub fn get(&self, key: SortKey) -> Option<&Entry> {
+        // find the left-most index whose sort_key == key; entries with equal
+        // sort key are ordered newest-first by construction
+        let idx = self.entries.partition_point(|e| e.sort_key < key);
+        let candidate = self.entries.get(idx)?;
+        if candidate.sort_key == key {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    /// Returns every entry whose sort key lies in `[lo, hi)`.
+    pub fn range(&self, lo: SortKey, hi: SortKey) -> &[Entry] {
+        let start = self.entries.partition_point(|e| e.sort_key < lo);
+        let end = self.entries.partition_point(|e| e.sort_key < hi);
+        &self.entries[start..end]
+    }
+
+    /// Number of tombstones (point or range) stored in the page.
+    pub fn tombstone_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_tombstone()).count()
+    }
+
+    /// Sum of the encoded sizes of all entries, in bytes.
+    pub fn data_size(&self) -> usize {
+        self.entries.iter().map(|e| e.encoded_size()).sum()
+    }
+
+    /// Splits the page's entries into those whose **delete key** falls inside
+    /// `[lo, hi)` (the deleted ones) and those that survive. Used for KiWi
+    /// partial page drops.
+    pub fn partition_by_delete_key(&self, lo: DeleteKey, hi: DeleteKey) -> (Vec<Entry>, Vec<Entry>) {
+        let mut deleted = Vec::new();
+        let mut kept = Vec::new();
+        for e in &self.entries {
+            // tombstones are never removed by a secondary range delete; they
+            // still need to reach the last level to persist primary deletes
+            if !e.is_tombstone() && e.delete_key >= lo && e.delete_key < hi {
+                deleted.push(e.clone());
+            } else {
+                kept.push(e.clone());
+            }
+        }
+        (deleted, kept)
+    }
+
+    /// Serialises the page into a self-describing byte buffer (used by the
+    /// file-backed device and the WAL checkpointing path).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.data_size() + self.len() * 8);
+        buf.put_u32(PAGE_MAGIC);
+        buf.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            buf.put_u64(e.sort_key);
+            buf.put_u64(e.delete_key);
+            buf.put_u64(e.seqnum);
+            match e.kind {
+                EntryKind::Put => {
+                    buf.put_u8(0);
+                    buf.put_u32(e.value.len() as u32);
+                    buf.put_slice(&e.value);
+                }
+                EntryKind::PointTombstone => buf.put_u8(1),
+                EntryKind::RangeTombstone { end } => {
+                    buf.put_u8(2);
+                    buf.put_u64(end);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a page previously produced by [`Page::encode`].
+    pub fn decode(mut data: Bytes) -> Result<Self> {
+        if data.remaining() < 8 {
+            return Err(StorageError::Corruption("page header truncated".into()));
+        }
+        let magic = data.get_u32();
+        if magic != PAGE_MAGIC {
+            return Err(StorageError::Corruption(format!("bad page magic {magic:#x}")));
+        }
+        let n = data.get_u32() as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            if data.remaining() < 25 {
+                return Err(StorageError::Corruption("page entry truncated".into()));
+            }
+            let sort_key = data.get_u64();
+            let delete_key = data.get_u64();
+            let seqnum = data.get_u64();
+            let tag = data.get_u8();
+            let entry = match tag {
+                0 => {
+                    if data.remaining() < 4 {
+                        return Err(StorageError::Corruption("value length truncated".into()));
+                    }
+                    let len = data.get_u32() as usize;
+                    if data.remaining() < len {
+                        return Err(StorageError::Corruption("value body truncated".into()));
+                    }
+                    let value = data.copy_to_bytes(len);
+                    Entry { sort_key, delete_key, seqnum, kind: EntryKind::Put, value }
+                }
+                1 => Entry { sort_key, delete_key, seqnum, kind: EntryKind::PointTombstone, value: Bytes::new() },
+                2 => {
+                    if data.remaining() < 8 {
+                        return Err(StorageError::Corruption("range end truncated".into()));
+                    }
+                    let end = data.get_u64();
+                    Entry { sort_key, delete_key, seqnum, kind: EntryKind::RangeTombstone { end }, value: Bytes::new() }
+                }
+                t => return Err(StorageError::Corruption(format!("unknown entry tag {t}"))),
+            };
+            entries.push(entry);
+        }
+        Ok(Page { entries })
+    }
+}
+
+const PAGE_MAGIC: u32 = 0x4C45_5047; // "LEPG"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn put(k: u64, d: u64, seq: u64) -> Entry {
+        Entry::put(k, d, seq, Bytes::from(vec![b'x'; 16]))
+    }
+
+    #[test]
+    fn new_sorts_entries_on_sort_key() {
+        let p = Page::new(vec![put(5, 0, 1), put(1, 0, 2), put(3, 0, 3)]);
+        let keys: Vec<u64> = p.entries().iter().map(|e| e.sort_key).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+        assert_eq!(p.min_sort_key(), Some(1));
+        assert_eq!(p.max_sort_key(), Some(5));
+    }
+
+    #[test]
+    fn get_returns_newest_version_for_duplicates() {
+        let p = Page::new(vec![put(7, 0, 1), put(7, 0, 9), put(7, 0, 4)]);
+        assert_eq!(p.get(7).unwrap().seqnum, 9);
+        assert!(p.get(8).is_none());
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let p = Page::new((0..10).map(|k| put(k, 0, k)).collect());
+        let r = p.range(3, 7);
+        let keys: Vec<u64> = r.iter().map(|e| e.sort_key).collect();
+        assert_eq!(keys, vec![3, 4, 5, 6]);
+        assert!(p.range(20, 30).is_empty());
+    }
+
+    #[test]
+    fn delete_key_bounds_are_independent_of_sort_order() {
+        let p = Page::new(vec![put(1, 50, 1), put(2, 10, 2), put(3, 90, 3)]);
+        assert_eq!(p.min_delete_key(), Some(10));
+        assert_eq!(p.max_delete_key(), Some(90));
+    }
+
+    #[test]
+    fn partition_by_delete_key_spares_tombstones() {
+        let mut entries: Vec<Entry> = (0..8).map(|k| put(k, k * 10, k)).collect();
+        entries.push(Entry::point_tombstone(100, 99));
+        let p = Page::new(entries);
+        let (deleted, kept) = p.partition_by_delete_key(20, 60);
+        // delete keys 20,30,40,50 qualify
+        assert_eq!(deleted.len(), 4);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().any(|e| e.is_tombstone()));
+    }
+
+    #[test]
+    fn tombstone_count_and_sizes() {
+        let p = Page::new(vec![put(1, 0, 1), Entry::point_tombstone(2, 2), Entry::range_tombstone(3, 9, 3)]);
+        assert_eq!(p.tombstone_count(), 2);
+        assert!(p.data_size() > 0);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = Page::new(vec![
+            put(1, 11, 1),
+            Entry::point_tombstone(2, 2),
+            Entry::range_tombstone(3, 9, 3),
+            put(4, 44, 4),
+        ]);
+        let bytes = p.encode();
+        let back = Page::decode(bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Page::decode(Bytes::from_static(b"nonsense")).is_err());
+        assert!(Page::decode(Bytes::from_static(b"")).is_err());
+        // valid magic but truncated body
+        let mut good = Page::new(vec![put(1, 1, 1)]).encode().to_vec();
+        good.truncate(good.len() - 3);
+        assert!(Page::decode(Bytes::from(good)).is_err());
+    }
+
+    #[test]
+    fn empty_page_edge_cases() {
+        let p = Page::new(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.min_sort_key(), None);
+        assert_eq!(p.max_delete_key(), None);
+        assert!(p.get(1).is_none());
+        let rt = Page::decode(p.encode()).unwrap();
+        assert!(rt.is_empty());
+    }
+}

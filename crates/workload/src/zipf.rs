@@ -1,0 +1,101 @@
+//! Zipfian key distribution.
+//!
+//! A small, dependency-free Zipfian sampler (rejection-inversion would be
+//! overkill at the scales of these experiments; we use the classic
+//! precomputed-CDF construction with binary-search sampling). Used to model
+//! the "mostly modifies hot data" adversarial workloads of §3.1.1.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with skew parameter `theta`
+/// (`theta = 0` is uniform; larger values are more skewed).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n` items with skew `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(theta >= 0.0, "skew must be non-negative");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            let w = 1.0 / ((i + 1) as f64).powf(theta);
+            total += w;
+            weights.push(total);
+        }
+        let cdf = weights.into_iter().map(|w| w / total).collect();
+        Zipf { cdf }
+    }
+
+    /// Number of items in the distribution's support.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most popular item).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "uniform sampling should be balanced: {counts:?}");
+    }
+
+    #[test]
+    fn skewed_when_theta_large() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // the most popular item should dominate the tail
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(counts[0] > counts[99] * 10);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(5, 0.99);
+        assert_eq!(z.len(), 5);
+        assert!(!z.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_items_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

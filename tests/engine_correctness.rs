@@ -1,0 +1,261 @@
+//! Cross-crate integration tests: the Lethe engine and the state-of-the-art
+//! baselines must agree with a model key-value store (a `BTreeMap` oracle)
+//! under mixed workloads, and Lethe must additionally honour its
+//! delete-persistence guarantee.
+
+use lethe::workload::{Operation, WorkloadGenerator, WorkloadSpec};
+use lethe::{Baseline, BaselineKind, Lethe, LetheBuilder, LsmConfig};
+use std::collections::BTreeMap;
+
+fn small_config() -> LsmConfig {
+    let mut cfg = LsmConfig::default();
+    cfg.size_ratio = 4;
+    cfg.buffer_pages = 8;
+    cfg.entries_per_page = 4;
+    cfg.entry_size = 64;
+    cfg.max_pages_per_file = 8;
+    cfg.key_domain = 1 << 20;
+    cfg.ingestion_rate = 10_000;
+    cfg
+}
+
+fn lethe_engine(h: usize) -> Lethe {
+    LetheBuilder::new()
+        .with_config(small_config())
+        .delete_persistence_threshold_secs(2.0)
+        .delete_tile_pages(h)
+        .build()
+        .unwrap()
+}
+
+/// Drives an operation stream through Lethe, a baseline and a BTreeMap
+/// oracle, then checks that every key agrees across all three.
+fn run_against_oracle(spec: WorkloadSpec, h: usize) {
+    let mut gen = WorkloadGenerator::new(spec.clone());
+    let mut ops = gen.preload();
+    ops.extend(gen.operations());
+
+    let mut lethe = lethe_engine(h);
+    let mut baseline = Baseline::new(BaselineKind::RocksDbLike, small_config()).unwrap();
+    // oracle: sort key -> (delete key, value)
+    let mut oracle: BTreeMap<u64, (u64, Vec<u8>)> = BTreeMap::new();
+
+    for op in &ops {
+        match op {
+            Operation::Put { key, delete_key } => {
+                let value = format!("v-{key}-{delete_key}").into_bytes();
+                lethe.put(*key, *delete_key, value.clone()).unwrap();
+                baseline.put(*key, *delete_key, value.clone()).unwrap();
+                oracle.insert(*key, (*delete_key, value));
+            }
+            Operation::Get { key } | Operation::GetEmpty { key } => {
+                let expected = oracle.get(key).map(|(_, v)| v.clone());
+                assert_eq!(
+                    lethe.get(*key).unwrap().map(|b| b.to_vec()),
+                    expected,
+                    "lethe disagrees with oracle on key {key}"
+                );
+                assert_eq!(
+                    baseline.get(*key).unwrap().map(|b| b.to_vec()),
+                    expected,
+                    "baseline disagrees with oracle on key {key}"
+                );
+            }
+            Operation::Delete { key } => {
+                lethe.delete(*key).unwrap();
+                baseline.delete(*key).unwrap();
+                oracle.remove(key);
+            }
+            Operation::DeleteRange { start, end } => {
+                lethe.delete_range(*start, *end).unwrap();
+                baseline.delete_range(*start, *end).unwrap();
+                let victims: Vec<u64> = oracle.range(*start..*end).map(|(k, _)| *k).collect();
+                for k in victims {
+                    oracle.remove(&k);
+                }
+            }
+            Operation::RangeLookup { start, end } => {
+                let expected: Vec<u64> = oracle.range(*start..*end).map(|(k, _)| *k).collect();
+                let got: Vec<u64> =
+                    lethe.range(*start, *end).unwrap().into_iter().map(|(k, _)| k).collect();
+                assert_eq!(got, expected, "lethe range [{start}, {end}) disagrees");
+            }
+            Operation::SecondaryRangeDelete { start, end } => {
+                lethe.delete_where_delete_key_in(*start, *end).unwrap();
+                baseline.delete_where_delete_key_in(*start, *end).unwrap();
+                let victims: Vec<u64> = oracle
+                    .iter()
+                    .filter(|(_, (d, _))| *d >= *start && *d < *end)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in victims {
+                    oracle.remove(&k);
+                }
+            }
+        }
+    }
+
+    lethe.persist().unwrap();
+    baseline.persist().unwrap();
+
+    // final audit over every key the oracle has ever seen plus some misses
+    for key in oracle.keys().copied().collect::<Vec<_>>() {
+        let expected = oracle.get(&key).map(|(_, v)| v.clone());
+        assert_eq!(lethe.get(key).unwrap().map(|b| b.to_vec()), expected, "final lethe key {key}");
+        assert_eq!(
+            baseline.get(key).unwrap().map(|b| b.to_vec()),
+            expected,
+            "final baseline key {key}"
+        );
+    }
+    // full range scan agrees with the oracle's live key set
+    let all_live: Vec<u64> = oracle.keys().copied().collect();
+    let lethe_live: Vec<u64> =
+        lethe.range(0, u64::MAX).unwrap().into_iter().map(|(k, _)| k).collect();
+    assert_eq!(lethe_live, all_live, "lethe full scan disagrees with oracle");
+}
+
+#[test]
+fn mixed_workload_matches_oracle_classic_layout() {
+    let spec = WorkloadSpec {
+        seed: 1,
+        preload_keys: 500,
+        operations: 3_000,
+        key_space: 2_000,
+        value_size: 48,
+        update_fraction: 0.45,
+        point_lookup_fraction: 0.30,
+        empty_lookup_fraction: 0.05,
+        point_delete_fraction: 0.10,
+        range_delete_fraction: 0.02,
+        range_lookup_fraction: 0.05,
+        secondary_delete_fraction: 0.03,
+        secondary_delete_selectivity: 0.02,
+        ..Default::default()
+    };
+    run_against_oracle(spec, 1);
+}
+
+#[test]
+fn mixed_workload_matches_oracle_kiwi_layout() {
+    let spec = WorkloadSpec {
+        seed: 2,
+        preload_keys: 800,
+        operations: 3_000,
+        key_space: 3_000,
+        value_size: 32,
+        update_fraction: 0.40,
+        point_lookup_fraction: 0.35,
+        empty_lookup_fraction: 0.05,
+        point_delete_fraction: 0.10,
+        range_delete_fraction: 0.02,
+        range_lookup_fraction: 0.05,
+        secondary_delete_fraction: 0.03,
+        secondary_delete_selectivity: 0.05,
+        ..Default::default()
+    };
+    run_against_oracle(spec, 4);
+}
+
+#[test]
+fn zipfian_update_heavy_workload_matches_oracle() {
+    let spec = WorkloadSpec {
+        seed: 3,
+        preload_keys: 300,
+        operations: 4_000,
+        key_space: 1_000,
+        value_size: 24,
+        update_fraction: 0.60,
+        point_lookup_fraction: 0.25,
+        empty_lookup_fraction: 0.0,
+        point_delete_fraction: 0.12,
+        range_delete_fraction: 0.0,
+        range_lookup_fraction: 0.03,
+        secondary_delete_fraction: 0.0,
+        distribution: lethe::workload::KeyDistribution::Zipfian { theta: 0.9 },
+        ..Default::default()
+    };
+    run_against_oracle(spec, 2);
+}
+
+#[test]
+fn delete_persistence_is_honoured_under_continuous_ingestion() {
+    let mut db = LetheBuilder::new()
+        .with_config(small_config())
+        .delete_persistence_threshold_secs(1.0)
+        .ingestion_rate(10_000)
+        .build()
+        .unwrap();
+    // insert, delete a slice, then keep ingesting for several thresholds of
+    // logical time
+    for k in 0..2_000u64 {
+        db.put(k, k, vec![1u8; 24]).unwrap();
+    }
+    for k in (0..2_000u64).step_by(3) {
+        db.delete(k).unwrap();
+    }
+    for k in 10_000..40_000u64 {
+        db.put(k, k, vec![1u8; 24]).unwrap();
+    }
+    db.persist().unwrap();
+    let dth = db.config().delete_persistence_threshold.unwrap();
+    let snap = db.snapshot_contents().unwrap();
+    for (age, count) in &snap.tombstone_file_ages {
+        assert!(
+            age <= &dth,
+            "{count} tombstones live in a file older ({age} µs) than Dth ({dth} µs)"
+        );
+    }
+    // deleted keys stay deleted, surviving keys stay readable
+    assert_eq!(db.get(0).unwrap(), None);
+    assert_eq!(db.get(3).unwrap(), None);
+    assert!(db.get(1).unwrap().is_some());
+}
+
+#[test]
+fn baseline_without_threshold_retains_old_tombstones() {
+    // the state of the art gives no guarantee: with a mostly-static tree the
+    // tombstones linger well past any would-be threshold
+    let mut baseline = Baseline::new(BaselineKind::RocksDbLike, small_config()).unwrap();
+    for k in 0..2_000u64 {
+        baseline.put(k, k, vec![1u8; 24]).unwrap();
+    }
+    for k in (0..2_000u64).step_by(3) {
+        baseline.delete(k).unwrap();
+    }
+    baseline.persist().unwrap();
+    // equivalent logical time passes without substantive new ingestion
+    baseline.tree().clock().advance_secs(30.0);
+    baseline.persist().unwrap();
+    let snap = baseline.tree().snapshot_contents().unwrap();
+    assert!(
+        snap.tombstones > 0,
+        "the baseline should still be holding tombstones after 30 s of idle time"
+    );
+}
+
+#[test]
+fn secondary_range_delete_is_equivalent_to_full_compaction_result() {
+    // Lethe's page-drop path and the baseline's full-tree compaction must
+    // leave behind exactly the same logical database
+    let mut lethe = lethe_engine(8);
+    let mut baseline = Baseline::new(BaselineKind::RocksDbLike, small_config()).unwrap();
+    for k in 0..4_000u64 {
+        let d = (k * 7919) % 4_000;
+        lethe.put(k, d, vec![2u8; 32]).unwrap();
+        baseline.put(k, d, vec![2u8; 32]).unwrap();
+    }
+    lethe.persist().unwrap();
+    baseline.persist().unwrap();
+    lethe.delete_where_delete_key_in(1_000, 3_000).unwrap();
+    baseline.delete_where_delete_key_in(1_000, 3_000).unwrap();
+    for k in 0..4_000u64 {
+        let gone = (1_000..3_000).contains(&((k * 7919) % 4_000));
+        assert_eq!(lethe.get(k).unwrap().is_none(), gone, "lethe key {k}");
+        assert_eq!(baseline.get(k).unwrap().is_none(), gone, "baseline key {k}");
+    }
+    // but Lethe must have done it with page drops, not a full rewrite
+    assert!(lethe.stats().secondary_delete.full_page_drops > 0);
+    assert_eq!(lethe.stats().full_tree_compactions, 0);
+    assert!(baseline.tree().stats().full_tree_compactions >= 1);
+}

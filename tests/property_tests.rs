@@ -1,0 +1,345 @@
+//! Property-based tests (proptest): random operation sequences against a
+//! model oracle, and structural invariants of the storage layer.
+
+use bytes::Bytes;
+use lethe::lsm::compaction::{FileSelection, SaturationPolicy};
+use lethe::lsm::{LsmConfig, LsmTree, MergePolicy, SecondaryDeleteMode, SsTable};
+use lethe::storage::{
+    BloomFilter, Entry, Histogram, InMemoryBackend, LogicalClock, MemTable, Page, StorageBackend,
+};
+use lethe::{level_ttls, LetheBuilder};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random mutation applied to both the engine and the oracle.
+///
+/// The delete key of a put is a fixed function of the sort key (as if it were
+/// an immutable creation attribute), matching the paper's model where the
+/// delete key is e.g. a creation timestamp: all versions of a key share it,
+/// so a secondary range delete either covers every version of a key or none.
+#[derive(Debug, Clone)]
+enum Mutation {
+    Put(u64, u8),
+    Delete(u64),
+    DeleteRange(u64, u64),
+    SecondaryDelete(u64, u64),
+    Flush,
+}
+
+fn delete_key_of(sort_key: u64, key_space: u64) -> u64 {
+    sort_key.wrapping_mul(31) % key_space
+}
+
+fn mutation_strategy(key_space: u64) -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        6 => (0..key_space, any::<u8>()).prop_map(|(k, v)| Mutation::Put(k, v)),
+        2 => (0..key_space).prop_map(Mutation::Delete),
+        1 => (0..key_space, 1..(key_space / 4).max(2)).prop_map(|(s, len)| Mutation::DeleteRange(s, s + len)),
+        1 => (0..key_space, 1..(key_space / 4).max(2)).prop_map(|(s, len)| Mutation::SecondaryDelete(s, s + len)),
+        1 => Just(Mutation::Flush),
+    ]
+}
+
+fn tiny_config(merge_policy: MergePolicy, h: usize) -> LsmConfig {
+    let mut cfg = LsmConfig::small_for_test();
+    cfg.merge_policy = merge_policy;
+    cfg.pages_per_delete_tile = h;
+    cfg.max_pages_per_file = (8usize).max(h);
+    if cfg.max_pages_per_file % h != 0 {
+        cfg.max_pages_per_file = cfg.max_pages_per_file.div_ceil(h) * h;
+    }
+    cfg.secondary_delete_mode = SecondaryDeleteMode::KiwiPageDrops;
+    cfg.key_domain = 1 << 16;
+    cfg
+}
+
+/// Applies the mutations to an engine and a `BTreeMap` oracle and checks that
+/// every key of the key space agrees afterwards.
+fn check_against_oracle(cfg: LsmConfig, dth_secs: f64, ops: &[Mutation], key_space: u64) {
+    let mut db = LetheBuilder::new()
+        .with_config(cfg)
+        .delete_persistence_threshold_secs(dth_secs)
+        .build()
+        .unwrap();
+    let mut oracle: BTreeMap<u64, (u64, Vec<u8>)> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Mutation::Put(k, v) => {
+                let d = delete_key_of(*k, key_space);
+                let value = vec![*v; 9];
+                db.put(*k, d, value.clone()).unwrap();
+                oracle.insert(*k, (d, value));
+            }
+            Mutation::Delete(k) => {
+                db.delete(*k).unwrap();
+                oracle.remove(k);
+            }
+            Mutation::DeleteRange(s, e) => {
+                db.delete_range(*s, *e).unwrap();
+                let victims: Vec<u64> = oracle.range(*s..*e).map(|(k, _)| *k).collect();
+                for k in victims {
+                    oracle.remove(&k);
+                }
+            }
+            Mutation::SecondaryDelete(s, e) => {
+                db.delete_where_delete_key_in(*s, *e).unwrap();
+                let victims: Vec<u64> =
+                    oracle.iter().filter(|(_, (d, _))| d >= s && d < e).map(|(k, _)| *k).collect();
+                for k in victims {
+                    oracle.remove(&k);
+                }
+            }
+            Mutation::Flush => {
+                db.persist().unwrap();
+            }
+        }
+    }
+    db.persist().unwrap();
+    for k in 0..key_space {
+        let expected = oracle.get(&k).map(|(_, v)| v.clone());
+        let got = db.get(k).unwrap().map(|b| b.to_vec());
+        assert_eq!(got, expected, "key {k} disagrees with the oracle");
+    }
+    // a full scan returns exactly the oracle's live keys, in order
+    let scan: Vec<u64> = db.range(0, key_space).unwrap().into_iter().map(|(k, _)| k).collect();
+    let expected: Vec<u64> = oracle.keys().copied().collect();
+    assert_eq!(scan, expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lethe_leveling_matches_oracle(ops in prop::collection::vec(mutation_strategy(256), 1..400)) {
+        check_against_oracle(tiny_config(MergePolicy::Leveling, 2), 1.0, &ops, 256);
+    }
+
+    #[test]
+    fn lethe_tiering_matches_oracle(ops in prop::collection::vec(mutation_strategy(256), 1..400)) {
+        check_against_oracle(tiny_config(MergePolicy::Tiering, 1), 1.0, &ops, 256);
+    }
+
+    #[test]
+    fn lethe_wide_tiles_match_oracle(ops in prop::collection::vec(mutation_strategy(128), 1..300)) {
+        check_against_oracle(tiny_config(MergePolicy::Leveling, 8), 0.2, &ops, 128);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_has_no_false_negatives(keys in prop::collection::hash_set(any::<u64>(), 1..500),
+                                    bits in 2.0f64..16.0) {
+        let mut bf = BloomFilter::new(keys.len(), bits);
+        for &k in &keys {
+            bf.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(bf.may_contain(k));
+        }
+    }
+
+    /// Page search agrees with a linear scan for every stored key.
+    #[test]
+    fn page_get_agrees_with_linear_scan(keys in prop::collection::vec(0u64..1000, 1..64)) {
+        let entries: Vec<Entry> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Entry::put(k, k, i as u64 + 1, Bytes::from(vec![0u8; 4])))
+            .collect();
+        let page = Page::new(entries.clone());
+        for &k in &keys {
+            let newest = entries
+                .iter()
+                .filter(|e| e.sort_key == k)
+                .max_by_key(|e| e.seqnum)
+                .unwrap();
+            prop_assert_eq!(page.get(k).unwrap().seqnum, newest.seqnum);
+        }
+        prop_assert!(page.get(2000).is_none());
+    }
+
+    /// Page encode/decode round-trips arbitrary entry mixes.
+    #[test]
+    fn page_codec_roundtrip(specs in prop::collection::vec((any::<u64>(), any::<u64>(), 0u8..3, 0usize..32), 0..48)) {
+        let entries: Vec<Entry> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (k, d, kind, len))| match kind {
+                0 => Entry::put(*k, *d, i as u64, Bytes::from(vec![7u8; *len])),
+                1 => Entry::point_tombstone(*k, i as u64),
+                _ => Entry::range_tombstone(*k, k.saturating_add(10), i as u64),
+            })
+            .collect();
+        let page = Page::new(entries);
+        let decoded = Page::decode(page.encode()).unwrap();
+        prop_assert_eq!(decoded, page);
+    }
+
+    /// The memtable behaves like a map with latest-write-wins semantics.
+    #[test]
+    fn memtable_latest_write_wins(writes in prop::collection::vec((0u64..64, any::<u8>()), 1..200)) {
+        let mut m = MemTable::new();
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for (seq, (k, v)) in writes.iter().enumerate() {
+            m.put(*k, 0, seq as u64 + 1, Bytes::from(vec![*v]));
+            model.insert(*k, *v);
+        }
+        for (k, v) in &model {
+            let entry = m.get(*k).unwrap();
+            prop_assert_eq!(entry.value.as_ref(), &[*v][..]);
+        }
+        prop_assert_eq!(m.len(), model.len());
+    }
+
+    /// Histogram range estimates never exceed the total and are exact over
+    /// the full domain.
+    #[test]
+    fn histogram_estimates_are_bounded(keys in prop::collection::vec(0u64..10_000, 1..500),
+                                       lo in 0u64..10_000, len in 1u64..5_000) {
+        let mut h = Histogram::new(0, 10_000, 32);
+        for &k in &keys {
+            h.add(k);
+        }
+        let est = h.estimate_range(lo, lo + len);
+        prop_assert!(est >= -1e-9);
+        prop_assert!(est <= keys.len() as f64 + 1e-9);
+        let full = h.estimate_range(0, 10_000);
+        prop_assert!((full - keys.len() as f64).abs() < 1e-6);
+    }
+
+    /// FADE's TTL allocation always sums to Dth, is increasing, and assigns
+    /// exponentially growing per-level shares.
+    #[test]
+    fn fade_ttls_always_sum_to_dth(dth in 1_000u64..10_000_000, t in 2usize..12, levels in 1usize..8) {
+        let ttls = level_ttls(dth, t, levels);
+        prop_assert_eq!(ttls.len(), levels);
+        prop_assert_eq!(*ttls.last().unwrap(), dth);
+        prop_assert!(ttls.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(ttls[0] >= 1 || dth < levels as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The KiWi construction preserves its structural invariants for any
+    /// entry set and tile granularity: tiles ordered on the sort key, pages
+    /// inside a tile ordered on the delete key, entries inside a page ordered
+    /// on the sort key, and no entry lost.
+    #[test]
+    fn kiwi_layout_invariants_hold(
+        keys in prop::collection::btree_set(0u64..50_000, 1..600),
+        h in 1usize..16,
+    ) {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.pages_per_delete_tile = h;
+        cfg.max_pages_per_file = h * 64; // one file
+        let backend = InMemoryBackend::new_shared();
+        let entries: Vec<Entry> = keys
+            .iter()
+            .map(|&k| Entry::put(k, k.wrapping_mul(0x9E37_79B9) % 100_000, k + 1, Bytes::from(vec![1u8; 8])))
+            .collect();
+        let table = SsTable::build(1, entries.clone(), vec![], 0, None, &cfg, backend.as_ref()).unwrap();
+
+        // tiles are ordered and non-overlapping on the sort key
+        for w in table.tiles.windows(2) {
+            prop_assert!(w[0].max_sort < w[1].min_sort);
+        }
+        let mut seen = 0usize;
+        for tile in &table.tiles {
+            for w in tile.pages.windows(2) {
+                prop_assert!(w[0].max_delete <= w[1].min_delete);
+            }
+            for handle in &tile.pages {
+                let page = backend.read_page(handle.id).unwrap();
+                let sort_keys: Vec<u64> = page.entries().iter().map(|e| e.sort_key).collect();
+                let mut sorted = sort_keys.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(&sort_keys, &sorted);
+                seen += page.len();
+            }
+        }
+        prop_assert_eq!(seen, entries.len());
+
+        // every key is findable through the fence + filter + page path
+        let stats = lethe::storage::IoStats::new_shared();
+        for e in entries.iter().take(50) {
+            let found = table.get(e.sort_key, backend.as_ref(), &stats).unwrap();
+            prop_assert_eq!(found.unwrap().sort_key, e.sort_key);
+        }
+    }
+
+    /// A secondary range delete removes exactly the qualifying live entries,
+    /// never touches others, and full drops never read pages.
+    #[test]
+    fn secondary_delete_partitions_by_delete_key(
+        keys in prop::collection::btree_set(0u64..10_000, 10..300),
+        h in 1usize..12,
+        lo in 0u64..5_000,
+        len in 1u64..5_000,
+    ) {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.pages_per_delete_tile = h;
+        cfg.max_pages_per_file = h * 64;
+        let backend = InMemoryBackend::new_shared();
+        let entries: Vec<Entry> = keys
+            .iter()
+            .map(|&k| Entry::put(k, (k * 31) % 10_000, k + 1, Bytes::from(vec![1u8; 8])))
+            .collect();
+        let table = SsTable::build(1, entries.clone(), vec![], 0, None, &cfg, backend.as_ref()).unwrap();
+        let hi = lo + len;
+        let reads_before = backend.stats().snapshot().pages_read;
+        let (survivor, stats) =
+            table.secondary_range_delete(lo, hi, &cfg, backend.as_ref(), 1).unwrap();
+        let reads = backend.stats().snapshot().pages_read - reads_before;
+        // full drops never read; pages classified as partially covered by the
+        // fence metadata are read (a few of them may turn out to contain no
+        // qualifying entry and are left untouched), so the read count is
+        // bounded by the number of non-fully-dropped, non-ignored pages
+        prop_assert!(reads >= stats.partial_page_drops);
+        prop_assert!(reads <= stats.partial_page_drops + stats.pages_untouched);
+        let expected_deleted =
+            entries.iter().filter(|e| e.delete_key >= lo && e.delete_key < hi).count() as u64;
+        prop_assert_eq!(stats.entries_deleted, expected_deleted);
+        let remaining: Vec<Entry> = match &survivor {
+            Some(t) => t.read_all_entries(backend.as_ref()).unwrap(),
+            None => Vec::new(),
+        };
+        prop_assert_eq!(remaining.len() as u64, entries.len() as u64 - expected_deleted);
+        prop_assert!(remaining.iter().all(|e| e.delete_key < lo || e.delete_key >= hi));
+    }
+
+    /// Under a pure-insert workload the baseline and Lethe answer every
+    /// query identically (the "no deletes ⇒ identical behaviour" claim).
+    #[test]
+    fn no_deletes_means_identical_answers(keys in prop::collection::vec(0u64..2_000, 50..400)) {
+        let cfg = tiny_config(MergePolicy::Leveling, 1);
+        let backend_a = InMemoryBackend::new_shared();
+        let mut baseline = LsmTree::new(
+            cfg.clone(),
+            backend_a,
+            LogicalClock::new(),
+            Box::new(SaturationPolicy::new(FileSelection::MinOverlap)),
+        )
+        .unwrap();
+        let mut lethe = LetheBuilder::new()
+            .with_config(cfg)
+            .delete_persistence_threshold_secs(0.5)
+            .build()
+            .unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            let v = Bytes::from(format!("v{i}"));
+            baseline.put(k, k, v.clone()).unwrap();
+            lethe.put(k, k, v).unwrap();
+        }
+        baseline.flush().unwrap();
+        baseline.maintain().unwrap();
+        lethe.persist().unwrap();
+        for k in 0..2_000u64 {
+            prop_assert_eq!(baseline.get(k).unwrap(), lethe.get(k).unwrap());
+        }
+    }
+}
