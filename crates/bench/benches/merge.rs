@@ -13,7 +13,7 @@ fn runs(num_runs: usize, per_run: usize, delete_every: u64) -> Vec<Vec<Entry>> {
                 .map(|k| {
                     let key = k * 2 + r as u64;
                     let seq = (r * per_run) as u64 + k;
-                    if delete_every > 0 && key % delete_every == 0 {
+                    if delete_every > 0 && key.is_multiple_of(delete_every) {
                         Entry::point_tombstone(key, seq)
                     } else {
                         Entry::put(key, key, seq, Bytes::from(vec![0u8; 64]))

@@ -44,11 +44,13 @@ impl EngineSpec {
     /// Builds the engine on the in-memory simulated device.
     pub fn build(&self, base: LsmConfig) -> Result<AnyEngine> {
         match self {
-            EngineSpec::Baseline(kind) => Ok(AnyEngine::Baseline(Baseline::new(*kind, base)?)),
+            EngineSpec::Baseline(kind) => {
+                Ok(AnyEngine::Baseline(Box::new(Baseline::new(*kind, base)?)))
+            }
             EngineSpec::Lethe { dth_micros, h } => {
                 let mut cfg = base;
                 cfg.pages_per_delete_tile = *h;
-                if cfg.max_pages_per_file % *h != 0 {
+                if !cfg.max_pages_per_file.is_multiple_of(*h) {
                     cfg.max_pages_per_file = cfg.max_pages_per_file.div_ceil(*h) * *h;
                 }
                 cfg.secondary_delete_mode = SecondaryDeleteMode::KiwiPageDrops;
@@ -70,7 +72,7 @@ pub enum AnyEngine {
     /// A Lethe engine (FADE + KiWi).
     Lethe(Box<Lethe>),
     /// A state-of-the-art baseline.
-    Baseline(Baseline),
+    Baseline(Box<Baseline>),
 }
 
 impl AnyEngine {
@@ -130,16 +132,17 @@ pub fn apply_all(tree: &mut LsmTree, ops: &[Operation], value_size: usize) -> Re
 /// size so a full figure regenerates in seconds on a laptop. Use the
 /// `--ops`/`--scale` flags of the `experiments` binary to scale up.
 pub fn experiment_config() -> LsmConfig {
-    let mut cfg = LsmConfig::default();
-    cfg.size_ratio = 10;
-    cfg.buffer_pages = 64;
-    cfg.entries_per_page = 4;
-    cfg.entry_size = 128;
-    cfg.bits_per_key = 10.0;
-    cfg.max_pages_per_file = 16;
-    cfg.ingestion_rate = 4096;
-    cfg.key_domain = 1 << 24;
-    cfg
+    LsmConfig {
+        size_ratio: 10,
+        buffer_pages: 64,
+        entries_per_page: 4,
+        entry_size: 128,
+        bits_per_key: 10.0,
+        max_pages_per_file: 16,
+        ingestion_rate: 4096,
+        key_domain: 1 << 24,
+        ..LsmConfig::default()
+    }
 }
 
 /// Modeled time (µs) of an I/O snapshot under the paper's latency constants.

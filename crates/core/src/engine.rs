@@ -2,10 +2,10 @@
 //!
 //! [`Lethe`] is an [`LsmTree`] configured with
 //!
-//! * the [`FadePolicy`](crate::fade::FadePolicy) compaction strategy so every
+//! * the [`FadePolicy`] compaction strategy so every
 //!   tombstone persists within the delete persistence threshold `D_th`,
 //! * a delete-tile granularity `h` (either chosen explicitly or derived from a
-//!   [`WorkloadProfile`](crate::tuning::WorkloadProfile) via Equation (3)),
+//!   [`WorkloadProfile`] via Equation (3)),
 //! * blind-delete suppression, and
 //! * KiWi page drops for secondary range deletes.
 //!
@@ -45,10 +45,12 @@ impl LetheBuilder {
     /// Starts from the Table 1 reference configuration with a delete
     /// persistence threshold of one hour of logical time and `h = 1`.
     pub fn new() -> Self {
-        let mut config = LsmConfig::default();
-        config.secondary_delete_mode = SecondaryDeleteMode::KiwiPageDrops;
-        config.suppress_blind_deletes = true;
-        config.delete_persistence_threshold = Some(3600 * MICROS_PER_SEC);
+        let config = LsmConfig {
+            secondary_delete_mode: SecondaryDeleteMode::KiwiPageDrops,
+            suppress_blind_deletes: true,
+            delete_persistence_threshold: Some(3600 * MICROS_PER_SEC),
+            ..LsmConfig::default()
+        };
         LetheBuilder {
             config,
             dth: 3600 * MICROS_PER_SEC,
@@ -173,11 +175,25 @@ impl LetheBuilder {
     /// tree's file manifest across restarts is out of scope for this
     /// reproduction (see DESIGN.md).
     pub fn open(self, dir: impl AsRef<Path>) -> Result<Lethe> {
+        self.open_named(dir, "lethe", LogicalClock::new())
+    }
+
+    /// Opens (or creates) a durable engine *namespaced* inside `dir` (data
+    /// file `dir/<name>.data`, log `dir/<name>.wal`) on an explicit clock.
+    /// Several namespaced engines can share one directory and one clock,
+    /// which is how [`ShardedLethe`](crate::shard::ShardedLethe) keeps its
+    /// shards together with consistent delete-persistence TTLs.
+    pub fn open_named(
+        self,
+        dir: impl AsRef<Path>,
+        name: &str,
+        clock: LogicalClock,
+    ) -> Result<Lethe> {
         let dir = dir.as_ref();
-        let backend = Arc::new(FileBackend::open(dir)?);
-        let wal = FileWal::open(dir.join("lethe.wal"))?;
+        let backend = Arc::new(FileBackend::open_named(dir, name)?);
+        let wal = FileWal::open(dir.join(format!("{name}.wal")))?;
         let policy = FadePolicy::with_selection(self.dth, self.selection);
-        let mut tree = LsmTree::new(self.config, backend, LogicalClock::new(), Box::new(policy))?;
+        let mut tree = LsmTree::new(self.config, backend, clock, Box::new(policy))?;
         tree.recover_from(&wal)?;
         Ok(Lethe { tree: tree.with_wal(Box::new(wal)) })
     }

@@ -38,15 +38,19 @@
 //! db.delete_where_delete_key_in(0, 20200101).unwrap();
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod baseline;
 pub mod engine;
 pub mod fade;
 pub mod kiwi;
 pub mod model;
+pub mod shard;
 pub mod tuning;
 
 pub use baseline::{Baseline, BaselineKind};
 pub use engine::{Lethe, LetheBuilder};
+pub use shard::{ShardedLethe, ShardedLetheBuilder};
 pub use fade::{level_ttls, FadePolicy, SaturationSelection};
 pub use kiwi::{
     hash_cost_multiplier, metadata_overhead_bytes, plan_secondary_delete, DropPlan,

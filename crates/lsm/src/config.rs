@@ -168,7 +168,7 @@ impl LsmConfig {
         if self.max_pages_per_file == 0 {
             return Err("max_pages_per_file must be at least 1".into());
         }
-        if self.max_pages_per_file % self.pages_per_delete_tile != 0 {
+        if !self.max_pages_per_file.is_multiple_of(self.pages_per_delete_tile) {
             return Err(format!(
                 "pages per file ({}) must be a multiple of pages per delete tile ({})",
                 self.max_pages_per_file, self.pages_per_delete_tile
@@ -225,6 +225,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // per-field mutation is the point here
     fn validation_catches_bad_configs() {
         let mut c = LsmConfig::default();
         c.size_ratio = 1;

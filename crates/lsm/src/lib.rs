@@ -24,6 +24,8 @@
 //! Lethe engine wrapper) live in the `lethe-core` crate and plug into this
 //! substrate through [`compaction::CompactionPolicy`] and [`config::LsmConfig`].
 
+#![deny(missing_docs)]
+
 pub mod compaction;
 pub mod config;
 pub mod level;

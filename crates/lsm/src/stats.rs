@@ -56,6 +56,25 @@ impl TreeStats {
         self.entries_ingested += 1;
     }
 
+    /// Accumulates the counters of `other` into `self`; used by the sharded
+    /// front-end to aggregate per-shard statistics into one combined view.
+    pub fn absorb(&mut self, other: &TreeStats) {
+        self.flushes += other.flushes;
+        self.compactions += other.compactions;
+        self.full_tree_compactions += other.full_tree_compactions;
+        self.ttl_triggered_compactions += other.ttl_triggered_compactions;
+        self.entries_compacted += other.entries_compacted;
+        self.bytes_ingested += other.bytes_ingested;
+        self.entries_ingested += other.entries_ingested;
+        self.point_deletes_issued += other.point_deletes_issued;
+        self.range_deletes_issued += other.range_deletes_issued;
+        self.blind_deletes_suppressed += other.blind_deletes_suppressed;
+        self.secondary_range_deletes += other.secondary_range_deletes;
+        self.secondary_delete.merge(&other.secondary_delete);
+        self.point_lookups += other.point_lookups;
+        self.range_lookups += other.range_lookups;
+    }
+
     /// Write amplification given the total bytes the device has absorbed.
     pub fn write_amplification(&self, device_bytes_written: u64) -> f64 {
         if self.bytes_ingested == 0 {
@@ -93,6 +112,22 @@ pub struct ContentSnapshot {
 }
 
 impl ContentSnapshot {
+    /// Accumulates `other` into `self`; used by the sharded front-end to
+    /// combine per-shard snapshots. Additive counters are summed;
+    /// `populated_levels` becomes the maximum across shards (the depth of the
+    /// deepest shard tree).
+    pub fn absorb(&mut self, other: &ContentSnapshot) {
+        self.total_bytes += other.total_bytes;
+        self.unique_bytes += other.unique_bytes;
+        self.total_entries += other.total_entries;
+        self.unique_entries += other.unique_entries;
+        self.tombstones += other.tombstones;
+        self.tombstone_file_ages.extend_from_slice(&other.tombstone_file_ages);
+        self.populated_levels = self.populated_levels.max(other.populated_levels);
+        self.files += other.files;
+        self.metadata_bytes += other.metadata_bytes;
+    }
+
     /// Space amplification `(csize(N) − csize(U)) / csize(U)` (§3.2.1).
     pub fn space_amplification(&self) -> f64 {
         if self.unique_bytes == 0 {

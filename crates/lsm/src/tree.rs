@@ -1,7 +1,7 @@
 //! The LSM tree engine.
 //!
 //! [`LsmTree`] wires together the memtable, the leveled/tiered on-device
-//! structure, a pluggable [`CompactionPolicy`](crate::compaction::CompactionPolicy)
+//! structure, a pluggable [`CompactionPolicy`]
 //! and the KiWi file layout into a complete storage engine: puts, point and
 //! range deletes on the sort key, secondary range deletes on the delete key,
 //! point lookups, range scans, flushing and compaction.
@@ -446,7 +446,7 @@ impl LsmTree {
                         victim_tables.push(Arc::clone(table));
                     }
                 }
-                let drop_tombstones = self.deepest_nonempty_level().map_or(true, |d| d == 0);
+                let drop_tombstones = self.deepest_nonempty_level().is_none_or(|d| d == 0);
                 let merged = merge_entries(inputs, all_rts, drop_tombstones);
                 for t in victim_tables {
                     t.release_pages(self.backend.as_ref());
@@ -666,7 +666,7 @@ impl LsmTree {
         // in deeper levels are not part of the merge, so tombstones may only
         // be discarded when *nothing* exists at the destination level or
         // below — otherwise an older version they cover could resurface.
-        let drop_tombstones = self.deepest_nonempty_level().map_or(true, |d| d < level + 1);
+        let drop_tombstones = self.deepest_nonempty_level().is_none_or(|d| d < level + 1);
         let mut inputs = Vec::new();
         let mut rts = Vec::new();
         let mut oldest: Option<Timestamp> = None;
@@ -1112,7 +1112,7 @@ mod tests {
         assert_eq!(snap.tombstones, 0);
         assert_eq!(snap.populated_levels, 1);
         // and queries still work
-        assert_eq!(t.get(1).unwrap().is_some(), true);
+        assert!(t.get(1).unwrap().is_some());
         assert_eq!(t.get(0).unwrap(), None);
     }
 

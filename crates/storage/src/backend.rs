@@ -141,8 +141,17 @@ impl FileBackend {
     /// Opens (or creates) a file-backed device rooted at `dir`. The data file
     /// is `dir/lethe.data`.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_named(dir, "lethe")
+    }
+
+    /// Opens (or creates) a *namespaced* file-backed device rooted at `dir`:
+    /// the data file is `dir/<name>.data`. Several namespaced devices can
+    /// share one directory, which is how the sharded front-end keeps the
+    /// per-shard data files (`shard-000.data`, `shard-001.data`, …) of one
+    /// logical store together.
+    pub fn open_named(dir: impl AsRef<Path>, name: &str) -> Result<Self> {
         std::fs::create_dir_all(dir.as_ref())?;
-        let path = dir.as_ref().join("lethe.data");
+        let path = dir.as_ref().join(format!("{name}.data"));
         let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
         Ok(FileBackend {
             path,

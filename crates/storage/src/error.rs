@@ -62,7 +62,7 @@ mod tests {
 
     #[test]
     fn io_error_converts_and_exposes_source() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: StorageError = io.into();
         assert!(e.to_string().contains("boom"));
         use std::error::Error;

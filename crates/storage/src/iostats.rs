@@ -109,6 +109,33 @@ impl IoSnapshot {
     pub fn page_ios(&self) -> u64 {
         self.pages_read + self.pages_written
     }
+
+    /// Counter-wise sum of two snapshots; used by the sharded front-end to
+    /// aggregate per-shard device activity into one combined view.
+    pub fn combined(&self, other: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            pages_read: self.pages_read + other.pages_read,
+            pages_written: self.pages_written + other.pages_written,
+            pages_dropped: self.pages_dropped + other.pages_dropped,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            bloom_probes: self.bloom_probes + other.bloom_probes,
+        }
+    }
+}
+
+impl std::ops::Add for IoSnapshot {
+    type Output = IoSnapshot;
+
+    fn add(self, rhs: IoSnapshot) -> IoSnapshot {
+        self.combined(&rhs)
+    }
+}
+
+impl std::iter::Sum for IoSnapshot {
+    fn sum<I: Iterator<Item = IoSnapshot>>(iter: I) -> IoSnapshot {
+        iter.fold(IoSnapshot::default(), |acc, s| acc.combined(&s))
+    }
 }
 
 /// Converts counted device/CPU events into time, using the latency constants

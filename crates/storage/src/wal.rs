@@ -6,7 +6,7 @@
 //! out-live the delete-persistence threshold `D_th` *inside the WAL*: if the
 //! WAL is not rotated faster than `D_th`, a dedicated routine copies live
 //! records younger than `D_th` to a fresh log and discards the old one. That
-//! routine is [`purge_older_than`].
+//! routine is [`Wal::purge_older_than`].
 
 use crate::clock::Timestamp;
 use crate::entry::{DeleteKey, SortKey};

@@ -95,6 +95,18 @@ impl WorkloadGenerator {
         &self.spec
     }
 
+    /// Starts the uncorrelated delete-key "arrival" counter at `base`
+    /// instead of zero. Multi-generator drivers (see
+    /// [`crate::concurrent::run_concurrent`]) give each generator a disjoint
+    /// base so delete keys stay globally unique — without it, every
+    /// generator would restart the arrival timeline at zero and
+    /// retention-style secondary deletes ("purge the oldest entries") would
+    /// collide across generators.
+    pub fn start_arrival_at(mut self, base: u64) -> Self {
+        self.arrival = base;
+        self
+    }
+
     /// Value payload matching the spec's `value_size`, derived from the key
     /// so that values are distinguishable in tests.
     pub fn value_for(&self, key: u64) -> Vec<u8> {

@@ -10,10 +10,12 @@
 //! operation stream, which keeps every figure of the benchmark harness
 //! reproducible.
 
+pub mod concurrent;
 pub mod generator;
 pub mod spec;
 pub mod zipf;
 
+pub use concurrent::{run_concurrent, thread_spec, ConcurrentReport};
 pub use generator::{Operation, WorkloadGenerator};
 pub use spec::{DeleteKeyCorrelation, KeyDistribution, WorkloadSpec};
 pub use zipf::Zipf;

@@ -225,6 +225,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)] // per-field mutation is the point here
     fn validation_rejects_bad_specs() {
         let mut s = WorkloadSpec::default();
         s.update_fraction = 0.9; // sums to 1.4

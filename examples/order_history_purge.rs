@@ -16,15 +16,16 @@ const TOTAL_ORDERS: u64 = 40_000;
 const USERS: u64 = 400;
 
 fn config() -> LsmConfig {
-    let mut cfg = LsmConfig::default();
-    cfg.size_ratio = 4;
-    cfg.buffer_pages = 64;
-    cfg.entries_per_page = 4;
-    cfg.entry_size = 128;
-    cfg.max_pages_per_file = 16;
-    cfg.ingestion_rate = 20_000;
-    cfg.key_domain = TOTAL_ORDERS * 2;
-    cfg
+    LsmConfig {
+        size_ratio: 4,
+        buffer_pages: 64,
+        entries_per_page: 4,
+        entry_size: 128,
+        max_pages_per_file: 16,
+        ingestion_rate: 20_000,
+        key_domain: TOTAL_ORDERS * 2,
+        ..LsmConfig::default()
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -19,15 +19,16 @@ const DAYS: u64 = 30;
 const RETAIN_DAYS: u64 = 23;
 
 fn config() -> LsmConfig {
-    let mut cfg = LsmConfig::default();
-    cfg.size_ratio = 4;
-    cfg.buffer_pages = 64;
-    cfg.entries_per_page = 4;
-    cfg.entry_size = 128;
-    cfg.max_pages_per_file = 32;
-    cfg.ingestion_rate = 50_000;
-    cfg.key_domain = DOCS * 2;
-    cfg
+    LsmConfig {
+        size_ratio: 4,
+        buffer_pages: 64,
+        entries_per_page: 4,
+        entry_size: 128,
+        max_pages_per_file: 32,
+        ingestion_rate: 50_000,
+        key_domain: DOCS * 2,
+        ..LsmConfig::default()
+    }
 }
 
 /// Ingest `DOCS` documents whose ids arrive in random-ish order while their
@@ -65,7 +66,7 @@ fn run_lethe(h: usize) -> Result<(), Box<dyn std::error::Error>> {
         delta.pages_read,
         delta.pages_written,
         stats.full_page_drops,
-        stats.entries_deleted as u64,
+        stats.entries_deleted,
     );
     // retention audit: nothing older than the cutoff is readable any more
     assert!(db.scan_by_delete_key(0, DAYS - RETAIN_DAYS)?.is_empty());
@@ -84,7 +85,7 @@ fn run_baseline() -> Result<(), Box<dyn std::error::Error>> {
         delta.pages_read,
         delta.pages_written,
         stats.full_page_drops,
-        stats.entries_deleted as u64,
+        stats.entries_deleted,
     );
     Ok(())
 }

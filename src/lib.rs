@@ -6,11 +6,17 @@
 //!
 //! * [`lethe_core`] (re-exported at the root) — the [`Lethe`] engine, the
 //!   FADE compaction policy, KiWi planning helpers, the tuning equations and
-//!   the Table 2 cost model, plus the state-of-the-art [`Baseline`] engines.
+//!   the Table 2 cost model, the state-of-the-art [`Baseline`] engines, and
+//!   [`ShardedLethe`] — the concurrent, `Send + Sync` sharded front-end.
 //! * [`lsm`] — the underlying LSM-tree substrate (for white-box access).
 //! * [`storage`] — pages, Bloom filters, fence pointers, devices, WAL.
 //! * [`workload`] — the deterministic workload generator used by the
-//!   benchmark harness and the examples.
+//!   benchmark harness and the examples, plus the multi-threaded
+//!   concurrent driver ([`workload::run_concurrent`]).
+//!
+//! Start with the repository-level docs: `README.md` (what Lethe is, the
+//! two knobs, quick start) and `ARCHITECTURE.md` (the layer stack, the
+//! FADE/KiWi split, and where the sharded front-end sits).
 //!
 //! ```
 //! use lethe::{Lethe, LetheBuilder};

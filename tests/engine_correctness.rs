@@ -8,15 +8,16 @@ use lethe::{Baseline, BaselineKind, Lethe, LetheBuilder, LsmConfig};
 use std::collections::BTreeMap;
 
 fn small_config() -> LsmConfig {
-    let mut cfg = LsmConfig::default();
-    cfg.size_ratio = 4;
-    cfg.buffer_pages = 8;
-    cfg.entries_per_page = 4;
-    cfg.entry_size = 64;
-    cfg.max_pages_per_file = 8;
-    cfg.key_domain = 1 << 20;
-    cfg.ingestion_rate = 10_000;
-    cfg
+    LsmConfig {
+        size_ratio: 4,
+        buffer_pages: 8,
+        entries_per_page: 4,
+        entry_size: 64,
+        max_pages_per_file: 8,
+        key_domain: 1 << 20,
+        ingestion_rate: 10_000,
+        ..LsmConfig::default()
+    }
 }
 
 fn lethe_engine(h: usize) -> Lethe {

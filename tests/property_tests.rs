@@ -45,7 +45,7 @@ fn tiny_config(merge_policy: MergePolicy, h: usize) -> LsmConfig {
     cfg.merge_policy = merge_policy;
     cfg.pages_per_delete_tile = h;
     cfg.max_pages_per_file = (8usize).max(h);
-    if cfg.max_pages_per_file % h != 0 {
+    if !cfg.max_pages_per_file.is_multiple_of(h) {
         cfg.max_pages_per_file = cfg.max_pages_per_file.div_ceil(h) * h;
     }
     cfg.secondary_delete_mode = SecondaryDeleteMode::KiwiPageDrops;

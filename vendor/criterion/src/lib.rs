@@ -1,0 +1,197 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the criterion API the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple wall-clock measurement loop instead of criterion's statistical
+//! machinery. Every bench target compiles and runs under `cargo bench`,
+//! printing a mean ns/iteration per benchmark; swapping the real dependency
+//! back in is a one-line `Cargo.toml` change.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost across routine invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many routine calls per setup batch.
+    SmallInput,
+    /// Large inputs: few routine calls per setup batch.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher {
+    target: Duration,
+    /// Mean nanoseconds per iteration measured by the last `iter*` call.
+    elapsed_ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher { target, elapsed_ns_per_iter: f64::NAN, iters: 0 }
+    }
+
+    /// Times `routine` over repeated calls until the measurement target is
+    /// reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.target && iters >= 10 {
+                break;
+            }
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        let total = start.elapsed();
+        self.elapsed_ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // warm-up
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+            if (measured >= self.target && iters >= 5) || wall.elapsed() >= self.target * 20 {
+                break;
+            }
+        }
+        self.elapsed_ns_per_iter = measured.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for API parity; the stand-in's
+    /// measurement loop is time-targeted, so this only scales the target).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // criterion's default is 100 samples; scale our time budget with the
+        // requested sample count so `sample_size(10)` benches finish quickly
+        let base = Criterion::DEFAULT_TARGET;
+        self.criterion.target = base.mul_f64((n as f64 / 100.0).clamp(0.05, 2.0));
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut bench: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher::new(self.criterion.target);
+        bench(&mut b);
+        report(&full, &b);
+        self
+    }
+
+    /// Ends the group (restores the default measurement target).
+    pub fn finish(&mut self) {
+        self.criterion.target = Criterion::DEFAULT_TARGET;
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { target: Self::DEFAULT_TARGET }
+    }
+}
+
+impl Criterion {
+    const DEFAULT_TARGET: Duration = Duration::from_millis(300);
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    /// Registers and immediately runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut bench: F) -> &mut Self {
+        let mut b = Bencher::new(self.target);
+        bench(&mut b);
+        report(name, &b);
+        self
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.elapsed_ns_per_iter.is_nan() {
+        println!("{name:<60} (no measurement)");
+    } else if b.elapsed_ns_per_iter >= 1_000_000.0 {
+        println!(
+            "{name:<60} {:>12.3} ms/iter  ({} iters)",
+            b.elapsed_ns_per_iter / 1_000_000.0,
+            b.iters
+        );
+    } else if b.elapsed_ns_per_iter >= 1_000.0 {
+        println!(
+            "{name:<60} {:>12.3} µs/iter  ({} iters)",
+            b.elapsed_ns_per_iter / 1_000.0,
+            b.iters
+        );
+    } else {
+        println!("{name:<60} {:>12.1} ns/iter  ({} iters)", b.elapsed_ns_per_iter, b.iters);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for the [`proptest`](https://proptest-rs.github.io/proptest/)
+//! property-testing crate.
+//!
+//! The build environment has no network access, so this crate reimplements
+//! the subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, ranges, tuples,
+//!   [`strategy::Just`] and weighted unions (`prop_oneof!`),
+//! * [`arbitrary::any`] for primitive types,
+//! * [`collection`](strategy::collection)'s `vec`/`hash_set`/`btree_set`,
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support, and
+//! * `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Generation is deterministic (each case is seeded from the case index), so
+//! failures are reproducible by construction. The one intentional omission is
+//! *shrinking*: a failing case reports its inputs via the normal panic
+//! message instead of a minimised counterexample. The sibling
+//! `crates/bench/src/bin/fuzz_oracle.rs` binary provides greedy shrinking for
+//! the engine-versus-oracle property where minimisation matters most.
+
+#![deny(missing_docs)]
+
+/// Re-exported so the [`proptest!`] macro can name the RNG from any crate.
+pub use rand;
+
+/// Strategy combinators: the core value-generation abstraction.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            self.start + rng.gen::<f64>() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+
+    /// Weighted union of strategies; built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (weight, strat) in &self.arms {
+                if pick < *weight as u64 {
+                    return strat.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            self.arms.last().unwrap().1.generate(rng)
+        }
+    }
+
+    /// Collection strategies (`vec`, `hash_set`, `btree_set`).
+    pub mod collection {
+        use super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::collections::{BTreeSet, HashSet};
+        use std::hash::Hash;
+
+        fn pick_len(size: &std::ops::Range<usize>, rng: &mut StdRng) -> usize {
+            rng.gen_range(size.clone())
+        }
+
+        /// Generates `Vec`s of `element` values with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = pick_len(&self.size, rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Generates `HashSet`s of `element` values with a cardinality in
+        /// `size` (best effort: bounded retries when the element domain is
+        /// too small to reach the minimum).
+        pub fn hash_set<S>(element: S, size: std::ops::Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy { element, size }
+        }
+
+        /// Strategy returned by [`hash_set`].
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            type Value = HashSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let target = pick_len(&self.size, rng);
+                let mut out = HashSet::new();
+                let mut tries = 0usize;
+                while out.len() < target && tries < target * 20 + 100 {
+                    out.insert(self.element.generate(rng));
+                    tries += 1;
+                }
+                out
+            }
+        }
+
+        /// Generates `BTreeSet`s of `element` values with a cardinality in
+        /// `size` (best effort, like [`hash_set`]).
+        pub fn btree_set<S>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        /// Strategy returned by [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let target = pick_len(&self.size, rng);
+                let mut out = BTreeSet::new();
+                let mut tries = 0usize;
+                while out.len() < target && tries < target * 20 + 100 {
+                    out.insert(self.element.generate(rng));
+                    tries += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support for primitive types.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value over the type's full domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<f64>()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Test-runner configuration (`cases` is the only knob the stand-in honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for API parity; the stand-in does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror of proptest's `prop::` module path.
+    pub mod prop {
+        pub use crate::strategy::collection;
+    }
+}
+
+/// Weighted choice between strategies: `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure, like a plain
+/// `assert!`; the stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }` runs
+/// `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $(
+          $(#[$attr:meta])*
+          fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    // stable per-test seed: the case index mixed with the
+                    // test name so sibling tests see different streams
+                    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in stringify!($name).bytes() {
+                        seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                    }
+                    let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                        seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}

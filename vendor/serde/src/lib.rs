@@ -1,0 +1,21 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few plain-data specs
+//! but never serialises anything in-tree (no `serde_json` or similar), so the
+//! derives expand to nothing. The import sites (`use serde::{Deserialize,
+//! Serialize};`) compile unchanged against this crate; swapping the real
+//! dependency back in is a one-line `Cargo.toml` change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
