@@ -21,8 +21,8 @@ use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
 use lethe_lsm::tree::LsmTree;
 use lethe_storage::{
-    DeleteKey, Entry, FileBackend, FileWal, InMemoryBackend, IoSnapshot, LogicalClock, Result,
-    SortKey, StorageBackend, Timestamp, MICROS_PER_SEC,
+    DeleteKey, Entry, FailPoint, FileBackend, FileWal, InMemoryBackend, IoSnapshot, LogicalClock,
+    Manifest, Result, SortKey, StorageBackend, SyncPolicy, Timestamp, MICROS_PER_SEC,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -33,6 +33,7 @@ pub struct LetheBuilder {
     config: LsmConfig,
     dth: Timestamp,
     selection: SaturationSelection,
+    failpoint: Option<FailPoint>,
 }
 
 impl Default for LetheBuilder {
@@ -55,6 +56,7 @@ impl LetheBuilder {
             config,
             dth: 3600 * MICROS_PER_SEC,
             selection: SaturationSelection::MostInvalidations,
+            failpoint: None,
         }
     }
 
@@ -137,6 +139,25 @@ impl LetheBuilder {
         self
     }
 
+    /// Sets when a durable store's write-ahead log fsyncs appends. Durable
+    /// opens default to [`SyncPolicy::Always`] ("logged before acknowledged"
+    /// holds against power failures); [`SyncPolicy::EveryN`] and
+    /// [`SyncPolicy::OnFlush`] trade a bounded loss window for throughput.
+    pub fn wal_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.config.wal_sync = policy;
+        self
+    }
+
+    /// Attaches a crash-injection fail point to every durable component of
+    /// the store opened by [`LetheBuilder::open`]/[`LetheBuilder::open_named`]
+    /// (data file, WAL, manifest). Arm it to make the n-th subsequent durable
+    /// step fail, simulating a kill at that exact point; used by the
+    /// crash-recovery tests. No effect on in-memory engines.
+    pub fn crash_failpoint(mut self, fp: FailPoint) -> Self {
+        self.failpoint = Some(fp);
+        self
+    }
+
     /// Overrides the low-level configuration (advanced use). The settings
     /// that define Lethe are re-asserted on top of the supplied config:
     /// secondary range deletes always use KiWi page drops, and the delete
@@ -169,20 +190,28 @@ impl LetheBuilder {
     }
 
     /// Opens (or creates) a durable engine rooted at `dir`: a file-backed
-    /// device plus a write-ahead log, replaying the log on startup.
-    ///
-    /// Note: only the write-ahead log is replayed on startup; persisting the
-    /// tree's file manifest across restarts is out of scope for this
-    /// reproduction (see DESIGN.md).
+    /// device, a write-ahead log and a manifest. On startup the tree's
+    /// levels and files are recovered from the manifest (flushed and
+    /// compacted data survives restarts), then the WAL is replayed on top,
+    /// so every acknowledged write is returned by the reopened store.
     pub fn open(self, dir: impl AsRef<Path>) -> Result<Lethe> {
         self.open_named(dir, "lethe", LogicalClock::new())
     }
 
     /// Opens (or creates) a durable engine *namespaced* inside `dir` (data
-    /// file `dir/<name>.data`, log `dir/<name>.wal`) on an explicit clock.
-    /// Several namespaced engines can share one directory and one clock,
-    /// which is how [`ShardedLethe`](crate::shard::ShardedLethe) keeps its
-    /// shards together with consistent delete-persistence TTLs.
+    /// file `dir/<name>.data`, log `dir/<name>.wal`, manifest
+    /// `dir/<name>.manifest`) on an explicit clock. Several namespaced
+    /// engines can share one directory and one clock, which is how
+    /// [`ShardedLethe`](crate::shard::ShardedLethe) keeps its shards
+    /// together with consistent delete-persistence TTLs.
+    ///
+    /// Recovery order: the data file is scanned to rebuild the page index
+    /// (truncating any torn tail), the manifest's edit log is folded into
+    /// the last committed tree state, levels and files are rebuilt from it
+    /// (re-deriving Bloom filters and fence pointers), unreferenced pages
+    /// are released, and finally the WAL — whose own torn tail, if any, is
+    /// truncated away — is replayed on top. The WAL is only truncated once a
+    /// later flush commits a covering manifest edit.
     pub fn open_named(
         self,
         dir: impl AsRef<Path>,
@@ -190,11 +219,19 @@ impl LetheBuilder {
         clock: LogicalClock,
     ) -> Result<Lethe> {
         let dir = dir.as_ref();
-        let backend = Arc::new(FileBackend::open_named(dir, name)?);
-        let wal = FileWal::open(dir.join(format!("{name}.wal")))?;
+        let mut backend = FileBackend::open_named(dir, name)?;
+        let mut wal =
+            FileWal::open(dir.join(format!("{name}.wal")))?.with_sync_policy(self.config.wal_sync);
+        let mut manifest = Manifest::open(dir.join(format!("{name}.manifest")))?;
+        if let Some(fp) = &self.failpoint {
+            backend.set_failpoint(fp.clone());
+            wal = wal.with_failpoint(fp.clone());
+            manifest.set_failpoint(fp.clone());
+        }
         let policy = FadePolicy::with_selection(self.dth, self.selection);
-        let mut tree = LsmTree::new(self.config, backend, clock, Box::new(policy))?;
-        tree.recover_from(&wal)?;
+        let mut tree = LsmTree::new(self.config, Arc::new(backend), clock, Box::new(policy))?
+            .with_manifest(manifest);
+        tree.recover(&wal)?;
         Ok(Lethe { tree: tree.with_wal(Box::new(wal)) })
     }
 }

@@ -209,6 +209,23 @@ impl ShardedLetheBuilder {
         self
     }
 
+    /// Sets when every shard's write-ahead log fsyncs appends (durable
+    /// stores default to fsync-per-append; see
+    /// [`LetheBuilder::wal_sync_policy`]).
+    pub fn wal_sync_policy(mut self, policy: lethe_storage::SyncPolicy) -> Self {
+        self.inner = self.inner.wal_sync_policy(policy);
+        self
+    }
+
+    /// Attaches one crash-injection fail point to the durable components of
+    /// *every* shard opened by [`ShardedLetheBuilder::open`] (testing aid;
+    /// the clones share a single countdown, so the injected failure fires
+    /// exactly once across the whole store).
+    pub fn crash_failpoint(mut self, fp: lethe_storage::FailPoint) -> Self {
+        self.inner = self.inner.crash_failpoint(fp);
+        self
+    }
+
     /// Overrides the low-level configuration applied to every shard.
     /// Last call wins: this cancels any earlier
     /// [`tune_delete_tiles_for`](Self::tune_delete_tiles_for) request (the
@@ -240,10 +257,14 @@ impl ShardedLetheBuilder {
     }
 
     /// Opens (or creates) a durable sharded engine rooted at `dir`. Each
-    /// shard gets a namespaced data file and write-ahead log in the shared
-    /// directory (`shard-000.data`/`shard-000.wal`, `shard-001.…`), and all
-    /// shards share one logical clock. Re-opening with a different shard
-    /// count than the store was created with is rejected.
+    /// shard gets a namespaced data file, write-ahead log and manifest in
+    /// the shared directory (`shard-000.data`/`shard-000.wal`/
+    /// `shard-000.manifest`, `shard-001.…`), each shard recovers its own
+    /// manifest + WAL on open, and all shards share one logical clock.
+    /// Re-opening with a different shard count than the store was created
+    /// with is rejected (routing is a function of the count), as is a store
+    /// with committed shard state but no readable `SHARDS` super-manifest —
+    /// both would otherwise silently misroute keys.
     pub fn open(self, dir: impl AsRef<Path>) -> Result<ShardedLethe> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -255,17 +276,41 @@ impl ShardedLetheBuilder {
             let shard = inner.clone().open_named(dir, &format!("shard-{i:03}"), clock.clone())?;
             shards.push(Mutex::new(shard));
         }
-        // the manifest is written only once every shard opened successfully,
-        // so a failed open never pins a shard count for a store that was
-        // never created
-        std::fs::write(dir.join("SHARDS"), format!("{}\n", self.shards))?;
+        // the super-manifest is written only once every shard opened
+        // successfully (a failed open never pins a shard count for a store
+        // that was never created), and atomically + fsync'd: once a client
+        // can acknowledge writes, the recorded count must survive a crash
+        write_shard_manifest(dir, self.shards)?;
         Ok(ShardedLethe { shards, clock })
     }
+}
+
+/// Durably records the shard count: write-to-temporary, atomic rename,
+/// parent-directory fsync.
+fn write_shard_manifest(dir: &Path, shards: usize) -> Result<()> {
+    use std::io::Write;
+    let path = dir.join("SHARDS");
+    let tmp = dir.join("SHARDS.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(format!("{shards}\n").as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    lethe_storage::wal::fsync_dir(&path)?;
+    Ok(())
 }
 
 /// Validates the recorded shard count of a durable store, if any: routing is
 /// a function of the shard count, so re-opening with a different `N` would
 /// silently misroute keys.
+///
+/// A directory with per-shard *manifests* (i.e. committed durable state) but
+/// no `SHARDS` super-manifest is partial shard state — someone lost or
+/// deleted the routing record — and is rejected rather than guessed at.
+/// Leftover data/WAL files without manifests are tolerated: they can only
+/// come from a store that never acknowledged a write under a committed shard
+/// count (`SHARDS` is durably written before `open` returns).
 fn validate_shard_manifest(dir: &Path, shards: usize) -> Result<()> {
     use lethe_storage::StorageError;
     let path = dir.join("SHARDS");
@@ -281,7 +326,25 @@ fn validate_shard_manifest(dir: &Path, shards: usize) -> Result<()> {
             }
             Ok(())
         }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let mut orphaned: Vec<String> = Vec::new();
+            for entry in std::fs::read_dir(dir)? {
+                let name = entry?.file_name().to_string_lossy().into_owned();
+                if name.starts_with("shard-") && name.ends_with(".manifest") {
+                    orphaned.push(name);
+                }
+            }
+            if !orphaned.is_empty() {
+                orphaned.sort();
+                return Err(StorageError::Corruption(format!(
+                    "store at {dir:?} has committed shard state ({}) but no SHARDS \
+                     super-manifest; refusing to guess a shard count that could \
+                     misroute every key",
+                    orphaned.join(", ")
+                )));
+            }
+            Ok(())
+        }
         Err(e) => Err(e.into()),
     }
 }
@@ -566,9 +629,6 @@ mod tests {
     fn durable_sharded_store_roundtrips_and_checks_shard_count() {
         let dir = std::env::temp_dir().join(format!("lethe-sharded-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        // like the single-shard engine, only the WAL is replayed on startup
-        // (the file manifest is not persisted — see LetheBuilder::open), so
-        // keep every shard's working set inside its write buffer
         let durable = || small().buffer(64, 4, 64).shards(3);
         {
             let db = durable().open(&dir).unwrap();
@@ -584,6 +644,57 @@ mod tests {
         }
         // a mismatched shard count must be rejected, not silently misroute
         assert!(small().shards(5).open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_sharded_store_recovers_flushed_data() {
+        let dir = std::env::temp_dir().join(format!("lethe-sharded-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // tiny buffers: the working set is far larger than the write
+        // buffers, so reopening must recover per-shard manifests, not just
+        // replay the WALs
+        let durable = || small().shards(3);
+        {
+            let db = durable().open(&dir).unwrap();
+            for k in 0..500u64 {
+                db.put(k, k % 97, format!("flushed-{k}")).unwrap();
+            }
+            db.persist().unwrap();
+            for k in (0..500u64).step_by(7) {
+                db.delete(k).unwrap();
+            }
+            db.persist().unwrap();
+        }
+        {
+            let db = durable().open(&dir).unwrap();
+            for k in 0..500u64 {
+                let expect = if k % 7 == 0 { None } else { Some(Bytes::from(format!("flushed-{k}"))) };
+                assert_eq!(db.get(k).unwrap(), expect, "key {k}");
+            }
+            assert_eq!(db.range(0, 500).unwrap().len(), 500 - 500usize.div_ceil(7));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_store_without_super_manifest_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("lethe-sharded-part-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = small().shards(2).open(&dir).unwrap();
+            for k in 0..200u64 {
+                db.put(k, k, format!("v{k}")).unwrap();
+            }
+            db.persist().unwrap();
+        }
+        // lose the routing record: shard manifests exist, SHARDS does not
+        std::fs::remove_file(dir.join("SHARDS")).unwrap();
+        let err = match small().shards(2).open(&dir) {
+            Ok(_) => panic!("partial shard state must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("SHARDS"), "unexpected error: {err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -2,7 +2,7 @@
 //! (`D_th`, delete-tile granularity `h`, compaction policy selection).
 
 use lethe_storage::clock::MICROS_PER_SEC;
-use lethe_storage::Timestamp;
+use lethe_storage::{SyncPolicy, Timestamp};
 
 /// How runs are merged across levels (paper §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,11 @@ pub struct LsmConfig {
     /// Upper bound of the sort-key / delete-key domain used by the
     /// histograms (keys above are clamped; purely an estimation aid).
     pub key_domain: u64,
+    /// When the write-ahead log of a durable store fsyncs appends
+    /// ([`SyncPolicy::Always`] keeps "logged before acknowledged" true
+    /// against power failures; the relaxed policies trade a bounded loss
+    /// window for throughput). Ignored by in-memory engines.
+    pub wal_sync: SyncPolicy,
 }
 
 impl Default for LsmConfig {
@@ -93,6 +98,7 @@ impl Default for LsmConfig {
             secondary_delete_mode: SecondaryDeleteMode::FullTreeCompaction,
             histogram_buckets: 256,
             key_domain: u64::MAX,
+            wal_sync: SyncPolicy::Always,
         }
     }
 }

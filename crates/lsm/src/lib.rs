@@ -43,4 +43,4 @@ pub use level::{Level, Run};
 pub use merge::{merge_entries, MergeOutput};
 pub use sstable::{DeleteTile, PageHandle, SecondaryDeleteStats, SsTable, SsTableMeta};
 pub use stats::{ContentSnapshot, TreeStats};
-pub use tree::LsmTree;
+pub use tree::{LsmTree, RecoveryReport};

@@ -21,9 +21,10 @@
 
 use crate::config::LsmConfig;
 use lethe_storage::{
-    BloomFilter, DeleteFence, DeleteFences, DeleteKey, Entry, FencePointers, IoStats, Page,
-    PageId, Result, SeqNum, SortKey, StorageBackend, Timestamp,
+    BloomFilter, DeleteFence, DeleteFences, DeleteKey, Entry, FencePointers, FileDesc, IoStats,
+    Page, PageId, Result, SeqNum, SortKey, StorageBackend, StorageError, Timestamp,
 };
+use std::sync::Arc;
 
 /// In-memory handle to one on-device page.
 #[derive(Debug, Clone)]
@@ -141,6 +142,10 @@ pub struct SsTable {
     /// The file's range-tombstone block (kept in memory; range tombstones are
     /// rare and tiny).
     pub range_tombstones: Vec<Entry>,
+    /// Lazily-built manifest descriptor; the file is immutable, so it is
+    /// computed once and shared (by `Arc` identity) with the manifest's
+    /// committed state, letting edits diff unchanged files by pointer.
+    desc: std::sync::OnceLock<Arc<FileDesc>>,
 }
 
 /// Outcome counters of one secondary range delete over one file.
@@ -259,6 +264,109 @@ impl SsTable {
             tiles,
             tile_fences: FencePointers::new(tile_mins),
             range_tombstones,
+            desc: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// Produces the durable description of this file for the manifest: page
+    /// ids per tile (in layout order) plus the metadata that cannot be
+    /// re-derived from page contents. Built once per (immutable) file and
+    /// then shared, so repeated manifest commits cost an `Arc` clone.
+    pub fn describe(&self) -> Arc<FileDesc> {
+        Arc::clone(self.desc.get_or_init(|| {
+            Arc::new(FileDesc {
+                id: self.meta.id,
+                created_at: self.meta.created_at,
+                oldest_tombstone_ts: self.meta.oldest_tombstone_ts,
+                max_seqnum: self.meta.max_seqnum,
+                tiles: self
+                    .tiles
+                    .iter()
+                    .map(|t| t.pages.iter().map(|p| p.id).collect())
+                    .collect(),
+                range_tombstones: self.range_tombstones.clone(),
+            })
+        }))
+    }
+
+    /// Rebuilds a file from its manifest description by reading its pages
+    /// back from `backend`, re-deriving the Bloom filters, fence pointers,
+    /// delete fences and min/max metadata that [`SsTable::describe`] left
+    /// out. The inverse of `describe` up to those derived structures; the
+    /// supplied descriptor is adopted as the rebuilt file's cached one, so
+    /// post-recovery manifest commits recognise it by pointer identity.
+    pub fn recover(
+        desc: &Arc<FileDesc>,
+        config: &LsmConfig,
+        backend: &dyn StorageBackend,
+    ) -> Result<SsTable> {
+        let mut tiles = Vec::with_capacity(desc.tiles.len());
+        let mut tile_mins = Vec::with_capacity(desc.tiles.len());
+        let mut num_entries = desc.range_tombstones.len() as u64;
+        let mut num_point_tombstones = 0u64;
+        let mut data_bytes: u64 =
+            desc.range_tombstones.iter().map(|e| e.encoded_size() as u64).sum();
+        for tile_pages in &desc.tiles {
+            let mut pages = Vec::with_capacity(tile_pages.len());
+            for &pid in tile_pages {
+                let page = backend.read_page(pid).map_err(|e| match e {
+                    StorageError::PageNotFound(id) => StorageError::Corruption(format!(
+                        "manifest references missing page {id} of file {}",
+                        desc.id
+                    )),
+                    other => other,
+                })?;
+                let handle = PageHandle::from_page(pid, &page, config.bits_per_key);
+                num_entries += handle.num_entries as u64;
+                num_point_tombstones += handle.num_tombstones as u64;
+                data_bytes += handle.data_bytes as u64;
+                pages.push(handle);
+            }
+            let tile = DeleteTile::from_pages(pages);
+            tile_mins.push(tile.min_sort);
+            tiles.push(tile);
+        }
+        // the same min/max chaining as `build`: the file's range must cover
+        // its range tombstones' spans, not just its point entries
+        let min_sort = tiles
+            .iter()
+            .map(|t| t.min_sort)
+            .chain(desc.range_tombstones.iter().map(|t| t.sort_key))
+            .min()
+            .unwrap_or(0);
+        let max_sort = tiles
+            .iter()
+            .map(|t| t.max_sort)
+            .chain(
+                desc.range_tombstones
+                    .iter()
+                    .filter_map(|t| t.range_end().map(|e| e.saturating_sub(1))),
+            )
+            .max()
+            .unwrap_or(0);
+        let min_delete =
+            tiles.iter().flat_map(|t| t.pages.iter()).map(|p| p.min_delete).min().unwrap_or(0);
+        let max_delete =
+            tiles.iter().flat_map(|t| t.pages.iter()).map(|p| p.max_delete).max().unwrap_or(0);
+        Ok(SsTable {
+            meta: SsTableMeta {
+                id: desc.id,
+                num_entries,
+                num_point_tombstones,
+                num_range_tombstones: desc.range_tombstones.len() as u64,
+                data_bytes,
+                min_sort,
+                max_sort,
+                min_delete,
+                max_delete,
+                created_at: desc.created_at,
+                oldest_tombstone_ts: desc.oldest_tombstone_ts,
+                max_seqnum: desc.max_seqnum,
+            },
+            tiles,
+            tile_fences: FencePointers::new(tile_mins),
+            range_tombstones: desc.range_tombstones.clone(),
+            desc: std::sync::OnceLock::from(Arc::clone(desc)),
         })
     }
 
@@ -552,6 +660,7 @@ impl SsTable {
             tiles: new_tiles,
             tile_fences: FencePointers::new(tile_mins),
             range_tombstones: self.range_tombstones.clone(),
+            desc: std::sync::OnceLock::new(),
         };
         Ok((Some(table), stats))
     }
@@ -781,6 +890,62 @@ mod tests {
         assert!(t1.memory_footprint() > 0);
         assert!(t8.memory_footprint() > 0);
         assert!(t8.tile_fences.len() < t1.tile_fences.len());
+    }
+
+    #[test]
+    fn describe_recover_roundtrip_rebuilds_identical_file() {
+        let backend = InMemoryBackend::new_shared();
+        let cfg = config(4);
+        let mut es = entries(100);
+        es.push(Entry::point_tombstone(200, 300));
+        es.sort_by_key(|e| e.sort_key);
+        let rt = Entry::range_tombstone(500, 520, 400);
+        let t = SsTable::build(7, es, vec![rt], 42, Some(5), &cfg, backend.as_ref()).unwrap();
+
+        let desc = t.describe();
+        let back = SsTable::recover(&desc, &cfg, backend.as_ref()).unwrap();
+
+        // metadata is fully reconstructed
+        assert_eq!(back.meta.id, t.meta.id);
+        assert_eq!(back.meta.num_entries, t.meta.num_entries);
+        assert_eq!(back.meta.num_point_tombstones, t.meta.num_point_tombstones);
+        assert_eq!(back.meta.num_range_tombstones, t.meta.num_range_tombstones);
+        assert_eq!(back.meta.data_bytes, t.meta.data_bytes);
+        assert_eq!(back.meta.min_sort, t.meta.min_sort);
+        assert_eq!(back.meta.max_sort, t.meta.max_sort);
+        assert_eq!(back.meta.min_delete, t.meta.min_delete);
+        assert_eq!(back.meta.max_delete, t.meta.max_delete);
+        assert_eq!(back.meta.created_at, t.meta.created_at);
+        assert_eq!(back.meta.oldest_tombstone_ts, t.meta.oldest_tombstone_ts);
+        assert_eq!(back.meta.max_seqnum, t.meta.max_seqnum);
+        assert_eq!(back.range_tombstones, t.range_tombstones);
+        // the KiWi layout is preserved page for page
+        assert_eq!(back.tiles.len(), t.tiles.len());
+        for (a, b) in back.tiles.iter().zip(t.tiles.iter()) {
+            let ids_a: Vec<_> = a.pages.iter().map(|p| p.id).collect();
+            let ids_b: Vec<_> = b.pages.iter().map(|p| p.id).collect();
+            assert_eq!(ids_a, ids_b);
+        }
+        // and the rebuilt file answers lookups identically
+        let stats = IoStats::new_shared();
+        for k in (0..100u64).chain([200, 505, 519, 9999]) {
+            let a = t.get(k, backend.as_ref(), &stats).unwrap();
+            let b = back.get(k, backend.as_ref(), &stats).unwrap();
+            assert_eq!(a, b, "key {k}");
+        }
+        assert_eq!(
+            back.read_all_entries(backend.as_ref()).unwrap(),
+            t.read_all_entries(backend.as_ref()).unwrap()
+        );
+    }
+
+    #[test]
+    fn recover_with_missing_page_is_corruption() {
+        let (t, backend) = build(2, 32);
+        let desc = t.describe();
+        t.release_pages(backend.as_ref());
+        let err = SsTable::recover(&desc, &config(2), backend.as_ref()).unwrap_err();
+        assert!(matches!(err, lethe_storage::StorageError::Corruption(_)));
     }
 
     #[test]

@@ -19,13 +19,28 @@ use crate::sstable::{SecondaryDeleteStats, SsTable};
 use crate::stats::{ContentSnapshot, TreeStats};
 use bytes::Bytes;
 use lethe_storage::{
-    DeleteKey, Entry, EntryKind, Histogram, IoSnapshot, LogicalClock, Result, SeqNum, SortKey,
-    StorageBackend, StorageError, Timestamp, Wal, WalRecord,
+    DeleteKey, Entry, EntryKind, Histogram, IoSnapshot, LogicalClock, Manifest, ManifestState,
+    PageId, Result, SeqNum, SortKey, StorageBackend, StorageError, Timestamp, Wal, WalRecord,
 };
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Safety bound on back-to-back compactions triggered by a single flush.
 const MAX_MAINTENANCE_ROUNDS: usize = 10_000;
+
+/// What [`LsmTree::recover`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Files rebuilt from the manifest (Bloom filters and fence pointers
+    /// re-derived from their pages).
+    pub files_recovered: usize,
+    /// Device pages released because the durable manifest state did not
+    /// reference them (half-written flush output, pages dropped after the
+    /// last committed edit).
+    pub pages_released: usize,
+    /// WAL records replayed on top of the recovered tree.
+    pub wal_records_replayed: usize,
+}
 
 /// A complete LSM storage engine instance.
 pub struct LsmTree {
@@ -43,6 +58,7 @@ pub struct LsmTree {
     sort_key_histogram: Histogram,
     delete_key_histogram: Histogram,
     wal: Option<Box<dyn Wal>>,
+    manifest: Option<Manifest>,
 }
 
 impl LsmTree {
@@ -69,6 +85,7 @@ impl LsmTree {
             next_file_id: 1,
             stats: TreeStats::default(),
             wal: None,
+            manifest: None,
         })
     }
 
@@ -79,27 +96,116 @@ impl LsmTree {
         self
     }
 
-    /// Replays a WAL into the (empty) engine, re-ingesting every record.
+    /// Attaches a durable manifest; every subsequent flush, compaction and
+    /// secondary page drop commits an edit describing the new tree state
+    /// before the WAL is allowed to forget the covered records. Attach it
+    /// *before* calling [`LsmTree::recover`] so the recorded state is
+    /// rebuilt first.
+    pub fn with_manifest(mut self, manifest: Manifest) -> Self {
+        self.manifest = Some(manifest);
+        self
+    }
+
+    /// Recovers a freshly-constructed engine from its durable artifacts:
+    /// rebuilds levels, runs and files from the attached manifest (re-deriving
+    /// Bloom filters and fence pointers from page contents), releases device
+    /// pages the manifest does not reference (half-written flush output,
+    /// pages dropped after the last manifest edit), then replays the WAL on
+    /// top through the internal replay path. The WAL is *not* truncated here:
+    /// its records stay until the next flush commits a manifest edit that
+    /// covers them, so a crash during or right after recovery loses nothing.
+    pub fn recover(&mut self, wal: &dyn Wal) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        if !self.levels.is_empty() || !self.memtable.is_empty() {
+            return Err(StorageError::InvalidOperation(
+                "recover() requires a freshly-constructed (empty) tree".into(),
+            ));
+        }
+        if let Some(manifest) = &self.manifest {
+            let state = manifest.state().clone();
+            self.next_file_id = self.next_file_id.max(state.next_file_id);
+            self.next_seqnum = self.next_seqnum.max(state.next_seqnum);
+            self.clock.advance_to(state.clock_micros);
+            let mut levels = Vec::with_capacity(state.levels.len());
+            for level_desc in &state.levels {
+                let mut level = Level::new();
+                for run_desc in level_desc {
+                    let mut tables = Vec::with_capacity(run_desc.len());
+                    for fd in run_desc {
+                        let table = SsTable::recover(fd, &self.config, self.backend.as_ref())?;
+                        self.next_file_id = self.next_file_id.max(fd.id + 1);
+                        self.next_seqnum = self.next_seqnum.max(fd.max_seqnum + 1);
+                        report.files_recovered += 1;
+                        tables.push(Arc::new(table));
+                    }
+                    level.runs.push(Run::new(tables));
+                }
+                level.prune_empty_runs();
+                levels.push(level);
+            }
+            self.levels = levels;
+            // the device scan resurfaces every frame in the data file; drop
+            // whatever the durable state does not reference
+            let referenced: HashSet<PageId> =
+                state.files().flat_map(|f| f.tiles.iter().flatten().copied()).collect();
+            for id in self.backend.page_ids() {
+                if !referenced.contains(&id) {
+                    let _ = self.backend.drop_page(id);
+                    report.pages_released += 1;
+                }
+            }
+        }
+        report.wal_records_replayed = self.recover_from(wal)?;
+        Ok(report)
+    }
+
+    /// Replays a WAL into the engine through the internal replay path:
+    /// unlike the public write path it never suppresses a logged tombstone as
+    /// blind, never re-counts ingest statistics or histograms (they were
+    /// counted when the record was first acknowledged), and re-applies each
+    /// record at its *logged* timestamp instead of re-stamping it.
     pub fn recover_from(&mut self, wal: &dyn Wal) -> Result<usize> {
         let records = wal.replay()?;
         let n = records.len();
         for r in records {
-            match r {
-                WalRecord::Put { sort_key, delete_key, value, ts } => {
-                    self.clock.advance_to(ts);
-                    self.put(sort_key, delete_key, value)?;
-                }
-                WalRecord::Delete { sort_key, ts } => {
-                    self.clock.advance_to(ts);
-                    self.delete(sort_key)?;
-                }
-                WalRecord::DeleteRange { start, end, ts } => {
-                    self.clock.advance_to(ts);
-                    self.delete_range(start, end)?;
-                }
-            }
+            self.replay_record(r)?;
         }
         Ok(n)
+    }
+
+    /// Applies one logged record to the buffer, bypassing acknowledgement-time
+    /// bookkeeping (see [`LsmTree::recover_from`]).
+    fn replay_record(&mut self, record: WalRecord) -> Result<()> {
+        match record {
+            WalRecord::Put { sort_key, delete_key, value, ts } => {
+                self.clock.advance_to(ts);
+                let seq = self.next_seq();
+                self.memtable.put(sort_key, delete_key, seq, value);
+            }
+            WalRecord::Delete { sort_key, ts } => {
+                self.clock.advance_to(ts);
+                let seq = self.next_seq();
+                self.buffer_oldest_tombstone_ts.get_or_insert(ts);
+                self.memtable.delete(sort_key, seq);
+            }
+            WalRecord::DeleteRange { start, end, ts } => {
+                if end <= start {
+                    return Ok(());
+                }
+                self.clock.advance_to(ts);
+                let seq = self.next_seq();
+                self.buffer_oldest_tombstone_ts.get_or_insert(ts);
+                self.memtable.delete_range(start, end, seq);
+            }
+            WalRecord::SecondaryDelete { d_lo, d_hi, ts } => {
+                self.clock.advance_to(ts);
+                // re-purges buffered entries replayed so far and re-drops
+                // any on-device pages the pre-crash run did not get to
+                // (idempotent on the ones it did)
+                self.apply_secondary_range_delete(d_lo, d_hi)?;
+            }
+        }
+        self.maybe_flush()
     }
 
     // ----------------------------------------------------------------- writes
@@ -164,13 +270,30 @@ impl LsmTree {
 
     /// Executes a secondary range delete: removes every entry whose **delete
     /// key** lies in `[d_lo, d_hi)`, using the strategy selected by
-    /// [`LsmConfig::secondary_delete_mode`].
+    /// [`LsmConfig::secondary_delete_mode`]. Logged to the WAL before it
+    /// runs: the purge of *buffered* entries would otherwise be resurrected
+    /// by replaying their still-logged puts after a crash.
     pub fn secondary_range_delete(
         &mut self,
         d_lo: DeleteKey,
         d_hi: DeleteKey,
     ) -> Result<SecondaryDeleteStats> {
+        if let Some(wal) = &self.wal {
+            wal.append(WalRecord::SecondaryDelete { d_lo, d_hi, ts: self.clock.now() })?;
+        }
         self.stats.secondary_range_deletes += 1;
+        let result = self.apply_secondary_range_delete(d_lo, d_hi)?;
+        self.stats.secondary_delete.merge(&result);
+        Ok(result)
+    }
+
+    /// The logging- and statistics-free body of a secondary range delete,
+    /// shared by the public path and WAL replay.
+    fn apply_secondary_range_delete(
+        &mut self,
+        d_lo: DeleteKey,
+        d_hi: DeleteKey,
+    ) -> Result<SecondaryDeleteStats> {
         // the buffered portion is purged in place in both modes
         self.memtable.purge_by_delete_key(d_lo, d_hi);
         let result = match self.config.secondary_delete_mode {
@@ -179,7 +302,7 @@ impl LsmTree {
                 self.secondary_delete_with_full_compaction(d_lo, d_hi)
             }
         }?;
-        self.stats.secondary_delete.merge(&result);
+        self.commit_manifest()?;
         Ok(result)
     }
 
@@ -402,6 +525,37 @@ impl LsmTree {
         }
     }
 
+    /// Describes the tree's current durable state for the manifest.
+    fn describe_state(&self) -> ManifestState {
+        ManifestState {
+            next_file_id: self.next_file_id,
+            next_seqnum: self.next_seqnum,
+            clock_micros: self.clock.now(),
+            levels: self
+                .levels
+                .iter()
+                .map(|l| {
+                    l.runs
+                        .iter()
+                        .map(|r| r.tables().iter().map(|t| t.describe()).collect())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Commits the current tree state to the attached manifest (if any):
+    /// syncs the device first so the manifest never references pages that
+    /// could be lost, then appends the edit. A no-op without a manifest.
+    fn commit_manifest(&mut self) -> Result<()> {
+        if self.manifest.is_none() {
+            return Ok(());
+        }
+        self.backend.sync()?;
+        let state = self.describe_state();
+        self.manifest.as_mut().expect("manifest presence checked above").commit(state)
+    }
+
     fn maybe_flush(&mut self) -> Result<()> {
         if self.memtable.size_bytes() >= self.config.buffer_capacity_bytes() {
             self.flush()?;
@@ -412,15 +566,17 @@ impl LsmTree {
 
     /// Flushes the memtable to the first disk level and runs the compaction
     /// loop. A no-op when the buffer is empty.
+    ///
+    /// Durability ordering: the flushed files' pages are synced and a
+    /// manifest edit describing the new tree state is committed **before**
+    /// the WAL is truncated, so at no instant is an acknowledged write
+    /// covered by neither log.
     pub fn flush(&mut self) -> Result<()> {
         if self.memtable.is_empty() {
             return Ok(());
         }
         let (entries, rts) = self.memtable.drain_sorted();
         let oldest_ts = self.buffer_oldest_tombstone_ts.take();
-        if let Some(wal) = &self.wal {
-            wal.truncate()?;
-        }
         self.stats.flushes += 1;
         if self.levels.is_empty() {
             self.levels.push(Level::new());
@@ -458,6 +614,10 @@ impl LsmTree {
                     self.levels[0].runs.push(Run::new(tables));
                 }
             }
+        }
+        self.commit_manifest()?;
+        if let Some(wal) = &self.wal {
+            wal.truncate()?;
         }
         Ok(())
     }
@@ -651,7 +811,7 @@ impl LsmTree {
             self.stats.ttl_triggered_compactions += 1;
         }
         self.stats.entries_compacted += input_entries;
-        Ok(())
+        self.commit_manifest()
     }
 
     /// Merges every run of `level` into one run appended to `level + 1`
@@ -692,7 +852,7 @@ impl LsmTree {
         }
         self.stats.compactions += 1;
         self.stats.entries_compacted += input_entries;
-        Ok(())
+        self.commit_manifest()
     }
 
     /// Reads, merges and rewrites the entire tree into its last level,
@@ -739,7 +899,7 @@ impl LsmTree {
         self.stats.compactions += 1;
         self.stats.full_tree_compactions += 1;
         self.stats.entries_compacted += input_entries;
-        Ok(())
+        self.commit_manifest()
     }
 
     // ---------------------------------------------------------- introspection
@@ -1168,6 +1328,100 @@ mod tests {
         assert_eq!(replayed, 51);
         assert_eq!(recovered.get(3).unwrap(), Some(value(3)));
         assert_eq!(recovered.get(7).unwrap(), None);
+    }
+
+    #[test]
+    fn wal_replay_preserves_tombstones_stats_and_timestamps() {
+        // regression: the old replay path went through the public put/delete
+        // API, so blind-delete suppression could drop a legitimately logged
+        // tombstone, ingest stats were double-counted across restarts, and
+        // replayed records were re-stamped by the ingest clock
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.buffer_pages = 1024;
+        cfg.suppress_blind_deletes = true;
+        let wal = lethe_storage::MemWal::new();
+        // a tombstone whose key was flushed before the crash: the reopened
+        // buffer has no trace of it, so the public path would call it blind
+        wal.append(WalRecord::Delete { sort_key: 5, ts: 12_345 }).unwrap();
+        wal.append(WalRecord::Put {
+            sort_key: 6,
+            delete_key: 6,
+            value: Bytes::from_static(b"v"),
+            ts: 12_400,
+        })
+        .unwrap();
+        let mut t = tree(cfg);
+        assert_eq!(t.recover_from(&wal).unwrap(), 2);
+        // the logged tombstone survives replay
+        assert_eq!(t.buffered_entries(), 2);
+        assert_eq!(t.get(5).unwrap(), None);
+        assert_eq!(t.get(6).unwrap(), Some(Bytes::from_static(b"v")));
+        // ingest statistics are not re-counted
+        assert_eq!(t.stats().entries_ingested, 0);
+        assert_eq!(t.stats().point_deletes_issued, 0);
+        assert_eq!(t.stats().blind_deletes_suppressed, 0);
+        // the clock sits at the logged watermark, not a re-stamped one
+        assert_eq!(t.clock().now(), 12_400);
+    }
+
+    #[test]
+    fn manifest_recovery_restores_flushed_tree() {
+        use lethe_storage::{FileBackend, FileWal, Manifest};
+        let dir = std::env::temp_dir().join(format!("lethe-tree-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.size_ratio = 3;
+        let open = |cfg: &LsmConfig| -> (LsmTree, FileWal) {
+            let backend = Arc::new(FileBackend::open(&dir).unwrap());
+            let wal = FileWal::open(dir.join("lethe.wal")).unwrap();
+            let manifest = Manifest::open(dir.join("lethe.manifest")).unwrap();
+            let t = LsmTree::new(
+                cfg.clone(),
+                backend,
+                LogicalClock::new(),
+                Box::new(crate::compaction::SaturationPolicy::new(
+                    crate::compaction::FileSelection::MinOverlap,
+                )),
+            )
+            .unwrap()
+            .with_manifest(manifest);
+            (t, wal)
+        };
+        let (files_before, seq_hwm);
+        {
+            let (mut t, wal) = open(&cfg);
+            t.recover(&wal).unwrap();
+            let mut t = t.with_wal(Box::new(wal));
+            for k in 0..2000u64 {
+                t.put(k % 700, k, value(k)).unwrap();
+            }
+            for k in (0..700u64).step_by(5) {
+                t.delete(k).unwrap();
+            }
+            t.flush().unwrap();
+            t.maintain().unwrap();
+            files_before = t.files_per_level();
+            seq_hwm = t.next_seqnum;
+            assert!(t.level_count() >= 2, "need a multi-level tree to make this meaningful");
+        }
+        {
+            let (mut t, wal) = open(&cfg);
+            let report = t.recover(&wal).unwrap();
+            assert_eq!(report.files_recovered, files_before.iter().sum::<usize>());
+            assert_eq!(t.files_per_level(), files_before);
+            assert!(t.next_seqnum >= seq_hwm, "seqnums must not regress across restarts");
+            for k in 0..700u64 {
+                let expect_deleted = k % 5 == 0;
+                let got = t.get(k).unwrap();
+                if expect_deleted {
+                    assert_eq!(got, None, "key {k} should stay deleted after recovery");
+                } else {
+                    let newest = (0..2000u64).filter(|v| v % 700 == k).max().unwrap();
+                    assert_eq!(got, Some(value(newest)), "key {k}");
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! released **without being read**, which is exactly the I/O saving the paper
 //! claims for secondary range deletes.
 
+use crate::checksum::crc32;
 use crate::error::{Result, StorageError};
+use crate::failpoint::FailPoint;
 use crate::iostats::IoStats;
 use crate::page::Page;
+use crate::wal::fsync_dir;
+use bytes::{BufMut, BytesMut};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -46,6 +50,10 @@ pub trait StorageBackend: Send + Sync {
 
     /// Number of live (written and not yet dropped) pages.
     fn live_pages(&self) -> usize;
+
+    /// Ids of every live page. Used by crash recovery to release pages that
+    /// the durable manifest no longer (or never did) reference.
+    fn page_ids(&self) -> Vec<PageId>;
 
     /// Flushes any buffered state to durable storage (no-op for the
     /// simulated device).
@@ -119,15 +127,29 @@ impl StorageBackend for InMemoryBackend {
         self.pages.read().len()
     }
 
+    fn page_ids(&self) -> Vec<PageId> {
+        self.pages.read().keys().copied().collect()
+    }
+
     fn sync(&self) -> Result<()> {
         Ok(())
     }
 }
 
-/// A durable device: pages are appended to one data file; an in-memory index
-/// maps page ids to (offset, length). Dropped pages leave garbage in the file
-/// which is reclaimed when the file is rewritten by
-/// [`FileBackend::compact_file`].
+/// Magic number opening every page frame in a [`FileBackend`] data file.
+const FRAME_MAGIC: u32 = 0x4C45_4652; // "LEFR"
+
+/// Size of a page-frame header: magic, page id, payload length, payload CRC.
+const FRAME_HEADER: usize = 4 + 8 + 4 + 4;
+
+/// A durable device: pages are appended to one data file as self-describing
+/// frames (`magic · page id · length · crc · payload`); an in-memory index
+/// maps page ids to (offset, length). The frames make the file its own
+/// recovery log: on open the file is scanned, the index rebuilt, and a torn
+/// trailing frame — the normal result of a crash mid-write — truncated away.
+/// Dropped pages leave garbage frames in the file which recovery resurfaces
+/// (the crash-recovery layer releases the ones its manifest does not
+/// reference) and [`FileBackend::compact_file`] reclaims.
 #[derive(Debug)]
 pub struct FileBackend {
     path: PathBuf,
@@ -135,6 +157,8 @@ pub struct FileBackend {
     index: RwLock<HashMap<PageId, (u64, u32)>>,
     next_id: AtomicU64,
     stats: Arc<IoStats>,
+    torn_frames_recovered: u64,
+    failpoint: FailPoint,
 }
 
 impl FileBackend {
@@ -149,17 +173,104 @@ impl FileBackend {
     /// share one directory, which is how the sharded front-end keeps the
     /// per-shard data files (`shard-000.data`, `shard-001.data`, …) of one
     /// logical store together.
+    ///
+    /// An existing data file is scanned frame by frame to rebuild the page
+    /// index (ids, offsets, the next free id); a torn trailing frame is
+    /// truncated away and counted in
+    /// [`FileBackend::torn_frames_recovered`].
     pub fn open_named(dir: impl AsRef<Path>, name: &str) -> Result<Self> {
         std::fs::create_dir_all(dir.as_ref())?;
         let path = dir.as_ref().join(format!("{name}.data"));
         let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
-        Ok(FileBackend {
+        let mut backend = FileBackend {
             path,
             file: Mutex::new(file),
             index: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             stats: IoStats::new_shared(),
-        })
+            torn_frames_recovered: 0,
+            failpoint: FailPoint::new(),
+        };
+        backend.recover_index()?;
+        Ok(backend)
+    }
+
+    /// Attaches a crash-injection fail point consulted before every page
+    /// write (testing aid).
+    pub fn set_failpoint(&mut self, fp: FailPoint) {
+        self.failpoint = fp;
+    }
+
+    /// Number of torn trailing frames truncated away when the device was
+    /// opened (0 after a clean shutdown, typically 1 after a crash).
+    pub fn torn_frames_recovered(&self) -> u64 {
+        self.torn_frames_recovered
+    }
+
+    /// Scans the data file with a bounded buffer (one frame at a time, never
+    /// the whole file), rebuilding the id → (offset, length) index and the
+    /// next free page id. A *torn tail* — a partial header, a frame whose
+    /// payload runs past end-of-file, or a checksum failure on the very last
+    /// frame, all of which a crash mid-append produces — is truncated away.
+    /// Anything invalid with committed frames *behind* it cannot be a torn
+    /// tail (the file is append-only) and is reported as corruption without
+    /// touching the file, so one damaged frame never destroys the valid
+    /// pages after it.
+    fn recover_index(&mut self) -> Result<()> {
+        let file = self.file.lock();
+        let total = file.metadata()?.len();
+        let mut index = HashMap::new();
+        let mut max_id = 0u64;
+        let mut off = 0u64;
+        {
+            let mut f = &*file;
+            f.seek(SeekFrom::Start(0))?;
+            let mut reader = std::io::BufReader::new(f);
+            let mut header = [0u8; FRAME_HEADER];
+            let mut payload = Vec::new();
+            while total - off >= FRAME_HEADER as u64 {
+                reader.read_exact(&mut header)?;
+                let magic = u32::from_be_bytes(header[0..4].try_into().expect("4-byte slice"));
+                let id = u64::from_be_bytes(header[4..12].try_into().expect("8-byte slice"));
+                let len = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice"));
+                let crc = u32::from_be_bytes(header[16..20].try_into().expect("4-byte slice"));
+                if magic != FRAME_MAGIC {
+                    // a torn append of >= 4 bytes still writes the magic, so
+                    // a full header with the wrong magic is not a torn tail
+                    return Err(StorageError::Corruption(format!(
+                        "data file {:?}: bad frame magic {magic:#x} at offset {off}",
+                        self.path
+                    )));
+                }
+                let payload_end = off + FRAME_HEADER as u64 + len as u64;
+                if payload_end > total {
+                    break; // torn tail: frame promises more bytes than exist
+                }
+                payload.resize(len as usize, 0);
+                reader.read_exact(&mut payload)?;
+                if crc32(&payload) != crc {
+                    if payload_end == total {
+                        break; // last frame damaged mid-write: a torn tail
+                    }
+                    return Err(StorageError::Corruption(format!(
+                        "data file {:?}: page {id} at offset {off} failed its checksum with \
+                         committed frames behind it (mid-file corruption, not a torn tail)",
+                        self.path
+                    )));
+                }
+                index.insert(id, (off + FRAME_HEADER as u64, len));
+                max_id = max_id.max(id);
+                off = payload_end;
+            }
+        }
+        if off < total {
+            file.set_len(off)?;
+            file.sync_all()?;
+            self.torn_frames_recovered += 1;
+        }
+        self.next_id.store(max_id + 1, Ordering::Relaxed);
+        *self.index.write() = index;
+        Ok(())
     }
 
     /// Path of the underlying data file.
@@ -186,32 +297,47 @@ impl FileBackend {
             file.read_exact(&mut buf)?;
             live.push((id, buf));
         }
-        // rewrite the file from scratch
+        // rewrite the file from scratch, frame headers included
         let tmp_path = self.path.with_extension("data.tmp");
         let mut tmp = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp_path)?;
         let mut new_index = HashMap::with_capacity(live.len());
         let mut offset = 0u64;
         for (id, buf) in live {
-            tmp.write_all(&buf)?;
-            new_index.insert(id, (offset, buf.len() as u32));
-            offset += buf.len() as u64;
+            let frame = encode_frame(id, &buf);
+            tmp.write_all(&frame)?;
+            new_index.insert(id, (offset + FRAME_HEADER as u64, buf.len() as u32));
+            offset += frame.len() as u64;
         }
         tmp.sync_all()?;
         std::fs::rename(&tmp_path, &self.path)?;
+        fsync_dir(&self.path)?;
         *file = OpenOptions::new().read(true).append(true).open(&self.path)?;
         *index = new_index;
         Ok(())
     }
 }
 
+/// Builds one on-disk page frame: `magic · page id · length · crc · payload`.
+fn encode_frame(id: PageId, payload: &[u8]) -> BytesMut {
+    let mut frame = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+    frame.put_u32(FRAME_MAGIC);
+    frame.put_u64(id);
+    frame.put_u32(payload.len() as u32);
+    frame.put_u32(crc32(payload));
+    frame.extend_from_slice(payload);
+    frame
+}
+
 impl StorageBackend for FileBackend {
     fn write_page(&self, page: &Page) -> Result<PageId> {
+        self.failpoint.check()?;
         let encoded = page.encode();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = encode_frame(id, &encoded);
         let mut file = self.file.lock();
         let offset = file.seek(SeekFrom::End(0))?;
-        file.write_all(&encoded)?;
-        self.index.write().insert(id, (offset, encoded.len() as u32));
+        file.write_all(&frame)?;
+        self.index.write().insert(id, (offset + FRAME_HEADER as u64, encoded.len() as u32));
         self.stats.record_write(encoded.len() as u64);
         Ok(id)
     }
@@ -246,6 +372,10 @@ impl StorageBackend for FileBackend {
 
     fn live_pages(&self) -> usize {
         self.index.read().len()
+    }
+
+    fn page_ids(&self) -> Vec<PageId> {
+        self.index.read().keys().copied().collect()
     }
 
     fn sync(&self) -> Result<()> {
@@ -309,6 +439,110 @@ mod tests {
         assert_eq!(b.read_page(id2).unwrap().len(), 2);
         assert_eq!(b.live_pages(), 2);
         b.sync().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_reopen_recovers_index() {
+        let dir = std::env::temp_dir().join(format!("lethe-fb3-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (id1, id2, id3);
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            id1 = b.write_page(&page(&[1, 2, 3])).unwrap();
+            id2 = b.write_page(&page(&[4, 5])).unwrap();
+            id3 = b.write_page(&page(&[6])).unwrap();
+            b.drop_page(id2).unwrap();
+            b.sync().unwrap();
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.torn_frames_recovered(), 0);
+        assert_eq!(b.read_page(id1).unwrap().len(), 3);
+        assert_eq!(b.read_page(id3).unwrap().len(), 1);
+        // a dropped page resurfaces after a crash (drops are in-memory until
+        // the file is compacted); the recovery layer above releases it once
+        // it knows the page is unreferenced
+        assert_eq!(b.read_page(id2).unwrap().len(), 2);
+        // ids keep growing across the restart: no reuse, no collisions
+        let id4 = b.write_page(&page(&[7])).unwrap();
+        assert!(id4 > id3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_truncates_torn_tail_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("lethe-fb4-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let id1;
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            id1 = b.write_page(&page(&[1, 2, 3])).unwrap();
+            b.sync().unwrap();
+            // simulate a crash mid-write: append half a frame
+            let mut f = OpenOptions::new().append(true).open(b.data_path()).unwrap();
+            use std::io::Write;
+            let frame = encode_frame(77, &page(&[9]).encode());
+            f.write_all(&frame[..frame.len() / 2]).unwrap();
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.torn_frames_recovered(), 1);
+        assert_eq!(b.live_pages(), 1);
+        assert_eq!(b.read_page(id1).unwrap().len(), 3);
+        // the torn bytes are gone: writing and reopening is clean
+        let id2 = b.write_page(&page(&[4])).unwrap();
+        b.sync().unwrap();
+        drop(b);
+        let b2 = FileBackend::open(&dir).unwrap();
+        assert_eq!(b2.torn_frames_recovered(), 0);
+        assert_eq!(b2.read_page(id2).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_mid_file_corruption_is_an_error_not_a_truncation() {
+        let dir = std::env::temp_dir().join(format!("lethe-fb6-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path;
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            b.write_page(&page(&[1, 2])).unwrap();
+            b.write_page(&page(&[3])).unwrap();
+            b.write_page(&page(&[4, 5, 6])).unwrap();
+            b.sync().unwrap();
+            path = b.data_path().to_path_buf();
+        }
+        // flip one payload byte of the FIRST frame: committed frames follow,
+        // so this cannot be a torn tail
+        let mut data = std::fs::read(&path).unwrap();
+        data[FRAME_HEADER + 2] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        match FileBackend::open(&dir) {
+            Err(StorageError::Corruption(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        // the failed open must not have destroyed the later valid frames
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_backend_compact_preserves_recoverability() {
+        let dir = std::env::temp_dir().join(format!("lethe-fb5-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (id1, id2);
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            id1 = b.write_page(&page(&[1, 2])).unwrap();
+            id2 = b.write_page(&page(&[3])).unwrap();
+            b.drop_page(id1).unwrap();
+            b.compact_file().unwrap();
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        // after compaction the dropped page is really gone, the live one kept
+        assert_eq!(b.live_pages(), 1);
+        assert_eq!(b.read_page(id2).unwrap().len(), 1);
+        assert!(b.read_page(id1).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,63 @@
+//! CRC-32 checksums for on-disk structures.
+//!
+//! The durable artifacts of the engine — the manifest's edit records and the
+//! page frames of the file-backed device — each carry a CRC so that recovery
+//! can distinguish a torn tail (the normal result of a crash mid-append,
+//! recoverable by truncating to the last valid prefix) from silent
+//! corruption of committed data (an error). The polynomial is the standard
+//! reflected CRC-32 (IEEE 802.3, the one used by zlib), implemented with a
+//! small table so the crate stays dependency-free.
+
+/// Lazily built 256-entry lookup table for the reflected polynomial
+/// `0xEDB88320`.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 (IEEE) checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // standard check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

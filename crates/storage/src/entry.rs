@@ -10,7 +10,8 @@
 //! `⟨sort key, delete key, value⟩` and a tombstone is `⟨sort key, flag⟩`
 //! (point) or `⟨start, end, flag⟩` (range).
 
-use bytes::Bytes;
+use crate::error::{Result, StorageError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// The primary (sort) key. The tree is totally ordered on this key.
 pub type SortKey = u64;
@@ -149,6 +150,73 @@ impl Entry {
     pub fn supersedes(&self, other: &Entry) -> bool {
         self.sort_key == other.sort_key && self.seqnum > other.seqnum
     }
+
+    /// Serialises the entry into `buf`. The format is shared by the page
+    /// codec and the manifest's range-tombstone blocks:
+    /// `sort_key · delete_key · seqnum · tag (· value | · range end)`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.sort_key);
+        buf.put_u64(self.delete_key);
+        buf.put_u64(self.seqnum);
+        match &self.kind {
+            EntryKind::Put => {
+                buf.put_u8(0);
+                buf.put_u32(self.value.len() as u32);
+                buf.put_slice(&self.value);
+            }
+            EntryKind::PointTombstone => buf.put_u8(1),
+            EntryKind::RangeTombstone { end } => {
+                buf.put_u8(2);
+                buf.put_u64(*end);
+            }
+        }
+    }
+
+    /// Decodes one entry previously produced by [`Entry::encode_into`],
+    /// consuming it from the front of `data`.
+    pub fn decode_from(data: &mut Bytes) -> Result<Entry> {
+        if data.remaining() < 25 {
+            return Err(StorageError::Corruption("entry header truncated".into()));
+        }
+        let sort_key = data.get_u64();
+        let delete_key = data.get_u64();
+        let seqnum = data.get_u64();
+        let tag = data.get_u8();
+        match tag {
+            0 => {
+                if data.remaining() < 4 {
+                    return Err(StorageError::Corruption("value length truncated".into()));
+                }
+                let len = data.get_u32() as usize;
+                if data.remaining() < len {
+                    return Err(StorageError::Corruption("value body truncated".into()));
+                }
+                let value = data.copy_to_bytes(len);
+                Ok(Entry { sort_key, delete_key, seqnum, kind: EntryKind::Put, value })
+            }
+            1 => Ok(Entry {
+                sort_key,
+                delete_key,
+                seqnum,
+                kind: EntryKind::PointTombstone,
+                value: Bytes::new(),
+            }),
+            2 => {
+                if data.remaining() < 8 {
+                    return Err(StorageError::Corruption("range end truncated".into()));
+                }
+                let end = data.get_u64();
+                Ok(Entry {
+                    sort_key,
+                    delete_key,
+                    seqnum,
+                    kind: EntryKind::RangeTombstone { end },
+                    value: Bytes::new(),
+                })
+            }
+            t => Err(StorageError::Corruption(format!("unknown entry tag {t}"))),
+        }
+    }
 }
 
 /// Computes the tombstone size ratio λ = size(tombstone) / size(key-value)
@@ -201,6 +269,28 @@ mod tests {
         assert!(newer.supersedes(&old));
         assert!(!old.supersedes(&newer));
         assert!(!other_key.supersedes(&old));
+    }
+
+    #[test]
+    fn entry_codec_roundtrips_every_kind() {
+        let entries = vec![
+            Entry::put(1, 11, 5, Bytes::from_static(b"hello")),
+            Entry::put(2, 0, 6, Bytes::new()),
+            Entry::point_tombstone(3, 7),
+            Entry::range_tombstone(4, 40, 8),
+        ];
+        let mut buf = BytesMut::new();
+        for e in &entries {
+            e.encode_into(&mut buf);
+        }
+        let mut data = buf.freeze();
+        for e in &entries {
+            assert_eq!(&Entry::decode_from(&mut data).unwrap(), e);
+        }
+        assert_eq!(data.len(), 0);
+        // truncated input is an error, not a panic
+        let mut short = Bytes::from_static(b"\x00\x01");
+        assert!(Entry::decode_from(&mut short).is_err());
     }
 
     #[test]

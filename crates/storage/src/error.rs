@@ -15,6 +15,10 @@ pub enum StorageError {
     /// An operation was attempted that the component does not support in its
     /// current configuration (e.g. appending to a closed WAL).
     InvalidOperation(String),
+    /// A failure injected by an armed [`crate::failpoint::FailPoint`]; only
+    /// produced by the crash-recovery test machinery, never in normal
+    /// operation.
+    Injected,
 }
 
 impl fmt::Display for StorageError {
@@ -24,6 +28,7 @@ impl fmt::Display for StorageError {
             StorageError::PageNotFound(id) => write!(f, "page {id} not found"),
             StorageError::Corruption(msg) => write!(f, "corruption: {msg}"),
             StorageError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+            StorageError::Injected => write!(f, "injected crash (failpoint)"),
         }
     }
 }

@@ -1,0 +1,100 @@
+//! Deterministic crash injection for recovery testing.
+//!
+//! A [`FailPoint`] is a shared countdown that the durable components — the
+//! file-backed device, the write-ahead log and the manifest — consult before
+//! every state-changing step. Arming it with `n` lets the `n`-th subsequent
+//! step fail with [`StorageError::Injected`], which the crash-recovery tests
+//! use to simulate a process kill at *every* interesting point of the
+//! flush/compaction/manifest/WAL protocol (a "kill-point sweep"). A
+//! default-constructed fail point is disarmed and costs one relaxed atomic
+//! load per check.
+
+use crate::error::{Result, StorageError};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A shared, armable crash-injection countdown.
+///
+/// Clones share the same counter, so one fail point can be attached to every
+/// durable component of an engine (or every shard of a sharded store) and
+/// will trigger exactly once across all of them.
+#[derive(Debug, Clone, Default)]
+pub struct FailPoint {
+    /// Remaining durable steps before the next check fails; negative when
+    /// disarmed.
+    remaining: Arc<AtomicI64>,
+}
+
+impl FailPoint {
+    /// Creates a disarmed fail point.
+    pub fn new() -> Self {
+        let fp = FailPoint::default();
+        fp.disarm();
+        fp
+    }
+
+    /// Arms the fail point: the `ops`-th subsequent [`FailPoint::check`]
+    /// (0-based — `arm(0)` fails the very next check) returns an error.
+    pub fn arm(&self, ops: u64) {
+        self.remaining.store(ops as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms the fail point; checks pass until it is armed again.
+    pub fn disarm(&self) {
+        self.remaining.store(i64::MIN, Ordering::SeqCst);
+    }
+
+    /// Returns `true` while armed (the injected failure has not fired yet).
+    pub fn is_armed(&self) -> bool {
+        self.remaining.load(Ordering::SeqCst) >= 0
+    }
+
+    /// Consumes one countdown step; fails with [`StorageError::Injected`]
+    /// when the countdown reaches zero. Disarmed fail points always pass.
+    pub fn check(&self) -> Result<()> {
+        if self.remaining.load(Ordering::Relaxed) < 0 {
+            return Ok(());
+        }
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 0 {
+            self.disarm();
+            return Err(StorageError::Injected);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_always_passes() {
+        let fp = FailPoint::new();
+        for _ in 0..100 {
+            fp.check().unwrap();
+        }
+        assert!(!fp.is_armed());
+    }
+
+    #[test]
+    fn armed_fails_on_nth_check_then_disarms() {
+        let fp = FailPoint::new();
+        fp.arm(2);
+        assert!(fp.is_armed());
+        fp.check().unwrap();
+        fp.check().unwrap();
+        assert!(matches!(fp.check(), Err(StorageError::Injected)));
+        // fires once, then the countdown is disarmed
+        fp.check().unwrap();
+        assert!(!fp.is_armed());
+    }
+
+    #[test]
+    fn clones_share_the_countdown() {
+        let a = FailPoint::new();
+        let b = a.clone();
+        a.arm(1);
+        b.check().unwrap();
+        assert!(matches!(a.check(), Err(StorageError::Injected)));
+    }
+}

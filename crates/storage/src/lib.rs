@@ -18,31 +18,43 @@
 //!   page access, 80 ns per hash) used to reproduce the paper's figures.
 //! * [`memtable`] — the in-memory write buffer with in-place delete/update
 //!   semantics.
-//! * [`wal`] — write-ahead logging with the `D_th`-aware purge routine.
+//! * [`wal`] — write-ahead logging with the `D_th`-aware purge routine,
+//!   torn-tail recovery and the [`SyncPolicy`] durability knob.
+//! * [`manifest`] — the durable, checksummed manifest recording the tree's
+//!   on-device state (levels, files, page ids) so a reopened store recovers
+//!   flushed data, not just the WAL tail.
+//! * [`checksum`] — CRC-32 for on-disk structures.
+//! * [`failpoint`] — deterministic crash injection for recovery tests.
 //! * [`histogram`] — equi-width histograms used to estimate how many entries a
 //!   range tombstone invalidates.
 //! * [`clock`] — the logical clock that drives TTLs and tombstone ages.
 
 pub mod backend;
 pub mod bloom;
+pub mod checksum;
 pub mod clock;
 pub mod entry;
 pub mod error;
+pub mod failpoint;
 pub mod fence;
 pub mod histogram;
 pub mod iostats;
+pub mod manifest;
 pub mod memtable;
 pub mod page;
 pub mod wal;
 
 pub use backend::{FileBackend, InMemoryBackend, PageId, StorageBackend};
 pub use bloom::BloomFilter;
+pub use checksum::crc32;
 pub use clock::{LogicalClock, Timestamp, MICROS_PER_SEC};
 pub use entry::{DeleteKey, Entry, EntryKind, SeqNum, SortKey};
 pub use error::{Result, StorageError};
+pub use failpoint::FailPoint;
 pub use fence::{DeleteFence, DeleteFences, FencePointers, PageCoverage};
 pub use histogram::Histogram;
 pub use iostats::{CostModel, IoSnapshot, IoStats};
+pub use manifest::{FileDesc, Manifest, ManifestState};
 pub use memtable::MemTable;
 pub use page::Page;
-pub use wal::{FileWal, MemWal, Wal, WalRecord};
+pub use wal::{FileWal, MemWal, SyncPolicy, Wal, WalRecord};

@@ -8,7 +8,7 @@
 //! secondary range delete covers the whole page (full page drop) or only part
 //! of it (partial page drop).
 
-use crate::entry::{DeleteKey, Entry, EntryKind, SortKey};
+use crate::entry::{DeleteKey, Entry, SortKey};
 use crate::error::{Result, StorageError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -131,21 +131,7 @@ impl Page {
         buf.put_u32(PAGE_MAGIC);
         buf.put_u32(self.entries.len() as u32);
         for e in &self.entries {
-            buf.put_u64(e.sort_key);
-            buf.put_u64(e.delete_key);
-            buf.put_u64(e.seqnum);
-            match e.kind {
-                EntryKind::Put => {
-                    buf.put_u8(0);
-                    buf.put_u32(e.value.len() as u32);
-                    buf.put_slice(&e.value);
-                }
-                EntryKind::PointTombstone => buf.put_u8(1),
-                EntryKind::RangeTombstone { end } => {
-                    buf.put_u8(2);
-                    buf.put_u64(end);
-                }
-            }
+            e.encode_into(&mut buf);
         }
         buf.freeze()
     }
@@ -162,36 +148,7 @@ impl Page {
         let n = data.get_u32() as usize;
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
-            if data.remaining() < 25 {
-                return Err(StorageError::Corruption("page entry truncated".into()));
-            }
-            let sort_key = data.get_u64();
-            let delete_key = data.get_u64();
-            let seqnum = data.get_u64();
-            let tag = data.get_u8();
-            let entry = match tag {
-                0 => {
-                    if data.remaining() < 4 {
-                        return Err(StorageError::Corruption("value length truncated".into()));
-                    }
-                    let len = data.get_u32() as usize;
-                    if data.remaining() < len {
-                        return Err(StorageError::Corruption("value body truncated".into()));
-                    }
-                    let value = data.copy_to_bytes(len);
-                    Entry { sort_key, delete_key, seqnum, kind: EntryKind::Put, value }
-                }
-                1 => Entry { sort_key, delete_key, seqnum, kind: EntryKind::PointTombstone, value: Bytes::new() },
-                2 => {
-                    if data.remaining() < 8 {
-                        return Err(StorageError::Corruption("range end truncated".into()));
-                    }
-                    let end = data.get_u64();
-                    Entry { sort_key, delete_key, seqnum, kind: EntryKind::RangeTombstone { end }, value: Bytes::new() }
-                }
-                t => return Err(StorageError::Corruption(format!("unknown entry tag {t}"))),
-            };
-            entries.push(entry);
+            entries.push(Entry::decode_from(&mut data)?);
         }
         Ok(Page { entries })
     }

@@ -1,0 +1,452 @@
+//! Oracle-checked crash-recovery tests for the durable engine.
+//!
+//! Two crash models are exercised, both against a `BTreeMap` oracle of the
+//! acknowledged state:
+//!
+//! * **Abrupt kill** — the engine is dropped at an arbitrary operation
+//!   boundary with no warning. Everything acknowledged must be returned by
+//!   the reopened store (manifest recovery for flushed data, WAL replay for
+//!   the buffered tail).
+//! * **Injected kill** — a [`FailPoint`] shared by the data file, WAL and
+//!   manifest makes the n-th durable step fail, simulating a kill *inside*
+//!   a flush, compaction, WAL truncation or manifest rewrite. The kill-point
+//!   sweep replays one scripted workload for every reachable n, so every
+//!   ordering window of the protocol (pages written but manifest not
+//!   committed, manifest committed but WAL not yet truncated, mid-rewrite,
+//!   …) is crossed at least once. After an injected kill, only the single
+//!   in-flight operation may be in either its before or after state; every
+//!   earlier acknowledgement must hold exactly.
+
+use bytes::Bytes;
+use lethe::lsm::{LsmConfig, SecondaryDeleteMode};
+use lethe::storage::{FailPoint, Result, SyncPolicy};
+use lethe::{Lethe, LetheBuilder, ShardedLethe, ShardedLetheBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const KEY_SPACE: u64 = 256;
+
+/// The delete key is a fixed function of the sort key (an immutable
+/// creation attribute, as in the paper's model).
+fn delete_key_of(k: u64) -> u64 {
+    k.wrapping_mul(31) % KEY_SPACE
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "lethe-crash-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+fn tiny_config() -> LsmConfig {
+    let mut cfg = LsmConfig::small_for_test();
+    cfg.pages_per_delete_tile = 2;
+    cfg.secondary_delete_mode = SecondaryDeleteMode::KiwiPageDrops;
+    cfg.suppress_blind_deletes = true;
+    cfg.key_domain = 1 << 16;
+    // in-process crashes lose nothing that reached the file, so the relaxed
+    // policy keeps the fuzz fast without weakening what it checks (the
+    // protocol ordering); power-failure durability itself is Always's job
+    cfg.wal_sync = SyncPolicy::OnFlush;
+    cfg
+}
+
+fn builder() -> LetheBuilder {
+    LetheBuilder::new().with_config(tiny_config()).delete_persistence_threshold_secs(1.0)
+}
+
+// ----------------------------------------------------------------- op model
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, u8),
+    Delete(u64),
+    DeleteRange(u64, u64),
+    SecondaryDelete(u64, u64),
+    Persist,
+}
+
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..12u32) {
+        0..=6 => Op::Put(rng.gen_range(0..KEY_SPACE), rng.gen::<u8>()),
+        7..=8 => Op::Delete(rng.gen_range(0..KEY_SPACE)),
+        9 => {
+            let s = rng.gen_range(0..KEY_SPACE);
+            Op::DeleteRange(s, s + rng.gen_range(1..KEY_SPACE / 4))
+        }
+        10 => {
+            let s = rng.gen_range(0..KEY_SPACE);
+            Op::SecondaryDelete(s, s + rng.gen_range(1..KEY_SPACE / 4))
+        }
+        _ => Op::Persist,
+    }
+}
+
+type Oracle = BTreeMap<u64, Vec<u8>>;
+
+fn apply_oracle(oracle: &mut Oracle, op: &Op) {
+    match op {
+        Op::Put(k, v) => {
+            oracle.insert(*k, vec![*v; 9]);
+        }
+        Op::Delete(k) => {
+            oracle.remove(k);
+        }
+        Op::DeleteRange(s, e) => {
+            let victims: Vec<u64> = oracle.range(*s..*e).map(|(k, _)| *k).collect();
+            for k in victims {
+                oracle.remove(&k);
+            }
+        }
+        Op::SecondaryDelete(s, e) => {
+            let victims: Vec<u64> = oracle
+                .keys()
+                .copied()
+                .filter(|k| {
+                    let d = delete_key_of(*k);
+                    d >= *s && d < *e
+                })
+                .collect();
+            for k in victims {
+                oracle.remove(&k);
+            }
+        }
+        Op::Persist => {}
+    }
+}
+
+/// Keys whose state an in-flight (crashed) op may or may not have reached.
+fn affected_keys(op: &Op) -> Vec<u64> {
+    match op {
+        Op::Put(k, _) | Op::Delete(k) => vec![*k],
+        Op::DeleteRange(s, e) => (*s..(*e).min(KEY_SPACE)).collect(),
+        Op::SecondaryDelete(s, e) => (0..KEY_SPACE)
+            .filter(|k| {
+                let d = delete_key_of(*k);
+                d >= *s && d < *e
+            })
+            .collect(),
+        Op::Persist => vec![],
+    }
+}
+
+/// A store the crash harness can drive: `Lethe` or `ShardedLethe`.
+trait Store {
+    fn apply(&mut self, op: &Op) -> Result<()>;
+    fn get(&mut self, k: u64) -> Result<Option<Bytes>>;
+    fn live_keys(&mut self) -> Result<Vec<u64>>;
+}
+
+impl Store for Lethe {
+    fn apply(&mut self, op: &Op) -> Result<()> {
+        match op {
+            Op::Put(k, v) => self.put(*k, delete_key_of(*k), vec![*v; 9]),
+            Op::Delete(k) => self.delete(*k).map(|_| ()),
+            Op::DeleteRange(s, e) => self.delete_range(*s, *e),
+            Op::SecondaryDelete(s, e) => self.delete_where_delete_key_in(*s, *e).map(|_| ()),
+            Op::Persist => self.persist(),
+        }
+    }
+    fn get(&mut self, k: u64) -> Result<Option<Bytes>> {
+        Lethe::get(self, k)
+    }
+    fn live_keys(&mut self) -> Result<Vec<u64>> {
+        Ok(self.range(0, KEY_SPACE)?.into_iter().map(|(k, _)| k).collect())
+    }
+}
+
+impl Store for ShardedLethe {
+    fn apply(&mut self, op: &Op) -> Result<()> {
+        match op {
+            Op::Put(k, v) => self.put(*k, delete_key_of(*k), vec![*v; 9]),
+            Op::Delete(k) => self.delete(*k).map(|_| ()),
+            Op::DeleteRange(s, e) => self.delete_range(*s, *e),
+            Op::SecondaryDelete(s, e) => self.delete_where_delete_key_in(*s, *e).map(|_| ()),
+            Op::Persist => self.persist(),
+        }
+    }
+    fn get(&mut self, k: u64) -> Result<Option<Bytes>> {
+        ShardedLethe::get(self, k)
+    }
+    fn live_keys(&mut self) -> Result<Vec<u64>> {
+        Ok(self.range(0, KEY_SPACE)?.into_iter().map(|(k, _)| k).collect())
+    }
+}
+
+/// Verifies a reopened store against the oracle. `pending` is the op that
+/// was in flight when the store crashed, if any: keys it touches may be in
+/// either their before or after state, and the oracle is resynchronised to
+/// whichever the store durably chose. Every other key must match exactly.
+fn verify_and_resync(store: &mut dyn Store, oracle: &mut Oracle, pending: Option<&Op>) {
+    let mut oracle_after = oracle.clone();
+    let ambiguous: Vec<u64> = match pending {
+        Some(op) => {
+            apply_oracle(&mut oracle_after, op);
+            affected_keys(op)
+        }
+        None => vec![],
+    };
+    for k in 0..KEY_SPACE {
+        let got = store.get(k).unwrap().map(|b| b.to_vec());
+        let before = oracle.get(&k).cloned();
+        if ambiguous.contains(&k) {
+            let after = oracle_after.get(&k).cloned();
+            assert!(
+                got == before || got == after,
+                "key {k}: got {got:?}, expected before-crash {before:?} or after {after:?} \
+                 (pending {pending:?})"
+            );
+            // adopt whatever the store durably decided
+            match got {
+                Some(v) => {
+                    oracle.insert(k, v);
+                }
+                None => {
+                    oracle.remove(&k);
+                }
+            }
+        } else {
+            assert_eq!(got, before, "key {k} lost or corrupted across the crash");
+        }
+    }
+    let live = store.live_keys().unwrap();
+    let expected: Vec<u64> = oracle.keys().copied().collect();
+    assert_eq!(live, expected, "full scan disagrees with the oracle after recovery");
+}
+
+// ----------------------------------------------------------- headline tests
+
+/// The bug this subsystem exists to fix: before the manifest, a durable
+/// store forgot everything that had been flushed (the flush truncated the
+/// WAL without persisting the tree's file layout).
+#[test]
+fn flushed_data_survives_reopen() {
+    let dir = unique_dir("flushed");
+    let mut expected: Oracle = BTreeMap::new();
+    {
+        let mut db = builder().open(&dir).unwrap();
+        for i in 0..2000u64 {
+            let k = i % KEY_SPACE;
+            let v = (i % 251) as u8;
+            db.put(k, delete_key_of(k), vec![v; 9]).unwrap();
+            expected.insert(k, vec![v; 9]);
+        }
+        db.persist().unwrap();
+        assert!(db.stats().flushes > 0, "workload must actually flush");
+        assert!(db.stats().compactions > 0, "workload must actually compact");
+    }
+    {
+        let mut db = builder().open(&dir).unwrap();
+        for (k, v) in &expected {
+            assert_eq!(db.get(*k).unwrap().map(|b| b.to_vec()), Some(v.clone()), "key {k}");
+        }
+        // a write-after-recovery round trip still works
+        db.put(7, delete_key_of(7), b"fresh".to_vec()).unwrap();
+        db.persist().unwrap();
+        assert_eq!(db.get(7).unwrap(), Some(Bytes::from_static(b"fresh")));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn trailing WAL frame (crash mid-append) must not fail the open; the
+/// valid prefix is recovered.
+#[test]
+fn torn_wal_tail_recovers_valid_prefix_on_open() {
+    let dir = unique_dir("tornwal");
+    {
+        let mut db = builder().open(&dir).unwrap();
+        for k in 0..8u64 {
+            db.put(k, delete_key_of(k), vec![1u8; 9]).unwrap();
+        }
+        // no persist: the records live only in the WAL
+    }
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("lethe.wal"))
+            .unwrap();
+        // a length prefix promising 100 bytes, followed by only 3
+        f.write_all(&100u32.to_be_bytes()).unwrap();
+        f.write_all(&[1, 2, 3]).unwrap();
+    }
+    let mut db = builder().open(&dir).expect("torn tail must not fail the open");
+    for k in 0..8u64 {
+        assert_eq!(db.get(k).unwrap(), Some(Bytes::from(vec![1u8; 9])), "key {k}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -------------------------------------------------------- kill-point sweep
+
+/// Builds the deterministic workload script shared by the sweep tests.
+fn sweep_script() -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut script: Vec<Op> = (0..140).map(|_| random_op(&mut rng)).collect();
+    // make sure the protocol-heavy paths are on the script regardless of
+    // what the dice said
+    script.push(Op::Persist);
+    script.push(Op::SecondaryDelete(0, KEY_SPACE / 2));
+    script.push(Op::Persist);
+    script
+}
+
+/// Replays `script` against a fresh store with the fail point armed at
+/// `kill`, then reopens and verifies. Returns `false` once `kill` is past
+/// every durable step of the script (i.e. nothing crashed).
+fn run_sweep_iteration(script: &[Op], kill: u64, shards: Option<usize>) -> bool {
+    let dir = unique_dir("sweep");
+    let fp = FailPoint::new();
+    let mut oracle: Oracle = BTreeMap::new();
+    let mut pending: Option<Op> = None;
+
+    let open_single = |fp: Option<FailPoint>| -> Lethe {
+        let mut b = builder();
+        if let Some(fp) = fp {
+            b = b.crash_failpoint(fp);
+        }
+        b.open(&dir).unwrap()
+    };
+    let open_sharded = |fp: Option<FailPoint>, n: usize| -> ShardedLethe {
+        let mut b = ShardedLetheBuilder::from_builder(builder()).shards(n);
+        if let Some(fp) = fp {
+            b = b.crash_failpoint(fp);
+        }
+        b.open(&dir).unwrap()
+    };
+
+    {
+        let mut store: Box<dyn Store> = match shards {
+            None => Box::new(open_single(Some(fp.clone()))),
+            Some(n) => Box::new(open_sharded(Some(fp.clone()), n)),
+        };
+        fp.arm(kill);
+        for op in script {
+            match store.apply(op) {
+                Ok(()) => apply_oracle(&mut oracle, op),
+                Err(_) => {
+                    pending = Some(op.clone());
+                    break;
+                }
+            }
+        }
+        fp.disarm();
+    }
+    let crashed = pending.is_some();
+    let mut store: Box<dyn Store> = match shards {
+        None => Box::new(open_single(None)),
+        Some(n) => Box::new(open_sharded(None, n)),
+    };
+    verify_and_resync(store.as_mut(), &mut oracle, pending.as_ref());
+    let _ = std::fs::remove_dir_all(&dir);
+    crashed
+}
+
+#[test]
+fn kill_point_sweep_single_shard() {
+    let script = sweep_script();
+    // dense coverage of the early protocol steps, sparser further out; the
+    // sweep ends when a kill index is past the script's last durable step
+    let mut kill = 0u64;
+    let mut crashes = 0u32;
+    while run_sweep_iteration(&script, kill, None) {
+        crashes += 1;
+        kill += 1 + kill / 16;
+    }
+    assert!(crashes > 30, "sweep must cross many kill points, got {crashes}");
+}
+
+#[test]
+fn kill_point_sweep_sharded() {
+    let script = sweep_script();
+    let mut kill = 0u64;
+    let mut crashes = 0u32;
+    while run_sweep_iteration(&script, kill, Some(3)) {
+        crashes += 1;
+        kill += 1 + kill / 12;
+    }
+    assert!(crashes > 30, "sweep must cross many kill points, got {crashes}");
+}
+
+// ------------------------------------------------------------ restart fuzz
+
+/// Randomized restart fuzz: one long history against one directory, with
+/// abrupt kills and armed fail points interleaved at random, continuing
+/// after every recovery (so recovered state is itself re-crashed and
+/// re-recovered, manifests fold, and WAL replays stack on flushed state).
+fn run_restart_fuzz(seed: u64, shards: Option<usize>) {
+    let dir = unique_dir(&format!("fuzz{}", shards.unwrap_or(1)));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fp = FailPoint::new();
+    let mut oracle: Oracle = BTreeMap::new();
+
+    let open = |fp: FailPoint| -> Box<dyn Store> {
+        match shards {
+            None => Box::new(builder().crash_failpoint(fp).open(&dir).unwrap()),
+            Some(n) => Box::new(
+                ShardedLetheBuilder::from_builder(builder())
+                    .shards(n)
+                    .crash_failpoint(fp)
+                    .open(&dir)
+                    .unwrap(),
+            ),
+        }
+    };
+
+    let mut store = open(fp.clone());
+    let mut reopens = 0u32;
+    let mut injected = 0u32;
+    for _ in 0..700 {
+        // occasionally schedule an injected failure a few durable steps out
+        if !fp.is_armed() && rng.gen_range(0..25u32) == 0 {
+            fp.arm(rng.gen_range(0..40u64));
+        }
+        let op = random_op(&mut rng);
+        match store.apply(&op) {
+            Ok(()) => apply_oracle(&mut oracle, &op),
+            Err(_) => {
+                injected += 1;
+                fp.disarm();
+                drop(store);
+                store = open(fp.clone());
+                reopens += 1;
+                verify_and_resync(store.as_mut(), &mut oracle, Some(&op));
+            }
+        }
+        // abrupt kill at a clean op boundary
+        if rng.gen_range(0..60u32) == 0 {
+            fp.disarm();
+            drop(store);
+            store = open(fp.clone());
+            reopens += 1;
+            verify_and_resync(store.as_mut(), &mut oracle, None);
+        }
+    }
+    fp.disarm();
+    drop(store);
+    let mut store = open(fp);
+    verify_and_resync(store.as_mut(), &mut oracle, None);
+    assert!(reopens > 2, "fuzz must actually restart, got {reopens}");
+    assert!(injected > 0, "fuzz must hit at least one injected kill");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_fuzz_single_shard() {
+    for seed in [1u64, 2, 3] {
+        run_restart_fuzz(seed, None);
+    }
+}
+
+#[test]
+fn restart_fuzz_sharded() {
+    for seed in [11u64, 12] {
+        run_restart_fuzz(seed, Some(3));
+    }
+}

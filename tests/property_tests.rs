@@ -106,6 +106,98 @@ fn check_against_oracle(cfg: LsmConfig, dth_secs: f64, ops: &[Mutation], key_spa
     assert_eq!(scan, expected);
 }
 
+/// A durable-engine step: a regular mutation or a restart point (drop the
+/// engine mid-history and reopen it from its directory).
+#[derive(Debug, Clone)]
+enum DurableOp {
+    Mutate(Mutation),
+    Restart,
+}
+
+fn durable_op_strategy(key_space: u64) -> impl Strategy<Value = DurableOp> {
+    prop_oneof![
+        10 => mutation_strategy(key_space).prop_map(DurableOp::Mutate),
+        1 => Just(DurableOp::Restart),
+    ]
+}
+
+/// Like [`check_against_oracle`] but for the durable (file-backed) engine,
+/// with restarts interleaved at arbitrary points: every acknowledged
+/// mutation must survive every restart, whether it sat in the write buffer
+/// (WAL replay) or had been flushed/compacted (manifest recovery).
+fn check_durable_against_oracle(ops: &[DurableOp], key_space: u64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lethe-prop-durable-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = tiny_config(MergePolicy::Leveling, 2);
+    // in-process restarts lose nothing unsynced, so the relaxed policy just
+    // keeps the fuzz fast
+    cfg.wal_sync = lethe::storage::SyncPolicy::OnFlush;
+    let reopen = |cfg: &LsmConfig| {
+        LetheBuilder::new()
+            .with_config(cfg.clone())
+            .delete_persistence_threshold_secs(1.0)
+            .open(&dir)
+            .unwrap()
+    };
+    let mut db = reopen(&cfg);
+    let mut oracle: BTreeMap<u64, (u64, Vec<u8>)> = BTreeMap::new();
+    for op in ops {
+        match op {
+            DurableOp::Mutate(Mutation::Put(k, v)) => {
+                let d = delete_key_of(*k, key_space);
+                let value = vec![*v; 9];
+                db.put(*k, d, value.clone()).unwrap();
+                oracle.insert(*k, (d, value));
+            }
+            DurableOp::Mutate(Mutation::Delete(k)) => {
+                db.delete(*k).unwrap();
+                oracle.remove(k);
+            }
+            DurableOp::Mutate(Mutation::DeleteRange(s, e)) => {
+                db.delete_range(*s, *e).unwrap();
+                let victims: Vec<u64> = oracle.range(*s..*e).map(|(k, _)| *k).collect();
+                for k in victims {
+                    oracle.remove(&k);
+                }
+            }
+            DurableOp::Mutate(Mutation::SecondaryDelete(s, e)) => {
+                db.delete_where_delete_key_in(*s, *e).unwrap();
+                let victims: Vec<u64> =
+                    oracle.iter().filter(|(_, (d, _))| d >= s && d < e).map(|(k, _)| *k).collect();
+                for k in victims {
+                    oracle.remove(&k);
+                }
+            }
+            DurableOp::Mutate(Mutation::Flush) => {
+                db.persist().unwrap();
+            }
+            DurableOp::Restart => {
+                drop(db);
+                db = reopen(&cfg);
+            }
+        }
+    }
+    // one final restart so the end state is checked through recovery too
+    drop(db);
+    let mut db = reopen(&cfg);
+    for k in 0..key_space {
+        let expected = oracle.get(&k).map(|(_, v)| v.clone());
+        let got = db.get(k).unwrap().map(|b| b.to_vec());
+        assert_eq!(got, expected, "key {k} disagrees with the oracle after restarts");
+    }
+    let scan: Vec<u64> = db.range(0, key_space).unwrap().into_iter().map(|(k, _)| k).collect();
+    let expected: Vec<u64> = oracle.keys().copied().collect();
+    assert_eq!(scan, expected);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -122,6 +214,19 @@ proptest! {
     #[test]
     fn lethe_wide_tiles_match_oracle(ops in prop::collection::vec(mutation_strategy(128), 1..300)) {
         check_against_oracle(tiny_config(MergePolicy::Leveling, 8), 0.2, &ops, 128);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// The durable engine agrees with the oracle across random restart
+    /// points (manifest recovery + WAL replay end to end).
+    #[test]
+    fn durable_engine_matches_oracle_across_restarts(
+        ops in prop::collection::vec(durable_op_strategy(128), 1..250),
+    ) {
+        check_durable_against_oracle(&ops, 128);
     }
 }
 
