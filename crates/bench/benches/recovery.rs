@@ -48,7 +48,7 @@ fn bench_recovery(c: &mut Criterion) {
         let dir = populated_dir(entries);
         group.bench_function(format!("entries_{entries}"), |b| {
             b.iter(|| {
-                let mut db = builder().open(&dir).expect("reopen");
+                let db = builder().open(&dir).expect("reopen");
                 // one point read proves the recovered tree is serviceable
                 let _ = db.get(1).expect("get after recovery");
             })

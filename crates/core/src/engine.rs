@@ -19,7 +19,7 @@ use bytes::Bytes;
 use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
 use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
-use lethe_lsm::tree::LsmTree;
+use lethe_lsm::tree::{LsmTree, MaintenanceMode, TreeReader};
 use lethe_storage::{
     DeleteKey, Entry, FailPoint, FileBackend, FileWal, InMemoryBackend, IoSnapshot, LogicalClock,
     Manifest, Result, SortKey, StorageBackend, SyncPolicy, Timestamp, MICROS_PER_SEC,
@@ -264,8 +264,9 @@ impl Lethe {
         self.tree.put(key, delete_key, value.into())
     }
 
-    /// Point lookup.
-    pub fn get(&mut self, key: SortKey) -> Result<Option<Bytes>> {
+    /// Point lookup. Lock-free with respect to background flushes and
+    /// compactions (served through the tree's snapshot read surface).
+    pub fn get(&self, key: SortKey) -> Result<Option<Bytes>> {
         self.tree.get(key)
     }
 
@@ -291,13 +292,13 @@ impl Lethe {
     }
 
     /// Range lookup on the sort key over `[lo, hi)`.
-    pub fn range(&mut self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
+    pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
         self.tree.range(lo, hi)
     }
 
     /// Secondary range lookup: every live entry whose delete key lies in
     /// `[lo, hi)`.
-    pub fn scan_by_delete_key(&mut self, lo: DeleteKey, hi: DeleteKey) -> Result<Vec<Entry>> {
+    pub fn scan_by_delete_key(&self, lo: DeleteKey, hi: DeleteKey) -> Result<Vec<Entry>> {
         self.tree.secondary_range_scan(lo, hi)
     }
 
@@ -314,9 +315,26 @@ impl Lethe {
         self.tree.maintain()
     }
 
-    /// Lifetime operation counters.
-    pub fn stats(&self) -> &TreeStats {
+    /// Lifetime operation counters (write-side counters folded together
+    /// with the lock-free read-side lookup counters).
+    pub fn stats(&self) -> TreeStats {
         self.tree.stats()
+    }
+
+    /// Returns a cheap-to-clone, `Send + Sync` handle serving lock-free
+    /// snapshot reads (see [`lethe_lsm::TreeReader`]): `get`/`range`/
+    /// secondary scans proceed while this engine flushes or compacts.
+    pub fn reader(&self) -> TreeReader {
+        self.tree.reader()
+    }
+
+    /// Selects who runs flushes and compactions: inline (default) or a
+    /// background worker driving [`LsmTree::plan_job`] /
+    /// [`lethe_lsm::JobPlan::execute`] / [`LsmTree::apply_job`]. The sharded
+    /// front-end switches its shards to background mode and attaches a
+    /// [`crate::compactor::Compactor`] to each.
+    pub fn set_maintenance_mode(&mut self, mode: MaintenanceMode) {
+        self.tree.set_maintenance_mode(mode);
     }
 
     /// Device I/O counters.
@@ -491,7 +509,7 @@ mod tests {
             // do not flush: the data only lives in the WAL
         }
         {
-            let mut db = LetheBuilder::new()
+            let db = LetheBuilder::new()
                 .buffer(64, 4, 64)
                 .size_ratio(4)
                 .open(&dir)

@@ -11,6 +11,8 @@
 //!   multipliers).
 //! * [`engine`] — [`Lethe`], the engine that combines FADE and KiWi behind a
 //!   single API with the two tuning knobs `D_th` and `h`.
+//! * [`compactor`] — the per-shard background maintenance worker that
+//!   drains flushes and FADE compactions off the foreground write path.
 //! * [`baseline`] — the state-of-the-art engines the paper compares against.
 //! * [`tuning`] — the navigable-design equations (1)–(3) that pick the
 //!   optimal delete-tile granularity for a workload.
@@ -41,6 +43,7 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod compactor;
 pub mod engine;
 pub mod fade;
 pub mod kiwi;
@@ -49,8 +52,9 @@ pub mod shard;
 pub mod tuning;
 
 pub use baseline::{Baseline, BaselineKind};
+pub use compactor::Compactor;
 pub use engine::{Lethe, LetheBuilder};
-pub use shard::{ShardedLethe, ShardedLetheBuilder};
+pub use shard::{BackpressureStats, ShardedLethe, ShardedLetheBuilder};
 pub use fade::{level_ttls, FadePolicy, SaturationSelection};
 pub use kiwi::{
     hash_cost_multiplier, metadata_overhead_bytes, plan_secondary_delete, DropPlan,

@@ -1,26 +1,37 @@
 //! Sharded concurrent front-end: many [`Lethe`] shards behind one `&self` API.
 //!
-//! The single-shard [`Lethe`] engine is deliberately single-caller — every
-//! operation, including read-only `get`/`range`, takes `&mut self`, because
-//! even lookups mutate engine state (they charge the I/O and Bloom-probe
-//! counters, and the tree maintains itself lazily). [`ShardedLethe`] turns
-//! that into a concurrent, `Send + Sync`, `&self` engine the way industrial
-//! LSM stores scale out: **shared-nothing sharding**. The sort-key space is
-//! hash-partitioned across `N` independent shards, each a complete `Lethe`
-//! engine (own memtable, own levels, own FADE policy, own storage device)
-//! guarded by its own lock, so operations on different shards proceed fully
-//! in parallel and operations on the same shard serialise per shard rather
-//! than per store.
+//! [`ShardedLethe`] scales the single-shard engine out the way industrial
+//! LSM stores do: **shared-nothing sharding** for writes, **snapshot
+//! isolation** for reads, and **background maintenance** for everything
+//! expensive. The sort-key space is hash-partitioned across `N` independent
+//! shards, each a complete `Lethe` engine (own memtable, own version set,
+//! own FADE policy, own storage device).
 //!
-//! ## Locking
+//! ## Threading model
 //!
-//! Each shard sits behind a [`parking_lot::Mutex`] rather than the `RwLock`
-//! one might expect. An `RwLock` buys nothing here: *every* `Lethe` operation
-//! requires `&mut` (reads charge I/O statistics and drive lazy maintenance),
-//! so a reader-writer lock would be acquired in write mode on every call and
-//! only add overhead. The mutex states the actual contract honestly; the
-//! concurrency win comes from having `N` independent locks, not from
-//! read-sharing one engine.
+//! Three kinds of thread touch a shard, and only writers ever lock it:
+//!
+//! * **Readers** (`get`/`range`/`scan_by_delete_key`) go through the
+//!   shard's [`TreeReader`]: they pin the current immutable version (one
+//!   `Arc` clone) and read the shared memtables under brief read locks —
+//!   no shard lock, so a reader is *never* blocked by a writer, a flush or
+//!   a compaction, and never observes a half-committed version.
+//! * **Writers** (`put`/`delete`/`delete_range`) take the shard's
+//!   [`parking_lot::Mutex`] for the WAL append + memtable insert only. A
+//!   full buffer is *frozen*, not flushed: the writer returns immediately
+//!   and the worker persists it. Backpressure replaces the old inline
+//!   compact-to-completion loop: once level 0 accumulates
+//!   [`LsmConfig::l0_slowdown_runs`] runs the writer yields, and at
+//!   [`LsmConfig::l0_stall_runs`] (or a full buffer behind an unflushed
+//!   frozen one) it blocks until the worker catches up.
+//! * **One [`Compactor`] worker per shard** drains flushes and FADE/
+//!   saturation compactions through the tree's plan → execute → apply
+//!   cycle, holding the shard lock only for the cheap plan and apply
+//!   phases; the merge I/O runs lock-free against pinned files.
+//!
+//! Foreground structural operations (secondary range deletes, white-box
+//! [`ShardedLethe::with_shard`] access) pause the worker first so exactly
+//! one thread at a time restructures a shard's tree.
 //!
 //! ## Semantics
 //!
@@ -35,8 +46,9 @@
 //!   hold qualifying entries.
 //! * All shards share one [`LogicalClock`], so FADE's per-level TTLs and the
 //!   delete persistence threshold `D_th` hold per shard against a single
-//!   consistent notion of time; [`ShardedLethe::maintain`] drives every
-//!   shard's compaction loop.
+//!   consistent notion of time; [`ShardedLethe::maintain`] wakes every
+//!   shard's worker and waits for all of them to quiesce (the workers run
+//!   concurrently — no shard blocks behind another).
 //! * `stats`/`io_snapshot`/`snapshot_contents` aggregate the per-shard
 //!   [`TreeStats`]/[`IoSnapshot`]/[`ContentSnapshot`] into one combined view.
 //! * **Fan-out operations are not atomic snapshots.** Shards are visited
@@ -78,6 +90,7 @@
 //! assert_eq!(db.range(0, 400).unwrap().len(), 400);
 //! ```
 
+use crate::compactor::Compactor;
 use crate::engine::{Lethe, LetheBuilder};
 use crate::fade::SaturationSelection;
 use crate::tuning::WorkloadProfile;
@@ -85,11 +98,14 @@ use bytes::Bytes;
 use lethe_lsm::config::{LsmConfig, MergePolicy};
 use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
+use lethe_lsm::tree::{MaintenanceMode, TreeReader};
 use lethe_storage::{
     DeleteKey, Entry, IoSnapshot, LogicalClock, Result, SortKey, Timestamp,
 };
 use parking_lot::Mutex;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Builder for a [`ShardedLethe`] engine.
 ///
@@ -248,12 +264,12 @@ impl ShardedLetheBuilder {
         let inner = self.resolved_inner();
         let mut shards = Vec::with_capacity(self.shards);
         for _ in 0..self.shards {
-            let shard = inner
+            let engine = inner
                 .clone()
                 .build_on(lethe_storage::InMemoryBackend::new_shared(), clock.clone())?;
-            shards.push(Mutex::new(shard));
+            shards.push(Shard::spawn(engine));
         }
-        Ok(ShardedLethe { shards, clock })
+        Ok(ShardedLethe { shards, clock, stalls: AtomicU64::new(0), slowdowns: AtomicU64::new(0) })
     }
 
     /// Opens (or creates) a durable sharded engine rooted at `dir`. Each
@@ -273,15 +289,15 @@ impl ShardedLetheBuilder {
         let inner = self.resolved_inner();
         let mut shards = Vec::with_capacity(self.shards);
         for i in 0..self.shards {
-            let shard = inner.clone().open_named(dir, &format!("shard-{i:03}"), clock.clone())?;
-            shards.push(Mutex::new(shard));
+            let engine = inner.clone().open_named(dir, &format!("shard-{i:03}"), clock.clone())?;
+            shards.push(Shard::spawn(engine));
         }
         // the super-manifest is written only once every shard opened
         // successfully (a failed open never pins a shard count for a store
         // that was never created), and atomically + fsync'd: once a client
         // can acknowledge writes, the recorded count must survive a crash
         write_shard_manifest(dir, self.shards)?;
-        Ok(ShardedLethe { shards, clock })
+        Ok(ShardedLethe { shards, clock, stalls: AtomicU64::new(0), slowdowns: AtomicU64::new(0) })
     }
 }
 
@@ -349,13 +365,51 @@ fn validate_shard_manifest(dir: &Path, shards: usize) -> Result<()> {
     }
 }
 
+/// One shard: the engine behind its write lock, the lock-free read handle,
+/// the background maintenance worker, and the backpressure thresholds
+/// copied out of the engine's configuration.
+struct Shard {
+    engine: Arc<Mutex<Lethe>>,
+    reader: TreeReader,
+    worker: Compactor,
+    slowdown_runs: usize,
+    stall_runs: usize,
+}
+
+impl Shard {
+    /// Switches `engine` to background maintenance, wraps it behind its
+    /// lock, and spawns the worker.
+    fn spawn(mut engine: Lethe) -> Shard {
+        engine.set_maintenance_mode(MaintenanceMode::Background);
+        let reader = engine.reader();
+        let slowdown_runs = engine.config().l0_slowdown_runs;
+        let stall_runs = engine.config().l0_stall_runs;
+        let engine = Arc::new(Mutex::new(engine));
+        let worker = Compactor::spawn(Arc::clone(&engine));
+        Shard { engine, reader, worker, slowdown_runs, stall_runs }
+    }
+}
+
+/// Write-backpressure event counters; see [`ShardedLethe::backpressure`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackpressureStats {
+    /// Writes that blocked until the worker made progress (full buffer
+    /// behind an unflushed frozen one, or level 0 at the stall threshold).
+    pub stalls: u64,
+    /// Writes that yielded because level 0 reached the slowdown threshold.
+    pub slowdowns: u64,
+}
+
 /// A concurrent, hash-sharded Lethe engine with a `&self` API.
 ///
-/// See the [module docs](self) for the design. Construct one through
-/// [`ShardedLetheBuilder`].
+/// See the [module docs](self) for the threading model. Construct one
+/// through [`ShardedLetheBuilder`]. Dropping the store shuts down and joins
+/// every shard's background worker.
 pub struct ShardedLethe {
-    shards: Vec<Mutex<Lethe>>,
+    shards: Vec<Shard>,
     clock: LogicalClock,
+    stalls: AtomicU64,
+    slowdowns: AtomicU64,
 }
 
 // Compile-time proof of the headline property: the sharded front-end can be
@@ -383,27 +437,72 @@ impl ShardedLethe {
         ((h >> 32) as usize) % self.shards.len()
     }
 
-    /// Inserts (or updates) `key` with an associated delete key and value.
-    pub fn put(&self, key: SortKey, delete_key: DeleteKey, value: impl Into<Bytes>) -> Result<()> {
-        self.shards[self.shard_of(key)].lock().put(key, delete_key, value.into())
+    /// Runs one write operation against `shard` under its lock, applying
+    /// write backpressure first and nudging the worker afterwards.
+    ///
+    /// Backpressure: while the shard reports a stall condition the writer
+    /// parks on the worker's progress signal instead of spinning. If the
+    /// worker twice completes a pass without clearing the condition (it hit
+    /// an error, or the thresholds are configured below what the policy
+    /// considers compactable), the write proceeds anyway — the buffer
+    /// overshoots rather than deadlocks, and the error surfaces at the next
+    /// `maintain`/`persist`.
+    fn write_to<R>(&self, shard: &Shard, op: impl FnOnce(&mut Lethe) -> Result<R>) -> Result<R> {
+        let mut fruitless = 0u32;
+        loop {
+            let stalled =
+                shard.reader.write_stalled() || shard.reader.l0_run_count() >= shard.stall_runs;
+            if stalled && fruitless < 2 {
+                self.stalls.fetch_add(1, Ordering::Relaxed);
+                let jobs_before = shard.worker.jobs_done();
+                shard.worker.wait_for_progress();
+                if shard.worker.jobs_done() == jobs_before {
+                    fruitless += 1;
+                }
+                continue;
+            }
+            let mut engine = shard.engine.lock();
+            let result = op(&mut engine)?;
+            let wake = engine.tree().has_frozen();
+            drop(engine);
+            let l0 = shard.reader.l0_run_count();
+            if wake || l0 >= shard.slowdown_runs {
+                shard.worker.wake();
+            }
+            if l0 >= shard.slowdown_runs && l0 < shard.stall_runs {
+                // stage-1 backpressure: give the worker a scheduling slot
+                self.slowdowns.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+            }
+            return Ok(result);
+        }
     }
 
-    /// Point lookup.
+    /// Inserts (or updates) `key` with an associated delete key and value.
+    pub fn put(&self, key: SortKey, delete_key: DeleteKey, value: impl Into<Bytes>) -> Result<()> {
+        let value = value.into();
+        let shard = &self.shards[self.shard_of(key)];
+        self.write_to(shard, move |engine| engine.put(key, delete_key, value))
+    }
+
+    /// Point lookup — served lock-free from the owning shard's snapshot
+    /// read surface; never blocked by writers, flushes or compactions.
     pub fn get(&self, key: SortKey) -> Result<Option<Bytes>> {
-        self.shards[self.shard_of(key)].lock().get(key)
+        self.shards[self.shard_of(key)].reader.get(key)
     }
 
     /// Point delete on the sort key. Returns `false` if the owning shard
     /// suppressed the delete as blind (the key cannot exist).
     pub fn delete(&self, key: SortKey) -> Result<bool> {
-        self.shards[self.shard_of(key)].lock().delete(key)
+        let shard = &self.shards[self.shard_of(key)];
+        self.write_to(shard, move |engine| engine.delete(key))
     }
 
     /// Range delete on the sort key over `[start, end)`. Hash partitioning
     /// scatters the range, so the tombstone fans out to every shard.
     pub fn delete_range(&self, start: SortKey, end: SortKey) -> Result<()> {
         for shard in &self.shards {
-            shard.lock().delete_range(start, end)?;
+            self.write_to(shard, |engine| engine.delete_range(start, end))?;
         }
         Ok(())
     }
@@ -411,6 +510,10 @@ impl ShardedLethe {
     /// Secondary range delete: removes every entry whose **delete key** lies
     /// in `[lo, hi)`. Fans out to every shard (the delete key is independent
     /// of the partitioning key) and returns the aggregated page-drop stats.
+    ///
+    /// A structural foreground operation: each shard's worker is paused (its
+    /// in-flight job completes first) while that shard's pages are dropped,
+    /// so the delete never races a background version install.
     pub fn delete_where_delete_key_in(
         &self,
         lo: DeleteKey,
@@ -418,49 +521,87 @@ impl ShardedLethe {
     ) -> Result<SecondaryDeleteStats> {
         let mut total = SecondaryDeleteStats::default();
         for shard in &self.shards {
-            let stats = shard.lock().delete_where_delete_key_in(lo, hi)?;
+            let _parked = shard.worker.pause();
+            let stats = shard.engine.lock().delete_where_delete_key_in(lo, hi)?;
             total.merge(&stats);
         }
         Ok(total)
     }
 
-    /// Range lookup on the sort key over `[lo, hi)`: fans out to every shard
-    /// and merges the per-shard results back into global sort-key order.
+    /// Range lookup on the sort key over `[lo, hi)`: fans out to every
+    /// shard's snapshot reader (no shard locks) and merges the per-shard
+    /// results back into global sort-key order.
     pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
         let mut per_shard = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            per_shard.push(shard.lock().range(lo, hi)?);
+            per_shard.push(shard.reader.range(lo, hi)?);
         }
         Ok(merge_sorted_by_key(per_shard, |(k, _)| *k))
     }
 
     /// Secondary range lookup: every live entry whose delete key lies in
-    /// `[lo, hi)`, across all shards, in sort-key order.
+    /// `[lo, hi)`, across all shards, in sort-key order. Served from the
+    /// per-shard snapshot readers without shard locks.
     pub fn scan_by_delete_key(&self, lo: DeleteKey, hi: DeleteKey) -> Result<Vec<Entry>> {
         let mut per_shard = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
-            per_shard.push(shard.lock().scan_by_delete_key(lo, hi)?);
+            per_shard.push(shard.reader.secondary_range_scan(lo, hi)?);
         }
         Ok(merge_sorted_by_key(per_shard, |e: &Entry| e.sort_key))
     }
 
-    /// Flushes every shard's write buffer and runs every shard's compaction
-    /// loop (including TTL-driven compactions that are due).
+    /// Flushes every shard's write buffer and waits until every shard's
+    /// worker has drained its compaction queue (including TTL-driven
+    /// compactions that are due).
+    ///
+    /// The buffers are frozen under each shard lock in turn (microseconds),
+    /// then all workers flush and compact **concurrently**; this call only
+    /// blocks for the slowest shard, not for the sum of all shards.
     pub fn persist(&self) -> Result<()> {
+        loop {
+            let mut pending = false;
+            for shard in &self.shards {
+                let mut engine = shard.engine.lock();
+                // freeze() returns false both for an empty active buffer
+                // and for an occupied frozen slot — in the latter case the
+                // active buffer may still hold data, so another pass is
+                // needed after the workers drain the slot
+                if engine.tree_mut().freeze()? || engine.tree().has_frozen() {
+                    pending = true;
+                }
+                drop(engine);
+                shard.worker.wake();
+            }
+            for shard in &self.shards {
+                shard.worker.drain()?;
+            }
+            if !pending {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Wakes every shard's worker and waits for all of them to quiesce,
+    /// letting FADE react to the passage of logical time; the
+    /// delete-persistence threshold `D_th` holds per shard against the
+    /// shared clock. The workers run concurrently — no shard blocks
+    /// foreground operations on another shard while this drains.
+    pub fn maintain(&self) -> Result<()> {
         for shard in &self.shards {
-            shard.lock().persist()?;
+            shard.worker.wake();
+        }
+        for shard in &self.shards {
+            shard.worker.drain()?;
         }
         Ok(())
     }
 
-    /// Runs every shard's compaction loop without new writes, letting FADE
-    /// react to the passage of logical time; the delete-persistence threshold
-    /// `D_th` holds per shard against the shared clock.
-    pub fn maintain(&self) -> Result<()> {
-        for shard in &self.shards {
-            shard.lock().maintain()?;
+    /// Write-backpressure event counters accumulated by this store.
+    pub fn backpressure(&self) -> BackpressureStats {
+        BackpressureStats {
+            stalls: self.stalls.load(Ordering::Relaxed),
+            slowdowns: self.slowdowns.load(Ordering::Relaxed),
         }
-        Ok(())
     }
 
     /// Aggregated lifetime operation counters across all shards.
@@ -474,21 +615,21 @@ impl ShardedLethe {
     pub fn stats(&self) -> TreeStats {
         let mut total = TreeStats::default();
         for shard in &self.shards {
-            total.absorb(shard.lock().stats());
+            total.absorb(&shard.engine.lock().stats());
         }
         total
     }
 
     /// Aggregated device I/O counters across all shards.
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.shards.iter().map(|shard| shard.lock().io_snapshot()).sum()
+        self.shards.iter().map(|shard| shard.engine.lock().io_snapshot()).sum()
     }
 
     /// Aggregated measurement-time snapshot of all shard trees.
     pub fn snapshot_contents(&self) -> Result<ContentSnapshot> {
         let mut total = ContentSnapshot::default();
         for shard in &self.shards {
-            total.absorb(&shard.lock().snapshot_contents()?);
+            total.absorb(&shard.engine.lock().snapshot_contents()?);
         }
         Ok(total)
     }
@@ -505,13 +646,16 @@ impl ShardedLethe {
         &self.clock
     }
 
-    /// White-box access to one shard for experiments and tests: runs `f`
-    /// with the shard's engine locked.
+    /// White-box access to one shard for experiments and tests: pauses the
+    /// shard's background worker (its in-flight job completes first), then
+    /// runs `f` with the shard's engine locked.
     ///
     /// # Panics
     /// Panics if `index >= self.shard_count()`.
     pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut Lethe) -> R) -> R {
-        f(&mut self.shards[index].lock())
+        let shard = &self.shards[index];
+        let _parked = shard.worker.pause();
+        f(&mut shard.engine.lock())
     }
 }
 
@@ -746,6 +890,39 @@ mod tests {
         drop(db);
         assert!(dir.join("SHARDS").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_flushes_active_buffer_behind_occupied_frozen_slot() {
+        // regression: freeze() returning false because the frozen slot was
+        // occupied used to end persist()'s loop one pass early, leaving the
+        // active buffer (and with relaxed WAL sync policies, unsynced
+        // acknowledged writes) unflushed
+        let db = small().shards(1).build().unwrap();
+        db.with_shard(0, |engine| {
+            // occupy the frozen slot and refill the active buffer while the
+            // worker is paused (with_shard) and never woken (direct puts
+            // bypass the front-end's wake)
+            for k in 0..40u64 {
+                engine.put(k, k, format!("frozen-{k}")).unwrap();
+            }
+            engine.tree_mut().freeze().unwrap();
+            assert!(engine.tree().has_frozen());
+            for k in 40..80u64 {
+                engine.put(k, k, format!("active-{k}")).unwrap();
+            }
+            assert!(engine.tree().buffered_entries() > 0);
+        });
+        db.persist().unwrap();
+        assert_eq!(
+            db.with_shard(0, |engine| engine.tree().buffered_entries()),
+            0,
+            "persist must flush the active buffer even when the frozen slot was occupied"
+        );
+        assert!(!db.with_shard(0, |engine| engine.tree().has_frozen()));
+        for k in 0..80u64 {
+            assert!(db.get(k).unwrap().is_some(), "key {k} lost");
+        }
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   baseline policies (saturation + min-overlap, saturation + most
 //!   tombstones, periodic full-tree compaction).
 //! * [`tree`] — [`tree::LsmTree`], the engine: puts, deletes, range deletes,
-//!   secondary range deletes, lookups, scans, flush and compaction.
+//!   secondary range deletes, lookups, scans, flush and compaction, plus the
+//!   lock-free [`tree::TreeReader`] read surface and the plan/execute/apply
+//!   job cycle a background worker drives.
+//! * [`version`] — immutable, `Arc`-shared version sets: snapshot-isolated
+//!   reads and deferred page reclamation.
 //! * [`stats`] — space/write amplification and tombstone-age accounting.
 //!
 //! The delete-aware pieces of the paper (the FADE compaction policy and the
@@ -33,6 +37,7 @@ pub mod merge;
 pub mod sstable;
 pub mod stats;
 pub mod tree;
+pub mod version;
 
 pub use compaction::{
     CompactionPolicy, CompactionTask, FileSelection, PeriodicFullCompactionPolicy,
@@ -43,4 +48,5 @@ pub use level::{Level, Run};
 pub use merge::{merge_entries, MergeOutput};
 pub use sstable::{DeleteTile, PageHandle, SecondaryDeleteStats, SsTable, SsTableMeta};
 pub use stats::{ContentSnapshot, TreeStats};
-pub use tree::{LsmTree, RecoveryReport};
+pub use tree::{BuildCtx, JobOutput, JobPlan, LsmTree, MaintenanceMode, RecoveryReport, TreeReader};
+pub use version::{Version, VersionSet};

@@ -531,10 +531,14 @@ impl SsTable {
     /// Executes a secondary range delete: removes every non-tombstone entry
     /// whose **delete key** lies in `[d_lo, d_hi)`.
     ///
-    /// Pages fully covered by the range are dropped without being read; pages
-    /// partially covered are read, filtered and rewritten. Returns the
-    /// surviving file (or `None` if nothing survived) along with drop
-    /// statistics.
+    /// Pages fully covered by the range qualify for a *full page drop*
+    /// (released without being read); pages partially covered are read,
+    /// filtered and rewritten. Returns the surviving file (or `None` if
+    /// nothing survived), drop statistics, and the ids of the pages the
+    /// delete made obsolete. The pages are **not** released here: the caller
+    /// retires them through the version set so that concurrently pinned
+    /// snapshots (which may still reference the original file) stay readable
+    /// until they are dropped.
     pub fn secondary_range_delete(
         &self,
         d_lo: DeleteKey,
@@ -542,8 +546,9 @@ impl SsTable {
         config: &LsmConfig,
         backend: &dyn StorageBackend,
         now: Timestamp,
-    ) -> Result<(Option<SsTable>, SecondaryDeleteStats)> {
+    ) -> Result<(Option<SsTable>, SecondaryDeleteStats, Vec<PageId>)> {
         let mut stats = SecondaryDeleteStats::default();
+        let mut obsolete_pages: Vec<PageId> = Vec::new();
         let mut new_tiles: Vec<DeleteTile> = Vec::with_capacity(self.tiles.len());
         let mut tile_mins: Vec<SortKey> = Vec::with_capacity(self.tiles.len());
 
@@ -558,7 +563,7 @@ impl SsTable {
                         let page = backend.read_page(handle.id)?;
                         let (deleted, kept) = page.partition_by_delete_key(d_lo, d_hi);
                         stats.entries_deleted += deleted.len() as u64;
-                        backend.drop_page(handle.id)?;
+                        obsolete_pages.push(handle.id);
                         if kept.is_empty() {
                             stats.full_page_drops += 1;
                         } else {
@@ -570,7 +575,7 @@ impl SsTable {
                     } else {
                         stats.entries_deleted += handle.num_entries as u64;
                         stats.full_page_drops += 1;
-                        backend.drop_page(handle.id)?;
+                        obsolete_pages.push(handle.id);
                     }
                 } else if partial.contains(&idx) {
                     let page = backend.read_page(handle.id)?;
@@ -581,7 +586,7 @@ impl SsTable {
                         stats.pages_untouched += 1;
                         surviving.push(handle.clone());
                     } else {
-                        backend.drop_page(handle.id)?;
+                        obsolete_pages.push(handle.id);
                         if kept.is_empty() {
                             stats.full_page_drops += 1;
                         } else {
@@ -604,7 +609,7 @@ impl SsTable {
         }
 
         if new_tiles.is_empty() && self.range_tombstones.is_empty() {
-            return Ok((None, stats));
+            return Ok((None, stats, obsolete_pages));
         }
 
         // recompute the metadata of the surviving file
@@ -662,7 +667,7 @@ impl SsTable {
             range_tombstones: self.range_tombstones.clone(),
             desc: std::sync::OnceLock::new(),
         };
-        Ok((Some(table), stats))
+        Ok((Some(table), stats, obsolete_pages))
     }
 
     /// Returns every live entry whose **delete key** lies in `[d_lo, d_hi)` —
@@ -815,9 +820,14 @@ mod tests {
         // delete keys uniformly cover [0, 1000); delete 40% of that domain
         let (t, backend) = build(8, 512);
         let before_reads = backend.stats().snapshot().pages_read;
-        let (survivor, stats) =
+        let (survivor, stats, obsolete) =
             t.secondary_range_delete(0, 400, &config(8), backend.as_ref(), 1).unwrap();
         let survivor = survivor.expect("not everything deleted");
+        // page drops are deferred: the caller releases the obsolete pages
+        assert_eq!(obsolete.len() as u64, stats.full_page_drops + stats.partial_page_drops);
+        for id in &obsolete {
+            backend.drop_page(*id).unwrap();
+        }
         assert!(stats.full_page_drops > 0, "expected some full page drops: {stats:?}");
         assert!(stats.entries_deleted > 150);
         // full drops do not read pages; only partial drops do
@@ -836,10 +846,13 @@ mod tests {
     #[test]
     fn secondary_range_delete_everything_returns_none() {
         let (t, backend) = build(4, 64);
-        let (survivor, stats) =
+        let (survivor, stats, obsolete) =
             t.secondary_range_delete(0, u64::MAX, &config(4), backend.as_ref(), 1).unwrap();
         assert!(survivor.is_none());
         assert_eq!(stats.entries_deleted, 64);
+        for id in obsolete {
+            backend.drop_page(id).unwrap();
+        }
         assert_eq!(backend.live_pages(), 0);
     }
 
@@ -851,7 +864,7 @@ mod tests {
         es.push(Entry::point_tombstone(100, 200));
         es.sort_by_key(|e| e.sort_key);
         let t = SsTable::build(1, es, vec![], 0, Some(3), &cfg, backend.as_ref()).unwrap();
-        let (survivor, _) =
+        let (survivor, _, _) =
             t.secondary_range_delete(0, u64::MAX, &cfg, backend.as_ref(), 1).unwrap();
         let survivor = survivor.expect("tombstone must survive");
         assert_eq!(survivor.meta.num_point_tombstones, 1);

@@ -10,6 +10,23 @@
 //! policies, `h = 1`, full-tree compaction for secondary deletes) and as the
 //! substrate that the `lethe-core` crate configures into Lethe (FADE policy,
 //! `h > 1`, KiWi page drops).
+//!
+//! ## Concurrency model
+//!
+//! The tree is split into a *write surface* (`&mut self`: puts, deletes,
+//! flushes, compactions — serialised by the owner, e.g. a shard mutex) and a
+//! *read surface* that is lock-free with respect to the writer: disk levels
+//! live in an immutable, `Arc`-shared [`VersionSet`] and the write buffer in
+//! shared `active`/`frozen` memtables, so [`TreeReader`] handles obtained
+//! from [`LsmTree::reader`] serve `get`/`range`/secondary scans from any
+//! thread while flushes and compactions run. Structural work is further
+//! split into **plan → execute → apply** phases ([`LsmTree::plan_job`],
+//! [`JobPlan::execute`], [`LsmTree::apply_job`]): planning and applying need
+//! the write lock but are cheap pointer work, while the expensive execute
+//! phase (page reads, merging, building output files) runs against pinned
+//! immutable state and needs no lock at all. A background worker (see
+//! `lethe-core`) drives exactly this cycle; the inline `flush`/`maintain`
+//! paths drive the same cycle synchronously.
 
 use crate::compaction::{CompactionPolicy, CompactionTask, TreeView};
 use crate::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
@@ -17,12 +34,16 @@ use crate::level::{Level, Run};
 use crate::merge::merge_entries;
 use crate::sstable::{SecondaryDeleteStats, SsTable};
 use crate::stats::{ContentSnapshot, TreeStats};
+use crate::version::{Version, VersionSet};
 use bytes::Bytes;
 use lethe_storage::{
     DeleteKey, Entry, EntryKind, Histogram, IoSnapshot, LogicalClock, Manifest, ManifestState,
-    PageId, Result, SeqNum, SortKey, StorageBackend, StorageError, Timestamp, Wal, WalRecord,
+    MemTable, PageId, Result, SeqNum, SortKey, StorageBackend, StorageError, Timestamp, Wal,
+    WalRecord,
 };
+use parking_lot::RwLock;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Safety bound on back-to-back compactions triggered by a single flush.
@@ -42,23 +63,550 @@ pub struct RecoveryReport {
     pub wal_records_replayed: usize,
 }
 
+/// Who runs flushes and compactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// The classic single-threaded behaviour: a put that fills the buffer
+    /// flushes and runs the compaction loop inline before returning.
+    #[default]
+    Inline,
+    /// A filled buffer is only *frozen*; a background worker owned by the
+    /// embedding layer drains it through [`LsmTree::plan_job`] /
+    /// [`JobPlan::execute`] / [`LsmTree::apply_job`], and the writer applies
+    /// backpressure via [`LsmTree::write_stalled`].
+    Background,
+}
+
+/// Lock-free read-side operation counters (the read surface has no `&mut`
+/// access to [`TreeStats`]); folded into [`LsmTree::stats`] on demand.
+#[derive(Debug, Default)]
+struct ReadCounters {
+    point_lookups: AtomicU64,
+    range_lookups: AtomicU64,
+}
+
+/// An immutable snapshot of a drained write buffer, awaiting its flush.
+///
+/// Readers consult it between the moment the active memtable is frozen and
+/// the moment the flushed version is installed, so no acknowledged write is
+/// ever invisible.
+#[derive(Debug, Clone)]
+struct FrozenBuffer {
+    /// Point entries, sorted on the sort key, one (newest) version per key.
+    entries: Vec<Entry>,
+    /// Range tombstones in insertion order.
+    range_tombstones: Vec<Entry>,
+    /// Insertion time of the oldest tombstone in the buffer.
+    oldest_tombstone_ts: Option<Timestamp>,
+    /// WAL position at freeze time: the flush that persists this buffer may
+    /// discard exactly the first `wal_upto` records, keeping records that
+    /// were appended concurrently with the background flush.
+    wal_upto: u64,
+}
+
+impl FrozenBuffer {
+    fn get(&self, sort_key: SortKey) -> Option<Entry> {
+        let point = self
+            .entries
+            .binary_search_by(|e| e.sort_key.cmp(&sort_key))
+            .ok()
+            .map(|i| self.entries[i].clone());
+        let covering_rt = self
+            .range_tombstones
+            .iter()
+            .filter(|t| t.covers(sort_key))
+            .max_by_key(|t| t.seqnum);
+        Entry::resolve_point_read(sort_key, point, covering_rt)
+    }
+
+    fn range(&self, lo: SortKey, hi: SortKey) -> Vec<Entry> {
+        let start = self.entries.partition_point(|e| e.sort_key < lo);
+        let end = self.entries.partition_point(|e| e.sort_key < hi);
+        self.entries[start..end].to_vec()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn purge_by_delete_key(&mut self, lo: DeleteKey, hi: DeleteKey) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| e.is_tombstone() || e.delete_key < lo || e.delete_key >= hi);
+        before - self.entries.len()
+    }
+}
+
+/// The shared write-buffer state: the active memtable plus at most one
+/// frozen buffer being flushed. Writers mutate `active` under its write
+/// lock; readers take brief read locks in the order the data moves
+/// (active → frozen → version set), so an entry is always visible in at
+/// least one of the three places.
+#[derive(Debug, Default)]
+struct MemState {
+    active: RwLock<MemTable>,
+    /// `Arc` so the flush plan pins the buffer with a pointer clone instead
+    /// of copying it under the shard lock; the rare in-place mutation
+    /// (secondary-delete purge, which runs with the worker paused) goes
+    /// through [`Arc::make_mut`].
+    frozen: RwLock<Option<Arc<FrozenBuffer>>>,
+}
+
+/// A cheap-to-clone, `Send + Sync` handle serving snapshot-isolated reads
+/// without the tree's write lock.
+///
+/// Obtained from [`LsmTree::reader`]. Every operation pins the current
+/// [`Version`] (one `Arc` clone) and reads the shared memtables under brief
+/// read locks, so a reader is never blocked by a running flush or
+/// compaction, and never observes a half-committed version: version
+/// installation is a single pointer swap, and the pages of a pinned version
+/// are not reclaimed until the pin is dropped.
+///
+/// Consistency: point lookups are linearizable with respect to the writer
+/// (a write is visible the moment it is acknowledged). Multi-key operations
+/// (`range`, `scan_by_delete_key`) read the buffer and the version at
+/// slightly different instants and are therefore *weakly* consistent with
+/// concurrent writers — exactly the contract the sharded front-end already
+/// documents for fan-out reads.
+#[derive(Clone)]
+pub struct TreeReader {
+    config: LsmConfig,
+    backend: Arc<dyn StorageBackend>,
+    mem: Arc<MemState>,
+    versions: Arc<VersionSet>,
+    counters: Arc<ReadCounters>,
+}
+
+impl TreeReader {
+    /// Point lookup: returns the current value of `sort_key`, or `None` if
+    /// the key does not exist or has been deleted.
+    pub fn get(&self, sort_key: SortKey) -> Result<Option<Bytes>> {
+        self.counters.point_lookups.fetch_add(1, Ordering::Relaxed);
+        Ok(match self.get_entry(sort_key)? {
+            Some(e) if e.kind == EntryKind::Put => Some(e.value),
+            _ => None,
+        })
+    }
+
+    /// Newest version (possibly a tombstone) of `sort_key`, or `None`.
+    fn get_entry(&self, sort_key: SortKey) -> Result<Option<Entry>> {
+        if let Some(e) = self.mem.active.read().get(sort_key) {
+            return Ok(Some(e));
+        }
+        if let Some(f) = self.mem.frozen.read().as_ref() {
+            if let Some(e) = f.get(sort_key) {
+                return Ok(Some(e));
+            }
+        }
+        let version = self.versions.current();
+        self.disk_entry(&version, sort_key)
+    }
+
+    /// Newest on-device version of `sort_key` within a pinned version.
+    fn disk_entry(&self, version: &Version, sort_key: SortKey) -> Result<Option<Entry>> {
+        let stats = self.backend.stats();
+        for level in &version.levels {
+            for run in &level.runs {
+                // a key normally maps to one file, but range tombstones can
+                // stretch a file's range over its neighbours
+                let mut candidate: Option<Entry> = None;
+                for table in run.tables() {
+                    if !table.key_in_range(sort_key) {
+                        continue;
+                    }
+                    if let Some(e) = table.get(sort_key, self.backend.as_ref(), &stats)? {
+                        candidate = match candidate {
+                            Some(c) if c.seqnum >= e.seqnum => Some(c),
+                            _ => Some(e),
+                        };
+                    }
+                }
+                if candidate.is_some() {
+                    return Ok(candidate);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range lookup on the sort key: returns the live `(key, value)` pairs in
+    /// `[lo, hi)`, newest version per key, in key order.
+    pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
+        self.counters.range_lookups.fetch_add(1, Ordering::Relaxed);
+        if hi <= lo {
+            return Ok(Vec::new());
+        }
+        let mut inputs: Vec<Vec<Entry>> = Vec::new();
+        let mut rts: Vec<Entry> = Vec::new();
+        {
+            let active = self.mem.active.read();
+            inputs.push(active.range(lo, hi));
+            rts.extend(active.range_tombstones().iter().cloned());
+        }
+        if let Some(f) = self.mem.frozen.read().as_ref() {
+            inputs.push(f.range(lo, hi));
+            rts.extend(f.range_tombstones.iter().cloned());
+        }
+        let version = self.versions.current();
+        for level in &version.levels {
+            for run in &level.runs {
+                for table in run.overlapping_range(lo, hi) {
+                    inputs.push(table.range_scan(lo, hi, self.backend.as_ref())?);
+                    rts.extend(table.range_tombstones.iter().cloned());
+                }
+            }
+        }
+        let merged = merge_entries(inputs, rts, true);
+        Ok(merged
+            .entries
+            .into_iter()
+            .filter(|e| e.sort_key >= lo && e.sort_key < hi)
+            .map(|e| (e.sort_key, e.value))
+            .collect())
+    }
+
+    /// Secondary range lookup: returns every live entry whose **delete key**
+    /// lies in `[d_lo, d_hi)`.
+    pub fn secondary_range_scan(&self, d_lo: DeleteKey, d_hi: DeleteKey) -> Result<Vec<Entry>> {
+        self.counters.range_lookups.fetch_add(1, Ordering::Relaxed);
+        let qualifies =
+            |e: &Entry| !e.is_tombstone() && e.delete_key >= d_lo && e.delete_key < d_hi;
+        let mut hits: Vec<Entry> = self.mem.active.read().iter().filter(|e| qualifies(e)).cloned().collect();
+        if let Some(f) = self.mem.frozen.read().as_ref() {
+            hits.extend(f.entries.iter().filter(|e| qualifies(e)).cloned());
+        }
+        let version = self.versions.current();
+        for level in &version.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    hits.extend(table.secondary_range_scan(d_lo, d_hi, self.backend.as_ref())?);
+                }
+            }
+        }
+        // keep only the globally newest version of each key, and only if that
+        // version is live and still qualifies
+        hits.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum)));
+        let mut out: Vec<Entry> = Vec::with_capacity(hits.len());
+        for e in hits {
+            if out.last().map(|p: &Entry| p.sort_key) == Some(e.sort_key) {
+                continue;
+            }
+            // verify this is the newest version tree-wide (it may have been
+            // updated or deleted by a newer entry outside the delete-key
+            // range). The check deliberately re-pins per key rather than
+            // reusing the collection-time version: an entry that a
+            // concurrent flush moved from the frozen buffer into a newer
+            // version is found at its current home instead of being
+            // dropped through a stale snapshot.
+            if let Some(newest) = self.get_entry(e.sort_key)? {
+                if newest.seqnum == e.seqnum && newest.kind == EntryKind::Put {
+                    out.push(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if `sort_key` may exist in the tree (memtable check
+    /// plus Bloom probes; no page reads). Used for blind-delete suppression.
+    pub fn key_may_exist(&self, sort_key: SortKey) -> Result<bool> {
+        if self.mem.active.read().get(sort_key).is_some() {
+            return Ok(true);
+        }
+        if let Some(f) = self.mem.frozen.read().as_ref() {
+            if f.get(sort_key).is_some() || !f.range_tombstones.is_empty() {
+                return Ok(true);
+            }
+        }
+        let stats = self.backend.stats();
+        let version = self.versions.current();
+        for level in &version.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    if !table.key_in_range(sort_key) {
+                        continue;
+                    }
+                    if !table.range_tombstones.is_empty() {
+                        return Ok(true);
+                    }
+                    if let Some(tile_idx) = table.tile_fences.locate(sort_key) {
+                        let tile = &table.tiles[tile_idx];
+                        stats.record_bloom_probes(tile.pages.len() as u64);
+                        if tile.pages.iter().any(|p| {
+                            sort_key >= p.min_sort
+                                && sort_key <= p.max_sort
+                                && p.bloom.may_contain(sort_key)
+                        }) {
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Pins and returns the current version (white-box snapshot access for
+    /// tests and tools).
+    pub fn pin_version(&self) -> Arc<Version> {
+        self.versions.current()
+    }
+
+    /// Number of runs in the first disk level — the write-backpressure
+    /// signal, exposed on the reader so the check needs no shard lock.
+    pub fn l0_run_count(&self) -> usize {
+        self.versions.current().l0_run_count()
+    }
+
+    /// True when the writer should stall (full active buffer behind an
+    /// unflushed frozen one); see [`LsmTree::write_stalled`]. Exposed on the
+    /// reader so backpressure checks need no shard lock.
+    pub fn write_stalled(&self) -> bool {
+        self.mem.frozen.read().is_some()
+            && self.mem.active.read().size_bytes() >= self.config.buffer_capacity_bytes()
+    }
+}
+
+/// Everything the lock-free execute phase needs to build output files:
+/// captured from the tree at plan time so no lock is held while pages are
+/// read, merged and written.
+#[derive(Clone)]
+pub struct BuildCtx {
+    config: LsmConfig,
+    backend: Arc<dyn StorageBackend>,
+    now: Timestamp,
+    next_file_id: Arc<AtomicU64>,
+}
+
+/// The structural decision of one unit of maintenance work, taken under the
+/// write lock against a pinned version. Executing it performs the expensive
+/// I/O without any lock; applying it back under the write lock commits the
+/// result atomically (manifest edit + version install).
+pub struct JobPlan {
+    kind: JobKind,
+    drop_tombstones: bool,
+}
+
+enum JobKind {
+    /// Persist the frozen write buffer into the first disk level.
+    Flush {
+        /// The pinned immutable buffer (shared with the frozen slot, so the
+        /// plan phase is a pointer clone; the entry copy for the merge
+        /// happens in the lock-free execute phase).
+        buffer: Arc<FrozenBuffer>,
+        /// Level-0 tables sort-merged with the buffer (leveling only).
+        resident: Vec<Arc<SsTable>>,
+        tiering: bool,
+    },
+    /// Merge files of `level` into `dst_level` (leveling partial/multi
+    /// compaction; FADE's delete-driven trigger passes every TTL-expired
+    /// file of the level in one job).
+    Files {
+        level: usize,
+        dst_level: usize,
+        sources: Vec<Arc<SsTable>>,
+        overlapping: Vec<Arc<SsTable>>,
+        ttl_trigger: bool,
+    },
+    /// Merge every run of `level` into one run of `level + 1` (tiering).
+    Tier { level: usize, victims: Vec<Arc<SsTable>> },
+    /// Read, merge and rewrite the entire tree into its last level.
+    Full {
+        victims: Vec<Arc<SsTable>>,
+        deepest: usize,
+        delete_key_filter: Option<(DeleteKey, DeleteKey)>,
+    },
+}
+
+impl JobPlan {
+    /// Human-readable job kind (worker diagnostics).
+    pub fn describe(&self) -> &'static str {
+        match &self.kind {
+            JobKind::Flush { .. } => "flush",
+            JobKind::Files { .. } => "compact-files",
+            JobKind::Tier { .. } => "compact-tier",
+            JobKind::Full { .. } => "full-tree",
+        }
+    }
+
+    /// True if this plan persists the frozen write buffer.
+    pub fn is_flush(&self) -> bool {
+        matches!(self.kind, JobKind::Flush { .. })
+    }
+
+    /// The execute phase: reads the input pages, merges, and builds the
+    /// output files on the device. Requires **no** tree lock — all inputs
+    /// are immutable (pinned `Arc<SsTable>`s and the cloned frozen buffer)
+    /// and the device is thread-safe. The output references freshly written
+    /// pages that no version knows about yet; it becomes visible only via
+    /// [`LsmTree::apply_job`].
+    pub fn execute(&self, ctx: &BuildCtx) -> Result<JobOutput> {
+        let backend = ctx.backend.as_ref();
+        match &self.kind {
+            JobKind::Flush { buffer, resident, tiering } => {
+                if *tiering {
+                    // the flushed buffer becomes a fresh run as-is
+                    let tables = build_tables_with(
+                        ctx,
+                        buffer.entries.clone(),
+                        buffer.range_tombstones.clone(),
+                        buffer.oldest_tombstone_ts,
+                    )?;
+                    return Ok(JobOutput { tables, input_entries: 0 });
+                }
+                // greedy sort-merge with the resident run of level 1
+                let mut inputs = vec![buffer.entries.clone()];
+                let mut all_rts = buffer.range_tombstones.clone();
+                let mut oldest = buffer.oldest_tombstone_ts;
+                for table in resident {
+                    inputs.push(table.read_all_entries(backend)?);
+                    all_rts.extend(table.range_tombstones.iter().cloned());
+                    oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
+                }
+                let merged = merge_entries(inputs, all_rts, self.drop_tombstones);
+                let oldest = if self.drop_tombstones { None } else { oldest };
+                let tables =
+                    build_tables_with(ctx, merged.entries, merged.range_tombstones, oldest)?;
+                Ok(JobOutput { tables, input_entries: 0 })
+            }
+            JobKind::Files { sources, overlapping, .. } => {
+                let inputs: Vec<&Arc<SsTable>> =
+                    sources.iter().chain(overlapping.iter()).collect();
+                merge_and_build(ctx, &inputs, self.drop_tombstones)
+            }
+            JobKind::Tier { victims, .. } => {
+                merge_and_build(ctx, &victims.iter().collect::<Vec<_>>(), self.drop_tombstones)
+            }
+            JobKind::Full { victims, delete_key_filter, .. } => {
+                let mut inputs = Vec::with_capacity(victims.len());
+                let mut rts = Vec::new();
+                let mut input_entries = 0u64;
+                for table in victims {
+                    inputs.push(table.read_all_entries(backend)?);
+                    rts.extend(table.range_tombstones.iter().cloned());
+                    input_entries += table.meta.num_entries;
+                }
+                let mut merged = merge_entries(inputs, rts, true);
+                if let Some((d_lo, d_hi)) = delete_key_filter {
+                    merged.entries.retain(|e| e.delete_key < *d_lo || e.delete_key >= *d_hi);
+                }
+                let tables = build_tables_with(ctx, merged.entries, Vec::new(), None)?;
+                Ok(JobOutput { tables, input_entries })
+            }
+        }
+    }
+}
+
+/// The output of [`JobPlan::execute`]: freshly built files awaiting
+/// [`LsmTree::apply_job`].
+pub struct JobOutput {
+    tables: Vec<Arc<SsTable>>,
+    input_entries: u64,
+}
+
+/// Builds one or more files (each at most `max_pages_per_file` pages) from a
+/// merged, sorted entry stream. File ids come from the shared atomic
+/// allocator so concurrent builders never collide.
+fn build_tables_with(
+    ctx: &BuildCtx,
+    entries: Vec<Entry>,
+    range_tombstones: Vec<Entry>,
+    oldest_tombstone_ts: Option<Timestamp>,
+) -> Result<Vec<Arc<SsTable>>> {
+    if entries.is_empty() && range_tombstones.is_empty() {
+        return Ok(Vec::new());
+    }
+    let per_file = ctx.config.entries_per_file().max(1);
+    let mut tables = Vec::new();
+    let chunks: Vec<Vec<Entry>> = if entries.is_empty() {
+        vec![Vec::new()]
+    } else {
+        entries.chunks(per_file).map(|c| c.to_vec()).collect()
+    };
+    let n_chunks = chunks.len();
+    let mut rts_remaining = range_tombstones;
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        // attach range tombstones that start within this chunk's range
+        // (the last chunk absorbs whatever is left)
+        let rts: Vec<Entry> = if i + 1 == n_chunks {
+            std::mem::take(&mut rts_remaining)
+        } else {
+            let upper = chunk.last().map(|e| e.sort_key).unwrap_or(0);
+            let (take, keep): (Vec<Entry>, Vec<Entry>) =
+                rts_remaining.into_iter().partition(|rt| rt.sort_key <= upper);
+            rts_remaining = keep;
+            take
+        };
+        let has_tombstones = !rts.is_empty() || chunk.iter().any(|e| e.is_tombstone());
+        let id = ctx.next_file_id.fetch_add(1, Ordering::Relaxed);
+        let table = SsTable::build(
+            id,
+            chunk,
+            rts,
+            ctx.now,
+            if has_tombstones { oldest_tombstone_ts } else { None },
+            &ctx.config,
+            ctx.backend.as_ref(),
+        )?;
+        if table.meta.num_entries > 0 {
+            tables.push(Arc::new(table));
+        }
+    }
+    Ok(tables)
+}
+
+/// Reads, merges and rebuilds a set of input files — the shared body of the
+/// Files and Tier execute arms.
+fn merge_and_build(
+    ctx: &BuildCtx,
+    tables: &[&Arc<SsTable>],
+    drop_tombstones: bool,
+) -> Result<JobOutput> {
+    let backend = ctx.backend.as_ref();
+    let mut inputs = Vec::with_capacity(tables.len());
+    let mut rts = Vec::new();
+    let mut oldest: Option<Timestamp> = None;
+    let mut input_entries = 0u64;
+    for table in tables {
+        inputs.push(table.read_all_entries(backend)?);
+        rts.extend(table.range_tombstones.iter().cloned());
+        oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
+        input_entries += table.meta.num_entries;
+    }
+    let merged = merge_entries(inputs, rts, drop_tombstones);
+    let oldest = if drop_tombstones { None } else { oldest };
+    let tables = build_tables_with(ctx, merged.entries, merged.range_tombstones, oldest)?;
+    Ok(JobOutput { tables, input_entries })
+}
+
+fn min_opt(a: Option<Timestamp>, b: Option<Timestamp>) -> Option<Timestamp> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 /// A complete LSM storage engine instance.
 pub struct LsmTree {
     config: LsmConfig,
     backend: Arc<dyn StorageBackend>,
     clock: LogicalClock,
     policy: Box<dyn CompactionPolicy>,
-    memtable: lethe_storage::MemTable,
-    /// Insertion time of the oldest tombstone currently buffered.
+    mem: Arc<MemState>,
+    /// Insertion time of the oldest tombstone currently in the active buffer.
     buffer_oldest_tombstone_ts: Option<Timestamp>,
-    levels: Vec<Level>,
+    versions: Arc<VersionSet>,
     next_seqnum: SeqNum,
-    next_file_id: u64,
+    next_file_id: Arc<AtomicU64>,
     stats: TreeStats,
+    counters: Arc<ReadCounters>,
+    reader: TreeReader,
     sort_key_histogram: Histogram,
     delete_key_histogram: Histogram,
     wal: Option<Box<dyn Wal>>,
     manifest: Option<Manifest>,
+    mode: MaintenanceMode,
 }
 
 impl LsmTree {
@@ -71,6 +619,16 @@ impl LsmTree {
     ) -> Result<Self> {
         config.validate().map_err(StorageError::InvalidOperation)?;
         let domain = config.key_domain.max(2);
+        let mem = Arc::new(MemState::default());
+        let versions = Arc::new(VersionSet::new());
+        let counters = Arc::new(ReadCounters::default());
+        let reader = TreeReader {
+            config: config.clone(),
+            backend: Arc::clone(&backend),
+            mem: Arc::clone(&mem),
+            versions: Arc::clone(&versions),
+            counters: Arc::clone(&counters),
+        };
         Ok(LsmTree {
             sort_key_histogram: Histogram::new(0, domain, config.histogram_buckets),
             delete_key_histogram: Histogram::new(0, domain, config.histogram_buckets),
@@ -78,14 +636,17 @@ impl LsmTree {
             backend,
             clock,
             policy,
-            memtable: lethe_storage::MemTable::new(),
+            mem,
             buffer_oldest_tombstone_ts: None,
-            levels: Vec::new(),
+            versions,
             next_seqnum: 1,
-            next_file_id: 1,
+            next_file_id: Arc::new(AtomicU64::new(1)),
             stats: TreeStats::default(),
+            counters,
+            reader,
             wal: None,
             manifest: None,
+            mode: MaintenanceMode::Inline,
         })
     }
 
@@ -106,6 +667,23 @@ impl LsmTree {
         self
     }
 
+    /// Selects who runs flushes and compactions (default
+    /// [`MaintenanceMode::Inline`]).
+    pub fn set_maintenance_mode(&mut self, mode: MaintenanceMode) {
+        self.mode = mode;
+    }
+
+    /// The current maintenance mode.
+    pub fn maintenance_mode(&self) -> MaintenanceMode {
+        self.mode
+    }
+
+    /// Returns a cheap-to-clone handle serving lock-free snapshot reads; see
+    /// [`TreeReader`].
+    pub fn reader(&self) -> TreeReader {
+        self.reader.clone()
+    }
+
     /// Recovers a freshly-constructed engine from its durable artifacts:
     /// rebuilds levels, runs and files from the attached manifest (re-deriving
     /// Bloom filters and fence pointers from page contents), releases device
@@ -116,14 +694,17 @@ impl LsmTree {
     /// covers them, so a crash during or right after recovery loses nothing.
     pub fn recover(&mut self, wal: &dyn Wal) -> Result<RecoveryReport> {
         let mut report = RecoveryReport::default();
-        if !self.levels.is_empty() || !self.memtable.is_empty() {
+        if !self.versions.current().levels.is_empty()
+            || !self.mem.active.read().is_empty()
+            || self.mem.frozen.read().is_some()
+        {
             return Err(StorageError::InvalidOperation(
                 "recover() requires a freshly-constructed (empty) tree".into(),
             ));
         }
         if let Some(manifest) = &self.manifest {
             let state = manifest.state().clone();
-            self.next_file_id = self.next_file_id.max(state.next_file_id);
+            self.next_file_id.fetch_max(state.next_file_id, Ordering::Relaxed);
             self.next_seqnum = self.next_seqnum.max(state.next_seqnum);
             self.clock.advance_to(state.clock_micros);
             let mut levels = Vec::with_capacity(state.levels.len());
@@ -133,9 +714,10 @@ impl LsmTree {
                     let mut tables = Vec::with_capacity(run_desc.len());
                     for fd in run_desc {
                         let table = SsTable::recover(fd, &self.config, self.backend.as_ref())?;
-                        self.next_file_id = self.next_file_id.max(fd.id + 1);
+                        self.next_file_id.fetch_max(fd.id + 1, Ordering::Relaxed);
                         self.next_seqnum = self.next_seqnum.max(fd.max_seqnum + 1);
                         report.files_recovered += 1;
+                        self.versions.register_table(&table);
                         tables.push(Arc::new(table));
                     }
                     level.runs.push(Run::new(tables));
@@ -143,7 +725,6 @@ impl LsmTree {
                 level.prune_empty_runs();
                 levels.push(level);
             }
-            self.levels = levels;
             // the device scan resurfaces every frame in the data file; drop
             // whatever the durable state does not reference
             let referenced: HashSet<PageId> =
@@ -154,6 +735,7 @@ impl LsmTree {
                     report.pages_released += 1;
                 }
             }
+            self.versions.install(levels);
         }
         report.wal_records_replayed = self.recover_from(wal)?;
         Ok(report)
@@ -180,13 +762,13 @@ impl LsmTree {
             WalRecord::Put { sort_key, delete_key, value, ts } => {
                 self.clock.advance_to(ts);
                 let seq = self.next_seq();
-                self.memtable.put(sort_key, delete_key, seq, value);
+                self.mem.active.write().put(sort_key, delete_key, seq, value);
             }
             WalRecord::Delete { sort_key, ts } => {
                 self.clock.advance_to(ts);
                 let seq = self.next_seq();
                 self.buffer_oldest_tombstone_ts.get_or_insert(ts);
-                self.memtable.delete(sort_key, seq);
+                self.mem.active.write().delete(sort_key, seq);
             }
             WalRecord::DeleteRange { start, end, ts } => {
                 if end <= start {
@@ -195,7 +777,7 @@ impl LsmTree {
                 self.clock.advance_to(ts);
                 let seq = self.next_seq();
                 self.buffer_oldest_tombstone_ts.get_or_insert(ts);
-                self.memtable.delete_range(start, end, seq);
+                self.mem.active.write().delete_range(start, end, seq);
             }
             WalRecord::SecondaryDelete { d_lo, d_hi, ts } => {
                 self.clock.advance_to(ts);
@@ -222,7 +804,7 @@ impl LsmTree {
         self.stats.record_ingest(entry.encoded_size() as u64);
         self.sort_key_histogram.add(sort_key);
         self.delete_key_histogram.add(delete_key);
-        self.memtable.put(sort_key, delete_key, seq, entry.value);
+        self.mem.active.write().put(sort_key, delete_key, seq, entry.value);
         self.maybe_flush()
     }
 
@@ -244,7 +826,7 @@ impl LsmTree {
         self.stats.record_ingest(entry.encoded_size() as u64);
         self.stats.point_deletes_issued += 1;
         self.buffer_oldest_tombstone_ts.get_or_insert(now);
-        self.memtable.delete(sort_key, seq);
+        self.mem.active.write().delete(sort_key, seq);
         self.maybe_flush()?;
         Ok(true)
     }
@@ -264,7 +846,7 @@ impl LsmTree {
         self.stats.record_ingest(entry.encoded_size() as u64);
         self.stats.range_deletes_issued += 1;
         self.buffer_oldest_tombstone_ts.get_or_insert(now);
-        self.memtable.delete_range(start, end, seq);
+        self.mem.active.write().delete_range(start, end, seq);
         self.maybe_flush()
     }
 
@@ -294,18 +876,24 @@ impl LsmTree {
         d_lo: DeleteKey,
         d_hi: DeleteKey,
     ) -> Result<SecondaryDeleteStats> {
-        // the buffered portion is purged in place in both modes
-        self.memtable.purge_by_delete_key(d_lo, d_hi);
-        let result = match self.config.secondary_delete_mode {
+        // the buffered portion (active and frozen) is purged in place in
+        // both modes
+        self.mem.active.write().purge_by_delete_key(d_lo, d_hi);
+        if let Some(f) = self.mem.frozen.write().as_mut() {
+            Arc::make_mut(f).purge_by_delete_key(d_lo, d_hi);
+        }
+        match self.config.secondary_delete_mode {
             SecondaryDeleteMode::KiwiPageDrops => self.secondary_delete_with_drops(d_lo, d_hi),
             SecondaryDeleteMode::FullTreeCompaction => {
                 self.secondary_delete_with_full_compaction(d_lo, d_hi)
             }
-        }?;
-        self.commit_manifest()?;
-        Ok(result)
+        }
     }
 
+    /// KiWi page drops, committed as one new version: fully-covered pages
+    /// are never read, partially-covered pages are rewritten, and the
+    /// obsolete pages are retired through the version set so concurrently
+    /// pinned snapshots stay readable until they are released.
     fn secondary_delete_with_drops(
         &mut self,
         d_lo: DeleteKey,
@@ -313,7 +901,10 @@ impl LsmTree {
     ) -> Result<SecondaryDeleteStats> {
         let now = self.clock.now();
         let mut total = SecondaryDeleteStats::default();
-        for level in &mut self.levels {
+        let mut levels = self.versions.current().levels.clone();
+        let mut retired: Vec<Arc<SsTable>> = Vec::new();
+        let mut replacements: Vec<Arc<SsTable>> = Vec::new();
+        for level in &mut levels {
             for run in &mut level.runs {
                 let ids: Vec<u64> = run.tables().iter().map(|t| t.meta.id).collect();
                 for id in ids {
@@ -327,7 +918,10 @@ impl LsmTree {
                     {
                         continue;
                     }
-                    let (replacement, stats) = table.secondary_range_delete(
+                    // the obsolete-page list is implied by the reference
+                    // counts: retiring the original releases exactly the
+                    // pages its replacement does not share
+                    let (replacement, stats, _obsolete) = table.secondary_range_delete(
                         d_lo,
                         d_hi,
                         &self.config,
@@ -335,11 +929,17 @@ impl LsmTree {
                         now,
                     )?;
                     total.merge(&stats);
-                    run.replace(id, replacement.map(Arc::new));
+                    let replacement = replacement.map(Arc::new);
+                    if let Some(r) = &replacement {
+                        replacements.push(Arc::clone(r));
+                    }
+                    run.replace(id, replacement);
+                    retired.push(table);
                 }
             }
             level.prune_empty_runs();
         }
+        self.commit_version(levels, &replacements, retired)?;
         Ok(total)
     }
 
@@ -350,13 +950,16 @@ impl LsmTree {
     ) -> Result<SecondaryDeleteStats> {
         // the state-of-the-art path: read, merge and rewrite the whole tree
         let mut stats = SecondaryDeleteStats::default();
-        let before_entries: u64 = self.levels.iter().map(|l| l.total_entries()).sum();
+        let before = self.versions.current();
+        let before_entries: u64 = before.levels.iter().map(|l| l.total_entries()).sum();
+        drop(before);
         self.full_tree_compaction_filtered(Some((d_lo, d_hi)))?;
-        let after_entries: u64 = self.levels.iter().map(|l| l.total_entries()).sum();
+        let after = self.versions.current();
+        let after_entries: u64 = after.levels.iter().map(|l| l.total_entries()).sum();
         stats.entries_deleted = before_entries.saturating_sub(after_entries);
         // every surviving page was read and rewritten
         stats.partial_page_drops =
-            self.levels.iter().flat_map(|l| l.all_tables()).map(|t| t.page_count() as u64).sum();
+            after.levels.iter().flat_map(|l| l.all_tables()).map(|t| t.page_count() as u64).sum();
         Ok(stats)
     }
 
@@ -367,142 +970,45 @@ impl LsmTree {
         self.full_tree_compaction_filtered(None)
     }
 
+    fn full_tree_compaction_filtered(
+        &mut self,
+        delete_key_range: Option<(DeleteKey, DeleteKey)>,
+    ) -> Result<()> {
+        let plan = match self.plan_full(delete_key_range) {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        let ctx = self.build_ctx();
+        let out = plan.execute(&ctx)?;
+        self.apply_job(plan, out)?;
+        Ok(())
+    }
+
     // ----------------------------------------------------------------- reads
 
     /// Point lookup: returns the current value of `sort_key`, or `None` if
-    /// the key does not exist or has been deleted.
-    pub fn get(&mut self, sort_key: SortKey) -> Result<Option<Bytes>> {
-        self.stats.point_lookups += 1;
-        Ok(match self.get_entry(sort_key)? {
-            Some(e) if e.kind == EntryKind::Put => Some(e.value),
-            _ => None,
-        })
-    }
-
-    /// Internal point lookup returning the newest version (possibly a
-    /// tombstone) of `sort_key`.
-    fn get_entry(&self, sort_key: SortKey) -> Result<Option<Entry>> {
-        if let Some(e) = self.memtable.get(sort_key) {
-            return Ok(Some(e));
-        }
-        let stats = self.backend.stats();
-        for level in &self.levels {
-            for run in &level.runs {
-                // a key normally maps to one file, but range tombstones can
-                // stretch a file's range over its neighbours
-                let mut candidate: Option<Entry> = None;
-                for table in run.tables() {
-                    if !table.key_in_range(sort_key) {
-                        continue;
-                    }
-                    if let Some(e) = table.get(sort_key, self.backend.as_ref(), &stats)? {
-                        candidate = match candidate {
-                            Some(c) if c.seqnum >= e.seqnum => Some(c),
-                            _ => Some(e),
-                        };
-                    }
-                }
-                if candidate.is_some() {
-                    return Ok(candidate);
-                }
-            }
-        }
-        Ok(None)
+    /// the key does not exist or has been deleted. Lock-free with respect to
+    /// flushes and compactions (see [`TreeReader`]).
+    pub fn get(&self, sort_key: SortKey) -> Result<Option<Bytes>> {
+        self.reader.get(sort_key)
     }
 
     /// Range lookup on the sort key: returns the live `(key, value)` pairs in
     /// `[lo, hi)`, newest version per key, in key order.
-    pub fn range(&mut self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
-        self.stats.range_lookups += 1;
-        if hi <= lo {
-            return Ok(Vec::new());
-        }
-        let mut inputs: Vec<Vec<Entry>> = vec![self.memtable.range(lo, hi)];
-        let mut rts: Vec<Entry> = self.memtable.range_tombstones().to_vec();
-        for level in &self.levels {
-            for run in &level.runs {
-                for table in run.overlapping_range(lo, hi) {
-                    inputs.push(table.range_scan(lo, hi, self.backend.as_ref())?);
-                    rts.extend(table.range_tombstones.iter().cloned());
-                }
-            }
-        }
-        let merged = merge_entries(inputs, rts, true);
-        Ok(merged
-            .entries
-            .into_iter()
-            .filter(|e| e.sort_key >= lo && e.sort_key < hi)
-            .map(|e| (e.sort_key, e.value))
-            .collect())
+    pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
+        self.reader.range(lo, hi)
     }
 
     /// Secondary range lookup: returns every live entry whose **delete key**
     /// lies in `[d_lo, d_hi)`.
-    pub fn secondary_range_scan(&mut self, d_lo: DeleteKey, d_hi: DeleteKey) -> Result<Vec<Entry>> {
-        self.stats.range_lookups += 1;
-        let mut hits: Vec<Entry> = self
-            .memtable
-            .iter()
-            .filter(|e| !e.is_tombstone() && e.delete_key >= d_lo && e.delete_key < d_hi)
-            .cloned()
-            .collect();
-        for level in &self.levels {
-            for run in &level.runs {
-                for table in run.tables() {
-                    hits.extend(table.secondary_range_scan(d_lo, d_hi, self.backend.as_ref())?);
-                }
-            }
-        }
-        // keep only the globally newest version of each key, and only if that
-        // version is live and still qualifies
-        hits.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum)));
-        let mut out: Vec<Entry> = Vec::with_capacity(hits.len());
-        for e in hits {
-            if out.last().map(|p: &Entry| p.sort_key) == Some(e.sort_key) {
-                continue;
-            }
-            // verify this is the newest version tree-wide (it may have been
-            // updated or deleted by a newer entry outside the delete-key range)
-            if let Some(newest) = self.get_entry(e.sort_key)? {
-                if newest.seqnum == e.seqnum && newest.kind == EntryKind::Put {
-                    out.push(e);
-                }
-            }
-        }
-        Ok(out)
+    pub fn secondary_range_scan(&self, d_lo: DeleteKey, d_hi: DeleteKey) -> Result<Vec<Entry>> {
+        self.reader.secondary_range_scan(d_lo, d_hi)
     }
 
     /// Returns `true` if `sort_key` may exist in the tree (memtable check
     /// plus Bloom probes; no page reads). Used for blind-delete suppression.
     pub fn key_may_exist(&self, sort_key: SortKey) -> Result<bool> {
-        if self.memtable.get(sort_key).is_some() {
-            return Ok(true);
-        }
-        let stats = self.backend.stats();
-        for level in &self.levels {
-            for run in &level.runs {
-                for table in run.tables() {
-                    if !table.key_in_range(sort_key) {
-                        continue;
-                    }
-                    if !table.range_tombstones.is_empty() {
-                        return Ok(true);
-                    }
-                    if let Some(tile_idx) = table.tile_fences.locate(sort_key) {
-                        let tile = &table.tiles[tile_idx];
-                        stats.record_bloom_probes(tile.pages.len() as u64);
-                        if tile.pages.iter().any(|p| {
-                            sort_key >= p.min_sort
-                                && sort_key <= p.max_sort
-                                && p.bloom.may_contain(sort_key)
-                        }) {
-                            return Ok(true);
-                        }
-                    }
-                }
-            }
-        }
-        Ok(false)
+        self.reader.key_may_exist(sort_key)
     }
 
     // ------------------------------------------------------------ flush/compact
@@ -513,26 +1019,19 @@ impl LsmTree {
         s
     }
 
-    fn next_file_id(&mut self) -> u64 {
-        let id = self.next_file_id;
-        self.next_file_id += 1;
-        id
-    }
-
     fn advance_clock_for_ingest(&self) {
         if self.config.auto_advance_clock {
             self.clock.advance_micros(self.config.micros_per_ingest());
         }
     }
 
-    /// Describes the tree's current durable state for the manifest.
-    fn describe_state(&self) -> ManifestState {
+    /// Describes a prospective tree state for the manifest.
+    fn describe_state(&self, levels: &[Level]) -> ManifestState {
         ManifestState {
-            next_file_id: self.next_file_id,
+            next_file_id: self.next_file_id.load(Ordering::Relaxed),
             next_seqnum: self.next_seqnum,
             clock_micros: self.clock.now(),
-            levels: self
-                .levels
+            levels: levels
                 .iter()
                 .map(|l| {
                     l.runs
@@ -544,221 +1043,252 @@ impl LsmTree {
         }
     }
 
-    /// Commits the current tree state to the attached manifest (if any):
-    /// syncs the device first so the manifest never references pages that
-    /// could be lost, then appends the edit. A no-op without a manifest.
-    fn commit_manifest(&mut self) -> Result<()> {
+    /// Commits `levels` to the attached manifest (if any): syncs the device
+    /// first so the manifest never references pages that could be lost, then
+    /// appends the edit. A no-op without a manifest. Called *before* the
+    /// version is installed, so a failed commit leaves the in-memory tree
+    /// unchanged.
+    fn commit_manifest_for(&mut self, levels: &[Level]) -> Result<()> {
         if self.manifest.is_none() {
             return Ok(());
         }
         self.backend.sync()?;
-        let state = self.describe_state();
+        let state = self.describe_state(levels);
         self.manifest.as_mut().expect("manifest presence checked above").commit(state)
     }
 
     fn maybe_flush(&mut self) -> Result<()> {
-        if self.memtable.size_bytes() >= self.config.buffer_capacity_bytes() {
-            self.flush()?;
-            self.maintain()?;
+        if self.mem.active.read().size_bytes() >= self.config.buffer_capacity_bytes() {
+            match self.mode {
+                MaintenanceMode::Inline => {
+                    self.flush()?;
+                    self.maintain()?;
+                }
+                MaintenanceMode::Background => {
+                    // only freeze — the worker flushes; if the frozen slot is
+                    // still occupied the embedding layer stalls the writer
+                    self.freeze()?;
+                }
+            }
         }
         Ok(())
     }
 
-    /// Flushes the memtable to the first disk level and runs the compaction
-    /// loop. A no-op when the buffer is empty.
+    /// Moves the active buffer into the frozen slot, making it immutable and
+    /// ready to flush. Returns `false` if the active buffer is empty or the
+    /// frozen slot is still occupied by an unflushed buffer. Readers never
+    /// observe a gap: the frozen slot is populated before the active lock is
+    /// released.
+    pub fn freeze(&mut self) -> Result<bool> {
+        if self.mem.frozen.read().is_some() {
+            return Ok(false);
+        }
+        let wal_upto = match &self.wal {
+            Some(w) => w.position()?,
+            None => 0,
+        };
+        let mut active = self.mem.active.write();
+        if active.is_empty() {
+            return Ok(false);
+        }
+        let (entries, range_tombstones) = active.drain_sorted();
+        let oldest_tombstone_ts = self.buffer_oldest_tombstone_ts.take();
+        *self.mem.frozen.write() = Some(Arc::new(FrozenBuffer {
+            entries,
+            range_tombstones,
+            oldest_tombstone_ts,
+            wal_upto,
+        }));
+        Ok(true)
+    }
+
+    /// True if a frozen buffer is waiting to be flushed.
+    pub fn has_frozen(&self) -> bool {
+        self.mem.frozen.read().is_some()
+    }
+
+    /// True when the writer should stall: the active buffer is full *and*
+    /// the frozen slot is still occupied (the background flush has not
+    /// caught up). The embedding layer blocks the writer until the worker
+    /// clears the frozen slot. Delegates to the reader so the read and
+    /// write surfaces can never disagree on the condition.
+    pub fn write_stalled(&self) -> bool {
+        self.reader.write_stalled()
+    }
+
+    /// Number of runs in the first disk level (the slowdown/stall
+    /// backpressure signal; see [`LsmConfig::l0_slowdown_runs`]).
+    pub fn l0_run_count(&self) -> usize {
+        self.reader.l0_run_count()
+    }
+
+    /// Flushes the write buffer (frozen remainder first, then the active
+    /// buffer) to the first disk level. A no-op when nothing is buffered.
     ///
     /// Durability ordering: the flushed files' pages are synced and a
     /// manifest edit describing the new tree state is committed **before**
-    /// the WAL is truncated, so at no instant is an acknowledged write
-    /// covered by neither log.
+    /// the WAL records it covers are discarded, so at no instant is an
+    /// acknowledged write covered by neither log.
     pub fn flush(&mut self) -> Result<()> {
-        if self.memtable.is_empty() {
-            return Ok(());
+        if self.has_frozen() {
+            self.flush_frozen()?;
         }
-        let (entries, rts) = self.memtable.drain_sorted();
-        let oldest_ts = self.buffer_oldest_tombstone_ts.take();
-        self.stats.flushes += 1;
-        if self.levels.is_empty() {
-            self.levels.push(Level::new());
-        }
-        match self.config.merge_policy {
-            MergePolicy::Tiering => {
-                // the flushed buffer becomes a fresh run (newest first)
-                let tables = self.build_tables(entries, rts, oldest_ts)?;
-                self.levels[0].runs.insert(0, Run::new(tables));
-            }
-            MergePolicy::Leveling => {
-                // greedy sort-merge with the resident run of level 1
-                let mut inputs = vec![entries];
-                let mut all_rts = rts;
-                let mut oldest = oldest_ts;
-                let resident = std::mem::take(&mut self.levels[0]);
-                let mut victim_tables = Vec::new();
-                for run in resident.runs {
-                    for table in run.tables() {
-                        inputs.push(table.read_all_entries(self.backend.as_ref())?);
-                        all_rts.extend(table.range_tombstones.iter().cloned());
-                        oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
-                        victim_tables.push(Arc::clone(table));
-                    }
-                }
-                let drop_tombstones = self.deepest_nonempty_level().is_none_or(|d| d == 0);
-                let merged = merge_entries(inputs, all_rts, drop_tombstones);
-                for t in victim_tables {
-                    t.release_pages(self.backend.as_ref());
-                }
-                let oldest = if drop_tombstones { None } else { oldest };
-                let tables = self.build_tables(merged.entries, merged.range_tombstones, oldest)?;
-                self.levels[0] = Level::new();
-                if !tables.is_empty() {
-                    self.levels[0].runs.push(Run::new(tables));
-                }
-            }
-        }
-        self.commit_manifest()?;
-        if let Some(wal) = &self.wal {
-            wal.truncate()?;
+        if self.freeze()? {
+            self.flush_frozen()?;
         }
         Ok(())
     }
 
-    /// Runs the compaction loop: repeatedly asks the policy for work until it
-    /// reports none is needed.
+    /// Plans, executes and applies the flush of the frozen buffer inline.
+    fn flush_frozen(&mut self) -> Result<()> {
+        let plan = match self.plan_flush() {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        let ctx = self.build_ctx();
+        let out = plan.execute(&ctx)?;
+        self.apply_job(plan, out)?;
+        Ok(())
+    }
+
+    /// Runs the compaction loop inline: repeatedly asks the policy for work
+    /// until it reports none is needed.
     pub fn maintain(&mut self) -> Result<()> {
         for _ in 0..MAX_MAINTENANCE_ROUNDS {
-            self.policy.on_tree_growth(self.levels.len());
-            let task = {
-                let view = TreeView {
-                    levels: &self.levels,
-                    capacities: (0..self.levels.len())
-                        .map(|i| self.config.level_capacity_bytes(i + 1))
-                        .collect(),
-                    now: self.clock.now(),
-                    config: &self.config,
-                    sort_key_histogram: &self.sort_key_histogram,
-                };
-                self.policy.pick(&view)
-            };
-            match task {
+            let plan = match self.plan_compaction() {
+                Some(p) => p,
                 None => break,
-                Some(CompactionTask::LeveledPartial { level, file_id }) => {
-                    self.compact_files(level, &[file_id])?;
-                }
-                Some(CompactionTask::LeveledMulti { level, file_ids }) => {
-                    self.compact_files(level, &file_ids)?;
-                }
-                Some(CompactionTask::TieredLevel { level }) => {
-                    self.compact_tier(level)?;
-                }
-                Some(CompactionTask::FullTree) => {
-                    self.full_tree_compaction_filtered(None)?;
-                }
+            };
+            let ctx = self.build_ctx();
+            let out = plan.execute(&ctx)?;
+            if !self.apply_job(plan, out)? {
+                break;
             }
         }
         Ok(())
     }
 
-    fn deepest_nonempty_level(&self) -> Option<usize> {
-        (0..self.levels.len()).rev().find(|&i| !self.levels[i].is_empty())
-    }
-
-    fn ensure_level(&mut self, idx: usize) {
-        while self.levels.len() <= idx {
-            self.levels.push(Level::new());
+    /// Captures the context the lock-free execute phase needs.
+    pub fn build_ctx(&self) -> BuildCtx {
+        BuildCtx {
+            config: self.config.clone(),
+            backend: Arc::clone(&self.backend),
+            now: self.clock.now(),
+            next_file_id: Arc::clone(&self.next_file_id),
         }
     }
 
-    /// Builds one or more files (each at most `max_pages_per_file` pages)
-    /// from a merged, sorted entry stream.
-    fn build_tables(
-        &mut self,
-        entries: Vec<Entry>,
-        range_tombstones: Vec<Entry>,
-        oldest_tombstone_ts: Option<Timestamp>,
-    ) -> Result<Vec<Arc<SsTable>>> {
-        if entries.is_empty() && range_tombstones.is_empty() {
-            return Ok(Vec::new());
-        }
-        let per_file = self.config.entries_per_file().max(1);
-        let now = self.clock.now();
-        let mut tables = Vec::new();
-        let chunks: Vec<Vec<Entry>> = if entries.is_empty() {
-            vec![Vec::new()]
-        } else {
-            entries.chunks(per_file).map(|c| c.to_vec()).collect()
-        };
-        let n_chunks = chunks.len();
-        let mut rts_remaining = range_tombstones;
-        for (i, chunk) in chunks.into_iter().enumerate() {
-            // attach range tombstones that start within this chunk's range
-            // (the last chunk absorbs whatever is left)
-            let rts: Vec<Entry> = if i + 1 == n_chunks {
-                std::mem::take(&mut rts_remaining)
-            } else {
-                let upper = chunk.last().map(|e| e.sort_key).unwrap_or(0);
-                let (take, keep): (Vec<Entry>, Vec<Entry>) =
-                    rts_remaining.into_iter().partition(|rt| rt.sort_key <= upper);
-                rts_remaining = keep;
-                take
-            };
-            let has_tombstones = rts.iter().len() > 0 || chunk.iter().any(|e| e.is_tombstone());
-            let id = self.next_file_id();
-            let table = SsTable::build(
-                id,
-                chunk,
-                rts,
-                now,
-                if has_tombstones { oldest_tombstone_ts } else { None },
-                &self.config,
-                self.backend.as_ref(),
-            )?;
-            if table.meta.num_entries > 0 {
-                tables.push(Arc::new(table));
+    /// Plans the next unit of maintenance work, flush first: the frozen
+    /// buffer if one is waiting (when `include_flush`), otherwise whatever
+    /// compaction the policy picks. Returns `None` when the tree needs no
+    /// work right now. The plan pins its inputs; execute it without the
+    /// lock via [`JobPlan::execute`] and commit with [`LsmTree::apply_job`].
+    pub fn plan_job(&mut self, include_flush: bool) -> Option<JobPlan> {
+        if include_flush {
+            if let Some(p) = self.plan_flush() {
+                return Some(p);
             }
         }
-        Ok(tables)
+        self.plan_compaction()
     }
 
-    /// Merges one or more files of `level` into `level + 1` (leveling
-    /// partial compaction). FADE's delete-driven trigger passes every
-    /// TTL-expired file of the level so they are compacted in a single job.
-    fn compact_files(&mut self, level: usize, file_ids: &[u64]) -> Result<()> {
-        let sources: Vec<Arc<SsTable>> = {
-            let run = match self.levels[level].runs.first() {
-                Some(r) => r,
-                None => return Ok(()),
+    fn plan_flush(&mut self) -> Option<JobPlan> {
+        let buffer = Arc::clone(self.mem.frozen.read().as_ref()?);
+        let tiering = self.config.merge_policy == MergePolicy::Tiering;
+        let version = self.versions.current();
+        let (resident, drop_tombstones) = if tiering {
+            (Vec::new(), false)
+        } else {
+            let resident: Vec<Arc<SsTable>> = version
+                .levels
+                .first()
+                .map(|l| l.all_tables().cloned().collect())
+                .unwrap_or_default();
+            let drop = version.deepest_nonempty_level().is_none_or(|d| d == 0);
+            (resident, drop)
+        };
+        Some(JobPlan { kind: JobKind::Flush { buffer, resident, tiering }, drop_tombstones })
+    }
+
+    fn plan_compaction(&mut self) -> Option<JobPlan> {
+        let version = self.versions.current();
+        self.policy.on_tree_growth(version.levels.len());
+        let task = {
+            let view = TreeView {
+                levels: &version.levels,
+                capacities: (0..version.levels.len())
+                    .map(|i| self.config.level_capacity_bytes(i + 1))
+                    .collect(),
+                now: self.clock.now(),
+                config: &self.config,
+                sort_key_histogram: &self.sort_key_histogram,
             };
+            self.policy.pick(&view)?
+        };
+        match task {
+            CompactionTask::LeveledPartial { level, file_id } => {
+                self.plan_files(&version, level, &[file_id])
+            }
+            CompactionTask::LeveledMulti { level, file_ids } => {
+                self.plan_files(&version, level, &file_ids)
+            }
+            CompactionTask::TieredLevel { level } => {
+                let victims: Vec<Arc<SsTable>> =
+                    version.levels.get(level)?.all_tables().cloned().collect();
+                if victims.is_empty() {
+                    return None;
+                }
+                // Tiering merges only the source level's runs; runs already
+                // resident in deeper levels are not part of the merge, so
+                // tombstones may only be discarded when *nothing* exists at
+                // the destination level or below — otherwise an older
+                // version they cover could resurface.
+                let deepest_other = (0..version.levels.len())
+                    .rev()
+                    .find(|&i| i != level && !version.levels[i].is_empty());
+                let drop_tombstones = deepest_other.is_none_or(|d| d < level + 1);
+                Some(JobPlan { kind: JobKind::Tier { level, victims }, drop_tombstones })
+            }
+            CompactionTask::FullTree => self.plan_full(None),
+        }
+    }
+
+    /// Plans a leveling compaction of `file_ids` out of `level`, mirroring
+    /// FADE's placement rules: TTL-driven jobs on an unsaturated deepest
+    /// level rewrite in place, everything else spills to `level + 1`.
+    fn plan_files(&self, version: &Version, level: usize, file_ids: &[u64]) -> Option<JobPlan> {
+        let sources: Vec<Arc<SsTable>> = {
+            let run = version.levels.get(level)?.runs.first()?;
             file_ids.iter().filter_map(|id| run.find_by_id(*id).map(Arc::clone)).collect()
         };
         if sources.is_empty() {
-            return Ok(());
+            return None;
         }
         let now = self.clock.now();
         let ttl_trigger = self
             .config
             .delete_persistence_threshold
             .map(|dth| {
-                sources
-                    .iter()
-                    .any(|s| s.has_tombstones() && s.tombstone_age(now) >= dth / 2)
+                sources.iter().any(|s| s.has_tombstones() && s.tombstone_age(now) >= dth / 2)
             })
             .unwrap_or(false);
 
-        let deepest = self.deepest_nonempty_level().unwrap_or(level);
+        let deepest = version.deepest_nonempty_level().unwrap_or(level);
         // Files picked from the deepest level while that level still has
         // headroom are being compacted only to persist their tombstones (a
         // TTL-driven compaction): rewrite them in place instead of growing
         // the tree by a level. A saturated deepest level still spills down.
-        let saturated = self.levels[level].total_bytes() > self.config.level_capacity_bytes(level + 1);
+        let saturated =
+            version.levels[level].total_bytes() > self.config.level_capacity_bytes(level + 1);
         let dst_level = if level == deepest && !saturated { level } else { level + 1 };
-        self.ensure_level(dst_level);
 
         let overlapping: Vec<Arc<SsTable>> = if dst_level == level {
             Vec::new()
         } else {
-            self.levels[dst_level]
-                .runs
-                .first()
+            version
+                .levels
+                .get(dst_level)
+                .and_then(|l| l.runs.first())
                 .map(|r| {
                     r.tables()
                         .iter()
@@ -770,136 +1300,215 @@ impl LsmTree {
         };
 
         let drop_tombstones = dst_level >= deepest;
-
-        let mut inputs = Vec::with_capacity(sources.len() + overlapping.len());
-        let mut rts = Vec::new();
-        let mut oldest: Option<Timestamp> = None;
-        let mut input_entries = 0u64;
-        for table in sources.iter().chain(overlapping.iter()) {
-            inputs.push(table.read_all_entries(self.backend.as_ref())?);
-            rts.extend(table.range_tombstones.iter().cloned());
-            oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
-            input_entries += table.meta.num_entries;
-        }
-        let merged = merge_entries(inputs, rts, drop_tombstones);
-
-        // detach inputs and release their pages
-        if let Some(run) = self.levels[level].runs.first_mut() {
-            run.remove_ids(file_ids);
-        }
-        self.levels[level].prune_empty_runs();
-        if dst_level != level {
-            if let Some(run) = self.levels[dst_level].runs.first_mut() {
-                run.remove_ids(&overlapping.iter().map(|t| t.meta.id).collect::<Vec<_>>());
-            }
-            self.levels[dst_level].prune_empty_runs();
-        }
-        for t in sources.iter().chain(overlapping.iter()) {
-            t.release_pages(self.backend.as_ref());
-        }
-
-        let oldest = if drop_tombstones { None } else { oldest };
-        let tables = self.build_tables(merged.entries, merged.range_tombstones, oldest)?;
-        if !tables.is_empty() {
-            if self.levels[dst_level].runs.is_empty() {
-                self.levels[dst_level].runs.push(Run::default());
-            }
-            self.levels[dst_level].runs[0].add_tables(tables);
-        }
-        self.stats.compactions += 1;
-        if ttl_trigger {
-            self.stats.ttl_triggered_compactions += 1;
-        }
-        self.stats.entries_compacted += input_entries;
-        self.commit_manifest()
+        Some(JobPlan {
+            kind: JobKind::Files { level, dst_level, sources, overlapping, ttl_trigger },
+            drop_tombstones,
+        })
     }
 
-    /// Merges every run of `level` into one run appended to `level + 1`
-    /// (tiering compaction).
-    fn compact_tier(&mut self, level: usize) -> Result<()> {
-        self.ensure_level(level + 1);
-        let source_runs = std::mem::take(&mut self.levels[level].runs);
-        if source_runs.is_empty() {
-            return Ok(());
-        }
-        // Tiering merges only the source level's runs; runs already resident
-        // in deeper levels are not part of the merge, so tombstones may only
-        // be discarded when *nothing* exists at the destination level or
-        // below — otherwise an older version they cover could resurface.
-        let drop_tombstones = self.deepest_nonempty_level().is_none_or(|d| d < level + 1);
-        let mut inputs = Vec::new();
-        let mut rts = Vec::new();
-        let mut oldest: Option<Timestamp> = None;
-        let mut input_entries = 0u64;
-        let mut victims = Vec::new();
-        for run in &source_runs {
-            for table in run.tables() {
-                inputs.push(table.read_all_entries(self.backend.as_ref())?);
-                rts.extend(table.range_tombstones.iter().cloned());
-                oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
-                input_entries += table.meta.num_entries;
-                victims.push(Arc::clone(table));
-            }
-        }
-        let merged = merge_entries(inputs, rts, drop_tombstones);
-        for t in victims {
-            t.release_pages(self.backend.as_ref());
-        }
-        let oldest = if drop_tombstones { None } else { oldest };
-        let tables = self.build_tables(merged.entries, merged.range_tombstones, oldest)?;
-        if !tables.is_empty() {
-            self.levels[level + 1].runs.insert(0, Run::new(tables));
-        }
-        self.stats.compactions += 1;
-        self.stats.entries_compacted += input_entries;
-        self.commit_manifest()
+    fn plan_full(&self, delete_key_filter: Option<(DeleteKey, DeleteKey)>) -> Option<JobPlan> {
+        let version = self.versions.current();
+        let deepest = version.deepest_nonempty_level()?;
+        let victims: Vec<Arc<SsTable>> =
+            version.levels.iter().flat_map(|l| l.all_tables().cloned()).collect();
+        Some(JobPlan {
+            kind: JobKind::Full { victims, deepest, delete_key_filter },
+            drop_tombstones: true,
+        })
     }
 
-    /// Reads, merges and rewrites the entire tree into its last level,
-    /// optionally filtering out entries whose delete key falls in the given
-    /// range (the state-of-the-art implementation of secondary range
-    /// deletes).
-    fn full_tree_compaction_filtered(
-        &mut self,
-        delete_key_range: Option<(DeleteKey, DeleteKey)>,
-    ) -> Result<()> {
-        let deepest = match self.deepest_nonempty_level() {
-            Some(d) => d,
-            None => return Ok(()),
-        };
-        let mut inputs = Vec::new();
-        let mut rts = Vec::new();
-        let mut input_entries = 0u64;
-        let mut victims = Vec::new();
-        for level in &self.levels {
-            for run in &level.runs {
-                for table in run.tables() {
-                    inputs.push(table.read_all_entries(self.backend.as_ref())?);
-                    rts.extend(table.range_tombstones.iter().cloned());
-                    input_entries += table.meta.num_entries;
-                    victims.push(Arc::clone(table));
+    /// Commits an executed job: splices the output into a copy of the
+    /// current levels, commits the manifest edit, installs the new version
+    /// (one atomic pointer swap — readers see the old or the new tree, never
+    /// a mixture), retires the replaced files for deferred page reclamation,
+    /// and — for flushes — clears the frozen buffer and discards the covered
+    /// WAL prefix.
+    ///
+    /// Returns `false` (and releases the output's pages) if the tree changed
+    /// structurally since the plan was taken and the job no longer applies —
+    /// this cannot happen under the serialisation discipline (one worker per
+    /// tree; foreground structural operations pause the worker) but is
+    /// checked anyway so a discipline bug degrades to wasted work, never to
+    /// resurrected data.
+    pub fn apply_job(&mut self, plan: JobPlan, out: JobOutput) -> Result<bool> {
+        let current = self.versions.current();
+        let mut levels = current.levels.clone();
+        let JobPlan { kind, .. } = plan;
+        match kind {
+            JobKind::Flush { buffer, resident, tiering } => {
+                let wal_upto = buffer.wal_upto;
+                if self.mem.frozen.read().is_none() {
+                    self.abort_output(out);
+                    return Ok(false);
                 }
+                if levels.is_empty() {
+                    levels.push(Level::new());
+                }
+                let new_tables = out.tables.clone();
+                if tiering {
+                    // the flushed buffer becomes a fresh run (newest first)
+                    if !out.tables.is_empty() {
+                        levels[0].runs.insert(0, Run::new(out.tables));
+                    }
+                } else {
+                    // the merge consumed the resident run: verify it is
+                    // still exactly what the plan pinned
+                    let have: Vec<u64> = levels[0].all_tables().map(|t| t.meta.id).collect();
+                    let planned: Vec<u64> = resident.iter().map(|t| t.meta.id).collect();
+                    if have != planned {
+                        self.abort_output(out);
+                        return Ok(false);
+                    }
+                    levels[0] = Level::new();
+                    if !out.tables.is_empty() {
+                        levels[0].runs.push(Run::new(out.tables));
+                    }
+                }
+                self.commit_version(levels, &new_tables, resident)?;
+                *self.mem.frozen.write() = None;
+                self.stats.flushes += 1;
+                if let Some(wal) = &self.wal {
+                    wal.truncate_prefix(wal_upto)?;
+                }
+                Ok(true)
+            }
+            JobKind::Files { level, dst_level, sources, overlapping, ttl_trigger } => {
+                let source_ids: Vec<u64> = sources.iter().map(|t| t.meta.id).collect();
+                let overlap_ids: Vec<u64> = overlapping.iter().map(|t| t.meta.id).collect();
+                let ids_present = |run: Option<&Run>, ids: &[u64]| {
+                    ids.iter().all(|id| run.is_some_and(|r| r.find_by_id(*id).is_some()))
+                };
+                if !ids_present(levels.get(level).and_then(|l| l.runs.first()), &source_ids)
+                    || !ids_present(levels.get(dst_level).and_then(|l| l.runs.first()), &overlap_ids)
+                {
+                    self.abort_output(out);
+                    return Ok(false);
+                }
+                while levels.len() <= dst_level {
+                    levels.push(Level::new());
+                }
+                if let Some(run) = levels[level].runs.first_mut() {
+                    run.remove_ids(&source_ids);
+                }
+                levels[level].prune_empty_runs();
+                if dst_level != level {
+                    if let Some(run) = levels[dst_level].runs.first_mut() {
+                        run.remove_ids(&overlap_ids);
+                    }
+                    levels[dst_level].prune_empty_runs();
+                }
+                let new_tables = out.tables.clone();
+                if !out.tables.is_empty() {
+                    if levels[dst_level].runs.is_empty() {
+                        levels[dst_level].runs.push(Run::default());
+                    }
+                    levels[dst_level].runs[0].add_tables(out.tables);
+                }
+                let retired: Vec<Arc<SsTable>> =
+                    sources.into_iter().chain(overlapping).collect();
+                self.commit_version(levels, &new_tables, retired)?;
+                self.stats.compactions += 1;
+                if ttl_trigger {
+                    self.stats.ttl_triggered_compactions += 1;
+                }
+                self.stats.entries_compacted += out.input_entries;
+                Ok(true)
+            }
+            JobKind::Tier { level, victims } => {
+                let have: Vec<u64> =
+                    levels.get(level).map(|l| l.all_tables().map(|t| t.meta.id).collect()).unwrap_or_default();
+                let planned: Vec<u64> = victims.iter().map(|t| t.meta.id).collect();
+                if have != planned {
+                    self.abort_output(out);
+                    return Ok(false);
+                }
+                levels[level].runs.clear();
+                while levels.len() <= level + 1 {
+                    levels.push(Level::new());
+                }
+                let new_tables = out.tables.clone();
+                if !out.tables.is_empty() {
+                    levels[level + 1].runs.insert(0, Run::new(out.tables));
+                }
+                self.commit_version(levels, &new_tables, victims)?;
+                self.stats.compactions += 1;
+                self.stats.entries_compacted += out.input_entries;
+                Ok(true)
+            }
+            JobKind::Full { victims, deepest, .. } => {
+                let have: usize = levels.iter().map(|l| l.file_count()).sum();
+                if have != victims.len() {
+                    self.abort_output(out);
+                    return Ok(false);
+                }
+                for level in &mut levels {
+                    *level = Level::new();
+                }
+                while levels.len() <= deepest {
+                    levels.push(Level::new());
+                }
+                let new_tables = out.tables.clone();
+                if !out.tables.is_empty() {
+                    levels[deepest].runs.push(Run::new(out.tables));
+                }
+                self.commit_version(levels, &new_tables, victims)?;
+                self.stats.compactions += 1;
+                self.stats.full_tree_compactions += 1;
+                self.stats.entries_compacted += out.input_entries;
+                Ok(true)
             }
         }
-        let mut merged = merge_entries(inputs, rts, true);
-        if let Some((d_lo, d_hi)) = delete_key_range {
-            merged.entries.retain(|e| e.delete_key < d_lo || e.delete_key >= d_hi);
+    }
+
+    /// Releases the pages of a job output that will never be installed
+    /// (skipping any page shared with a live, registered table).
+    fn abort_output(&self, out: JobOutput) {
+        for t in out.tables {
+            self.versions.release_unregistered_pages(&t, self.backend.as_ref());
         }
-        for level in &mut self.levels {
-            *level = Level::new();
+    }
+
+    /// Commits `levels` to the manifest; if the commit fails, the freshly
+    /// built `new_tables` are released before the error propagates (the
+    /// version is never installed, so nothing references their pages and
+    /// they would otherwise leak until a reopen's unreferenced-page GC).
+    fn commit_or_release(&mut self, levels: &[Level], new_tables: &[Arc<SsTable>]) -> Result<()> {
+        match self.commit_manifest_for(levels) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                for t in new_tables {
+                    // skip pages shared with live tables: a secondary-delete
+                    // replacement keeps the original's surviving pages, and
+                    // the original is still installed after a failed commit
+                    self.versions.release_unregistered_pages(t, self.backend.as_ref());
+                }
+                Err(e)
+            }
         }
-        for t in victims {
-            t.release_pages(self.backend.as_ref());
+    }
+
+    /// The shared commit tail of every structural change: manifest edit
+    /// (releasing `new_tables` if it fails), page-reference registration,
+    /// atomic version install, retirement of the replaced file objects, and
+    /// a garbage-collection pass. Used by every [`LsmTree::apply_job`]
+    /// branch and by the secondary-delete page-drop path, so the commit
+    /// ordering lives in exactly one place.
+    fn commit_version(
+        &mut self,
+        levels: Vec<Level>,
+        new_tables: &[Arc<SsTable>],
+        retired: Vec<Arc<SsTable>>,
+    ) -> Result<()> {
+        self.commit_or_release(&levels, new_tables)?;
+        for t in new_tables {
+            self.versions.register_table(t);
         }
-        let tables = self.build_tables(merged.entries, Vec::new(), None)?;
-        if !tables.is_empty() {
-            self.ensure_level(deepest);
-            self.levels[deepest].runs.push(Run::new(tables));
+        self.versions.install(levels);
+        for t in retired {
+            self.versions.retire_table(t);
         }
-        self.stats.compactions += 1;
-        self.stats.full_tree_compactions += 1;
-        self.stats.entries_compacted += input_entries;
-        self.commit_manifest()
+        self.versions.collect_garbage(self.backend.as_ref());
+        Ok(())
     }
 
     // ---------------------------------------------------------- introspection
@@ -914,9 +1523,13 @@ impl LsmTree {
         &self.clock
     }
 
-    /// Lifetime operation counters.
-    pub fn stats(&self) -> &TreeStats {
-        &self.stats
+    /// Lifetime operation counters (write-side counters plus the lock-free
+    /// read-side lookup counters, folded together).
+    pub fn stats(&self) -> TreeStats {
+        let mut s = self.stats.clone();
+        s.point_lookups += self.counters.point_lookups.load(Ordering::Relaxed);
+        s.range_lookups += self.counters.range_lookups.load(Ordering::Relaxed);
+        s
     }
 
     /// Snapshot of the device's I/O counters.
@@ -929,47 +1542,57 @@ impl LsmTree {
         &self.backend
     }
 
+    /// The version set publishing the disk levels (white-box access for
+    /// tests: install counts, pinned snapshots, garbage length).
+    pub fn versions(&self) -> &Arc<VersionSet> {
+        &self.versions
+    }
+
     /// Number of disk levels currently allocated.
     pub fn level_count(&self) -> usize {
-        self.levels.len()
+        self.versions.current().levels.len()
     }
 
     /// Number of files per level (index 0 = first disk level).
     pub fn files_per_level(&self) -> Vec<usize> {
-        self.levels.iter().map(|l| l.file_count()).collect()
+        self.versions.current().levels.iter().map(|l| l.file_count()).collect()
     }
 
     /// Total entries currently stored on disk (including tombstones and
     /// stale versions).
     pub fn disk_entries(&self) -> u64 {
-        self.levels.iter().map(|l| l.total_entries()).sum()
+        self.versions.current().levels.iter().map(|l| l.total_entries()).sum()
     }
 
     /// Total bytes currently stored on disk.
     pub fn disk_bytes(&self) -> u64 {
-        self.levels.iter().map(|l| l.total_bytes()).sum()
+        self.versions.current().levels.iter().map(|l| l.total_bytes()).sum()
     }
 
-    /// Number of entries currently buffered in memory.
+    /// Number of entries currently buffered in memory (active + frozen).
     pub fn buffered_entries(&self) -> usize {
-        self.memtable.len()
+        self.mem.active.read().len()
+            + self.mem.frozen.read().as_ref().map(|f| f.len()).unwrap_or(0)
     }
 
-    /// Read-only access to the disk levels (used by policies' tests and the
-    /// benchmark harness for white-box assertions).
-    pub fn levels(&self) -> &[Level] {
-        &self.levels
+    /// A copy of the current disk levels (used by policies' tests, KiWi
+    /// planning and the benchmark harness for white-box inspection; the
+    /// `Arc`-shared files make this cheap).
+    pub fn levels(&self) -> Vec<Level> {
+        self.versions.current().levels.clone()
     }
 
     /// Write amplification so far (paper §3.2.3): device bytes written beyond
     /// the bytes of new/modified data, relative to the latter.
     pub fn write_amplification(&self) -> f64 {
-        self.stats.write_amplification(self.io_snapshot().bytes_written)
+        self.stats().write_amplification(self.io_snapshot().bytes_written)
     }
 
     /// In-memory footprint of all filters and fence pointers, in bytes.
     pub fn metadata_footprint(&self) -> u64 {
-        self.levels
+        self.versions
+            .current()
+            .levels
             .iter()
             .flat_map(|l| l.all_tables())
             .map(|t| t.memory_footprint() as u64)
@@ -989,7 +1612,8 @@ impl LsmTree {
         let mut tombstone_file_ages = Vec::new();
         let mut files = 0usize;
         let mut metadata_bytes = 0u64;
-        for level in &self.levels {
+        let version = self.versions.current();
+        for level in &version.levels {
             for run in &level.runs {
                 for table in run.tables() {
                     files += 1;
@@ -1002,9 +1626,16 @@ impl LsmTree {
                 }
             }
         }
-        // include the buffer
-        all.extend(self.memtable.iter().cloned());
-        rts.extend(self.memtable.range_tombstones().iter().cloned());
+        // include the buffer (active + frozen)
+        {
+            let active = self.mem.active.read();
+            all.extend(active.iter().cloned());
+            rts.extend(active.range_tombstones().iter().cloned());
+        }
+        if let Some(f) = self.mem.frozen.read().as_ref() {
+            all.extend(f.entries.iter().cloned());
+            rts.extend(f.range_tombstones.iter().cloned());
+        }
 
         let total_entries = (all.len() + rts.len()) as u64;
         let total_bytes: u64 = all.iter().map(|e| e.encoded_size() as u64).sum::<u64>()
@@ -1023,18 +1654,10 @@ impl LsmTree {
             unique_entries,
             tombstones,
             tombstone_file_ages,
-            populated_levels: self.levels.iter().filter(|l| !l.is_empty()).count(),
+            populated_levels: version.levels.iter().filter(|l| !l.is_empty()).count(),
             files,
             metadata_bytes,
         })
-    }
-}
-
-fn min_opt(a: Option<Timestamp>, b: Option<Timestamp>) -> Option<Timestamp> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some(x.min(y)),
-        (x, None) => x,
-        (None, y) => y,
     }
 }
 
@@ -1433,5 +2056,81 @@ mod tests {
             t.put(k, k, value(k)).unwrap();
         }
         assert_eq!(t.clock().now(), 100_000);
+    }
+
+    #[test]
+    fn frozen_buffer_stays_readable_until_version_installed() {
+        // background mode: a full buffer is only frozen; every write must
+        // stay visible from the reader between freeze and flush
+        let mut t = tree(LsmConfig::small_for_test());
+        t.set_maintenance_mode(MaintenanceMode::Background);
+        let reader = t.reader();
+        for k in 0..200u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        assert!(t.has_frozen(), "filling the buffer in background mode must freeze it");
+        for k in (0..200u64).step_by(17) {
+            assert_eq!(reader.get(k).unwrap(), Some(value(k)), "key {k} invisible while frozen");
+        }
+        // the worker-equivalent cycle: plan → execute (lock-free) → apply
+        while let Some(plan) = t.plan_job(true) {
+            let ctx = t.build_ctx();
+            let out = plan.execute(&ctx).unwrap();
+            assert!(t.apply_job(plan, out).unwrap());
+        }
+        assert!(!t.has_frozen());
+        assert!(t.level_count() >= 1);
+        for k in (0..200u64).step_by(17) {
+            assert_eq!(reader.get(k).unwrap(), Some(value(k)), "key {k} lost by flush");
+        }
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_full_compaction() {
+        let mut cfg = LsmConfig::small_for_test();
+        cfg.size_ratio = 3;
+        let mut t = tree(cfg);
+        for k in 0..1000u64 {
+            t.put(k % 300, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        let reader = t.reader();
+        let pinned = reader.pin_version();
+        let files_before: usize = pinned.levels.iter().map(|l| l.file_count()).sum();
+        assert!(files_before > 0);
+        // rewrite the whole tree under the pin
+        t.force_full_compaction().unwrap();
+        // the pinned version still reads every page it references
+        for level in &pinned.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    table.read_all_entries(t.backend().as_ref()).unwrap();
+                }
+            }
+        }
+        assert!(t.versions().garbage_len() > 0, "replaced files must await the pin");
+        drop(pinned);
+        t.versions().collect_garbage(t.backend().as_ref());
+        assert_eq!(t.versions().garbage_len(), 0);
+    }
+
+    #[test]
+    fn write_stall_signal_tracks_frozen_and_full_buffer() {
+        let mut t = tree(LsmConfig::small_for_test());
+        t.set_maintenance_mode(MaintenanceMode::Background);
+        assert!(!t.write_stalled());
+        for k in 0..200u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        assert!(t.has_frozen());
+        // keep writing without a worker: active fills up again → stall
+        for k in 200..400u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        assert!(t.write_stalled());
+        t.flush().unwrap();
+        assert!(!t.write_stalled());
+        assert_eq!(t.range(0, 400).unwrap().len(), 400);
     }
 }

@@ -131,6 +131,28 @@ impl Entry {
         }
     }
 
+    /// Resolves a buffered point lookup: combines the buffered point entry
+    /// for `sort_key` (if any) with the newest buffered range tombstone
+    /// covering it (if any). A strictly newer covering range tombstone
+    /// shadows the point entry; a covering tombstone with no point entry
+    /// reports the key as deleted. The single definition of this precedence,
+    /// shared by the active memtable and the frozen flush buffer so the two
+    /// read paths can never diverge.
+    pub fn resolve_point_read(
+        sort_key: SortKey,
+        point: Option<Entry>,
+        covering_rt: Option<&Entry>,
+    ) -> Option<Entry> {
+        match (point, covering_rt) {
+            (Some(p), Some(rt)) if rt.seqnum > p.seqnum => {
+                Some(Entry::point_tombstone(sort_key, rt.seqnum))
+            }
+            (Some(p), _) => Some(p),
+            (None, Some(rt)) => Some(Entry::point_tombstone(sort_key, rt.seqnum)),
+            (None, None) => None,
+        }
+    }
+
     /// The on-disk encoded size of this entry in bytes: a fixed header plus
     /// the value payload. Tombstones carry no payload, which is what makes
     /// the tombstone size ratio λ = size(tombstone)/size(key-value) small

@@ -60,24 +60,13 @@ impl MemTable {
     /// range tombstones into account. Returns `None` if the key was never
     /// buffered; returns a tombstone entry if the buffered state is a delete.
     pub fn get(&self, sort_key: SortKey) -> Option<Entry> {
-        let point = self.entries.get(&sort_key);
+        let point = self.entries.get(&sort_key).cloned();
         let covering_rt = self
             .range_tombstones
             .iter()
             .filter(|t| t.covers(sort_key))
             .max_by_key(|t| t.seqnum);
-        match (point, covering_rt) {
-            (Some(p), Some(rt)) => {
-                if rt.seqnum > p.seqnum {
-                    Some(Entry::point_tombstone(sort_key, rt.seqnum))
-                } else {
-                    Some(p.clone())
-                }
-            }
-            (Some(p), None) => Some(p.clone()),
-            (None, Some(rt)) => Some(Entry::point_tombstone(sort_key, rt.seqnum)),
-            (None, None) => None,
-        }
+        Entry::resolve_point_read(sort_key, point, covering_rt)
     }
 
     /// Returns buffered point entries whose sort key lies in `[lo, hi)`

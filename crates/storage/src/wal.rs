@@ -173,6 +173,26 @@ pub trait Wal: Send + Sync {
     /// WAL hygiene routine that keeps tombstone persistence bounded by `D_th`
     /// even when the log is rotated slowly.
     fn purge_older_than(&self, cutoff: Timestamp) -> Result<usize>;
+    /// Number of records currently in the log. A background flush captures
+    /// this position when it freezes the write buffer, so the commit can
+    /// later discard exactly the records it covered while concurrent appends
+    /// keep extending the tail.
+    fn position(&self) -> Result<u64> {
+        Ok(self.replay()?.len() as u64)
+    }
+    /// Removes the first `upto` records (those at positions `< upto`),
+    /// keeping any records appended after the position was captured. The
+    /// default implementation only supports the degenerate case where the
+    /// prefix is the whole log (the single-threaded flush path).
+    fn truncate_prefix(&self, upto: u64) -> Result<()> {
+        if upto >= self.position()? {
+            self.truncate()
+        } else {
+            Err(StorageError::InvalidOperation(
+                "this WAL does not support partial prefix truncation".into(),
+            ))
+        }
+    }
 }
 
 /// An in-memory WAL for tests and simulations (durability is out of scope for
@@ -214,6 +234,17 @@ impl Wal for MemWal {
         records.retain(|r| r.timestamp() >= cutoff);
         Ok(before - records.len())
     }
+
+    fn position(&self) -> Result<u64> {
+        Ok(self.records.lock().len() as u64)
+    }
+
+    fn truncate_prefix(&self, upto: u64) -> Result<()> {
+        let mut records = self.records.lock();
+        let n = (upto as usize).min(records.len());
+        records.drain(..n);
+        Ok(())
+    }
 }
 
 /// A durable, file-backed WAL with length-prefixed records.
@@ -232,8 +263,14 @@ pub struct FileWal {
     sync_policy: SyncPolicy,
     appends_since_sync: AtomicU64,
     torn_tails_recovered: AtomicU64,
+    /// Records currently in the log; `u64::MAX` until first derived by a
+    /// scan. Only read or written while `file` is locked.
+    record_count: AtomicU64,
     failpoint: FailPoint,
 }
+
+/// Sentinel for "record count not derived yet".
+const COUNT_UNKNOWN: u64 = u64::MAX;
 
 impl FileWal {
     /// Opens (or creates) the WAL file at `path` with [`SyncPolicy::Always`].
@@ -250,6 +287,7 @@ impl FileWal {
             sync_policy: SyncPolicy::Always,
             appends_since_sync: AtomicU64::new(0),
             torn_tails_recovered: AtomicU64::new(0),
+            record_count: AtomicU64::new(COUNT_UNKNOWN),
             failpoint: FailPoint::new(),
         })
     }
@@ -274,6 +312,13 @@ impl FileWal {
     }
 
     fn read_all(&self) -> Result<Vec<WalRecord>> {
+        let mut guard = self.file.lock();
+        self.read_all_locked(&mut guard)
+    }
+
+    /// Reads every intact record. Requires the file lock (appends from other
+    /// threads must not interleave with the scan or the torn-tail truncation).
+    fn read_all_locked(&self, guard: &mut parking_lot::MutexGuard<'_, File>) -> Result<Vec<WalRecord>> {
         let mut data = Vec::new();
         {
             let mut file = OpenOptions::new().read(true).open(&self.path)?;
@@ -300,15 +345,27 @@ impl FileWal {
         if valid < total {
             // recover the valid prefix: drop the torn tail (1-3 dangling
             // header bytes, or a frame shorter than its length prefix)
-            let file = self.file.lock();
-            file.set_len(valid)?;
-            file.sync_all()?;
+            guard.set_len(valid)?;
+            guard.sync_all()?;
             self.torn_tails_recovered.fetch_add(1, Ordering::Relaxed);
         }
+        self.record_count.store(out.len() as u64, Ordering::Relaxed);
         Ok(out)
     }
 
     fn rewrite(&self, records: &[WalRecord]) -> Result<()> {
+        let mut guard = self.file.lock();
+        self.rewrite_locked(&mut guard, records)
+    }
+
+    /// Atomically replaces the log contents. Requires the file lock so that
+    /// no append can slip in between the snapshot the caller took and the
+    /// rename (it would be silently discarded).
+    fn rewrite_locked(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, File>,
+        records: &[WalRecord],
+    ) -> Result<()> {
         self.failpoint.check()?;
         let tmp = self.path.with_extension("wal.tmp");
         {
@@ -328,7 +385,8 @@ impl FileWal {
         // the rename itself must survive a power failure before the old log
         // (with records the caller considers flushed) can be considered gone
         fsync_dir(&self.path)?;
-        *self.file.lock() = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        **guard = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        self.record_count.store(records.len() as u64, Ordering::Relaxed);
         self.appends_since_sync.store(0, Ordering::Relaxed);
         Ok(())
     }
@@ -344,6 +402,11 @@ impl Wal for FileWal {
         frame.extend_from_slice(&body);
         let mut file = self.file.lock();
         file.write_all(&frame)?;
+        // keep the cached record count in step (only once it has been derived)
+        let count = self.record_count.load(Ordering::Relaxed);
+        if count != COUNT_UNKNOWN {
+            self.record_count.store(count + 1, Ordering::Relaxed);
+        }
         match self.sync_policy {
             SyncPolicy::Always => {
                 file.sync_data()?;
@@ -378,12 +441,37 @@ impl Wal for FileWal {
     }
 
     fn purge_older_than(&self, cutoff: Timestamp) -> Result<usize> {
-        let records = self.read_all()?;
+        let mut guard = self.file.lock();
+        let records = self.read_all_locked(&mut guard)?;
         let before = records.len();
         let keep: Vec<WalRecord> = records.into_iter().filter(|r| r.timestamp() >= cutoff).collect();
         let purged = before - keep.len();
-        self.rewrite(&keep)?;
+        self.rewrite_locked(&mut guard, &keep)?;
         Ok(purged)
+    }
+
+    fn position(&self) -> Result<u64> {
+        let mut guard = self.file.lock();
+        let count = self.record_count.load(Ordering::Relaxed);
+        if count != COUNT_UNKNOWN {
+            return Ok(count);
+        }
+        Ok(self.read_all_locked(&mut guard)?.len() as u64)
+    }
+
+    fn truncate_prefix(&self, upto: u64) -> Result<()> {
+        let mut guard = self.file.lock();
+        // fast path: when the prefix covers the whole log (no record was
+        // appended since the position was captured — the common case for a
+        // flush commit), skip the full-log read-and-reparse and write an
+        // empty log directly
+        let count = self.record_count.load(Ordering::Relaxed);
+        if count != COUNT_UNKNOWN && upto >= count {
+            return self.rewrite_locked(&mut guard, &[]);
+        }
+        let records = self.read_all_locked(&mut guard)?;
+        let n = (upto as usize).min(records.len());
+        self.rewrite_locked(&mut guard, &records[n..])
     }
 }
 
@@ -551,6 +639,50 @@ mod tests {
         w.truncate().unwrap();
         assert!(w.replay().unwrap().is_empty());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_prefix_keeps_concurrently_appended_tail() {
+        let path =
+            std::env::temp_dir().join(format!("lethe-wal-prefix-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let w = FileWal::open(&path).unwrap();
+        for r in sample_records() {
+            w.append(r).unwrap();
+        }
+        // a flush captures the position, then two more records arrive
+        // before the commit truncates its prefix
+        let upto = w.position().unwrap();
+        assert_eq!(upto, 3);
+        w.append(WalRecord::Delete { sort_key: 50, ts: 50 }).unwrap();
+        w.append(WalRecord::Delete { sort_key: 60, ts: 60 }).unwrap();
+        w.truncate_prefix(upto).unwrap();
+        let left = w.replay().unwrap();
+        assert_eq!(left.len(), 2, "the tail appended after the capture must survive");
+        assert!(left.iter().all(|r| r.timestamp() >= 50));
+        assert_eq!(w.position().unwrap(), 2);
+        // fast path: prefix covers the whole log
+        w.truncate_prefix(w.position().unwrap()).unwrap();
+        assert!(w.replay().unwrap().is_empty());
+        assert_eq!(w.position().unwrap(), 0);
+        // reopening derives the count lazily and agrees
+        drop(w);
+        let w2 = FileWal::open(&path).unwrap();
+        assert_eq!(w2.position().unwrap(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mem_wal_prefix_semantics() {
+        let w = MemWal::new();
+        for r in sample_records() {
+            w.append(r).unwrap();
+        }
+        assert_eq!(w.position().unwrap(), 3);
+        w.truncate_prefix(2).unwrap();
+        assert_eq!(w.replay().unwrap().len(), 1);
+        w.truncate_prefix(99).unwrap();
+        assert!(w.replay().unwrap().is_empty());
     }
 
     #[test]

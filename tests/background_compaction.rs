@@ -1,0 +1,280 @@
+//! Concurrency stress tests for background FADE compaction with snapshot
+//! reads.
+//!
+//! N writer threads and M reader threads run against a live [`ShardedLethe`]
+//! while the per-shard background workers flush and compact underneath them,
+//! checked against a lock-free oracle:
+//!
+//! * every key is owned by exactly one writer, which publishes two atomic
+//!   watermarks per key — `issued` (stored *before* the put) and `acked`
+//!   (stored *after* the put returns). Values encode `(key, version)`.
+//! * a read of key `k` must return a version `v` with
+//!   `acked_before_read ≤ v ≤ issued_after_read`: the lower bound is
+//!   linearizability (an acknowledged write is visible to every later read),
+//!   the upper bound rejects values from the future or thin air.
+//! * within one reader thread, versions per key never go backwards.
+//! * a range scan must contain every key acknowledged before the scan
+//!   started, in strictly increasing key order — a half-committed version
+//!   install (input files removed but replacements not yet visible) would
+//!   surface here as a vanished key or a torn ordering.
+//!
+//! The runs are seeded and sized deterministically for CI; set
+//! `LETHE_STRESS_ROUNDS` to scale the writer workload up for longer soaks.
+
+use lethe::{ShardedLethe, ShardedLetheBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const WRITERS: usize = 4;
+const READERS: usize = 3;
+const KEYS_PER_WRITER: u64 = 300;
+const KEYS: u64 = WRITERS as u64 * KEYS_PER_WRITER;
+/// Churn keys (deleted/range-deleted/secondary-deleted at random) live in a
+/// disjoint region so the versioned invariants above stay exact.
+const CHURN_BASE: u64 = 1 << 20;
+const CHURN_KEYS: u64 = 512;
+
+fn rounds() -> u64 {
+    std::env::var("LETHE_STRESS_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(6)
+}
+
+fn store() -> ShardedLethe {
+    // tiny buffers: flushes and compactions run constantly under the load
+    ShardedLetheBuilder::new()
+        .shards(4)
+        .buffer(8, 4, 64)
+        .size_ratio(4)
+        .delete_tile_pages(2)
+        .delete_persistence_threshold_secs(2.0)
+        .build()
+        .unwrap()
+}
+
+fn encode(key: u64, version: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 16];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v[8..].copy_from_slice(&version.to_le_bytes());
+    v
+}
+
+fn decode(key: u64, raw: &[u8]) -> u64 {
+    assert_eq!(raw.len(), 16, "value for key {key} has the wrong shape");
+    let k = u64::from_le_bytes(raw[..8].try_into().unwrap());
+    assert_eq!(k, key, "value embeds key {k} but was returned for key {key}");
+    u64::from_le_bytes(raw[8..].try_into().unwrap())
+}
+
+#[test]
+fn writers_and_readers_with_live_oracle() {
+    let db = store();
+    let issued: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
+    let acked: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
+    let stop = AtomicBool::new(false);
+    let rounds = rounds();
+
+    std::thread::scope(|s| {
+        let db = &db;
+        let issued = &issued;
+        let acked = &acked;
+        let stop = &stop;
+
+        let mut writer_handles = Vec::new();
+        for w in 0..WRITERS {
+            writer_handles.push(s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xA11CE + w as u64);
+                let base = w as u64 * KEYS_PER_WRITER;
+                for version in 1..=rounds {
+                    // visit the slice in a fresh random order every round
+                    let mut keys: Vec<u64> = (base..base + KEYS_PER_WRITER).collect();
+                    for i in (1..keys.len()).rev() {
+                        keys.swap(i, rng.gen_range(0..i + 1));
+                    }
+                    for k in keys {
+                        issued[k as usize].store(version, Ordering::SeqCst);
+                        db.put(k, k, encode(k, version)).unwrap();
+                        acked[k as usize].store(version, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+
+        for r in 0..READERS {
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBEE + r as u64);
+                let mut last_seen = vec![0u64; KEYS as usize];
+                while !stop.load(Ordering::Relaxed) {
+                    // point lookups with linearizability bounds
+                    for _ in 0..64 {
+                        let k = rng.gen_range(0..KEYS);
+                        let lo = acked[k as usize].load(Ordering::SeqCst);
+                        let got = db.get(k).unwrap();
+                        let hi = issued[k as usize].load(Ordering::SeqCst);
+                        match got {
+                            Some(raw) => {
+                                let v = decode(k, &raw);
+                                assert!(
+                                    v >= lo && v <= hi,
+                                    "key {k}: read version {v} outside [{lo}, {hi}]"
+                                );
+                                assert!(
+                                    v >= last_seen[k as usize],
+                                    "key {k}: version went backwards ({} then {v})",
+                                    last_seen[k as usize]
+                                );
+                                last_seen[k as usize] = v;
+                            }
+                            None => assert_eq!(
+                                lo, 0,
+                                "key {k}: acknowledged version {lo} vanished"
+                            ),
+                        }
+                    }
+                    // a range scan: acknowledged keys may never vanish and
+                    // the result must be strictly sorted (a half-committed
+                    // version would tear exactly these properties)
+                    let a = rng.gen_range(0..KEYS - 64);
+                    let b = a + rng.gen_range(16..64);
+                    let floor: Vec<u64> =
+                        (a..b).map(|k| acked[k as usize].load(Ordering::SeqCst)).collect();
+                    let scan = db.range(a, b).unwrap();
+                    assert!(
+                        scan.windows(2).all(|w| w[0].0 < w[1].0),
+                        "range scan not strictly sorted"
+                    );
+                    for (k, raw) in &scan {
+                        let v = decode(*k, raw);
+                        let lo = floor[(*k - a) as usize];
+                        assert!(v >= lo, "key {k}: scanned version {v} below acked floor {lo}");
+                    }
+                    let present: Vec<u64> = scan.iter().map(|(k, _)| *k).collect();
+                    for k in a..b {
+                        if floor[(k - a) as usize] > 0 {
+                            assert!(
+                                present.binary_search(&k).is_ok(),
+                                "key {k} acknowledged before the scan but missing from it"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+
+        // churn + maintenance thread: deletes of every flavour plus clock
+        // advances so FADE's TTL triggers fire while readers are in flight
+        s.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            while !stop.load(Ordering::Relaxed) {
+                let k = CHURN_BASE + rng.gen_range(0..CHURN_KEYS);
+                db.put(k, k, encode(k, 1)).unwrap();
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        db.delete(k).unwrap();
+                    }
+                    1 => {
+                        let s0 = CHURN_BASE + rng.gen_range(0..CHURN_KEYS / 2);
+                        db.delete_range(s0, s0 + rng.gen_range(1..CHURN_KEYS / 4)).unwrap();
+                    }
+                    2 => {
+                        // secondary delete confined to the churn region's
+                        // delete keys; exercises the worker pause protocol
+                        let s0 = CHURN_BASE + rng.gen_range(0..CHURN_KEYS / 2);
+                        db.delete_where_delete_key_in(s0, s0 + rng.gen_range(1..CHURN_KEYS / 4))
+                            .unwrap();
+                    }
+                    _ => {
+                        // let logical time pass so TTL-driven compactions fire
+                        db.clock().advance_secs(0.5);
+                        db.maintain().unwrap();
+                    }
+                }
+            }
+        });
+
+        for h in writer_handles {
+            h.join().expect("writer thread panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // quiesce and verify the end state exactly against the oracle
+    db.persist().unwrap();
+    for k in 0..KEYS {
+        let want = acked[k as usize].load(Ordering::SeqCst);
+        let got = db.get(k).unwrap().expect("key written by a joined writer");
+        assert_eq!(decode(k, &got), want, "key {k} final version");
+    }
+    let full: Vec<u64> = db.range(0, KEYS).unwrap().into_iter().map(|(k, _)| k).collect();
+    assert_eq!(full, (0..KEYS).collect::<Vec<u64>>(), "final scan must hold every key");
+
+    // the background machinery must actually have run
+    let stats = db.stats();
+    assert!(stats.flushes > 0, "no background flush ever ran");
+    assert!(stats.compactions > 0, "no background compaction ever ran");
+    let installs: u64 =
+        (0..db.shard_count()).map(|i| db.with_shard(i, |s| s.tree().versions().installs())).sum();
+    assert!(installs > 0, "no version was ever installed");
+}
+
+/// Readers hammering a store whose only mutations are *rewrites* (forced
+/// full-tree compactions and no-op secondary deletes) must observe the exact
+/// same contents on every single read: any torn version install — files
+/// removed before their replacements became visible, or a reader seeing a
+/// mixture of two versions — shows up as a missing key, a duplicate, or a
+/// wrong value.
+#[test]
+fn rewrites_are_invisible_to_snapshot_readers() {
+    const N: u64 = 600;
+    let db = ShardedLetheBuilder::new()
+        .shards(1)
+        .buffer(8, 4, 64)
+        .size_ratio(3)
+        .delete_tile_pages(2)
+        .delete_persistence_threshold_secs(30.0)
+        .build()
+        .unwrap();
+    for k in 0..N {
+        db.put(k, k, encode(k, 7)).unwrap();
+    }
+    db.persist().unwrap();
+    let installs_before = db.with_shard(0, |s| s.tree().versions().installs());
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let db = &db;
+        let stop = &stop;
+        for r in 0..4 {
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xD00D + r as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.gen_range(0..N);
+                    let got = db.get(k).unwrap().expect("preloaded key vanished mid-rewrite");
+                    assert_eq!(decode(k, &got), 7, "key {k} value torn by a rewrite");
+                    let scan = db.range(0, N).unwrap();
+                    assert_eq!(scan.len(), N as usize, "full scan lost keys mid-rewrite");
+                    assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+            });
+        }
+        // rewrite the whole tree over and over underneath the readers
+        s.spawn(move || {
+            for _ in 0..12 {
+                db.with_shard(0, |shard| shard.tree_mut().force_full_compaction()).unwrap();
+                // a secondary delete over an empty delete-key range walks the
+                // whole pause/commit path without changing contents
+                db.delete_where_delete_key_in(N + 1, N + 2).unwrap();
+                db.maintain().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    let installs_after = db.with_shard(0, |s| s.tree().versions().installs());
+    assert!(
+        installs_after > installs_before,
+        "the rewrite loop must actually install new versions"
+    );
+    for k in 0..N {
+        assert_eq!(decode(k, &db.get(k).unwrap().unwrap()), 7, "key {k} after the rewrite storm");
+    }
+}
