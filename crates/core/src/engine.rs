@@ -21,8 +21,9 @@ use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
 use lethe_lsm::tree::{LsmTree, MaintenanceMode, TreeReader};
 use lethe_storage::{
-    DeleteKey, Entry, FailPoint, FileBackend, FileWal, InMemoryBackend, IoSnapshot, LogicalClock,
-    Manifest, Result, SortKey, StorageBackend, SyncPolicy, Timestamp, MICROS_PER_SEC,
+    CacheSnapshot, CachedBackend, DeleteKey, Entry, FailPoint, FileBackend, FileWal,
+    InMemoryBackend, IoSnapshot, LogicalClock, Manifest, PageCache, Result, SortKey,
+    StorageBackend, SyncPolicy, Timestamp, MICROS_PER_SEC,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -34,6 +35,10 @@ pub struct LetheBuilder {
     dth: Timestamp,
     selection: SaturationSelection,
     failpoint: Option<FailPoint>,
+    /// An externally supplied block cache shared with other engines (the
+    /// sharded front-end passes one cache to every shard); when absent and
+    /// `config.block_cache_bytes > 0`, a private cache is created at build.
+    shared_cache: Option<Arc<PageCache>>,
 }
 
 impl Default for LetheBuilder {
@@ -57,6 +62,63 @@ impl LetheBuilder {
             dth: 3600 * MICROS_PER_SEC,
             selection: SaturationSelection::MostInvalidations,
             failpoint: None,
+            shared_cache: None,
+        }
+    }
+
+    /// Sets the block-cache memory budget in bytes (`0` disables caching,
+    /// the default). The cache holds decoded pages between the table layer
+    /// and the device, so repeated point/range reads of warm data skip both
+    /// the device access and the page decode.
+    pub fn block_cache_bytes(mut self, bytes: usize) -> Self {
+        self.config.block_cache_bytes = bytes;
+        self
+    }
+
+    /// If `true`, flush/compaction output pages are inserted into the block
+    /// cache as they are written. See
+    /// [`LsmConfig::block_cache_warm_writes`].
+    pub fn warm_block_cache_on_write(mut self, warm: bool) -> Self {
+        self.config.block_cache_warm_writes = warm;
+        self
+    }
+
+    /// Shares an existing [`PageCache`] with this engine instead of creating
+    /// a private one: the sharded front-end hands one cache to every shard
+    /// so the memory budget is global. Implies caching regardless of
+    /// `block_cache_bytes`.
+    pub fn shared_block_cache(mut self, cache: Arc<PageCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Resolves which cache this build should use: an externally shared one
+    /// wins, otherwise a private cache is created when `block_cache_bytes >
+    /// 0`. The single source of the resolution policy — the sharded builder
+    /// calls it too, so the sharded and single-shard paths cannot diverge.
+    pub(crate) fn resolve_cache(&self) -> Option<Arc<PageCache>> {
+        self.shared_cache.clone().or_else(|| {
+            (self.config.block_cache_bytes > 0)
+                .then(|| PageCache::new_shared(self.config.block_cache_bytes))
+        })
+    }
+
+    /// Resolves the cache this build should use (shared, private, or none)
+    /// and wraps `backend` accordingly.
+    fn wrap_backend(
+        &self,
+        backend: Arc<dyn StorageBackend>,
+    ) -> (Arc<dyn StorageBackend>, Option<Arc<PageCache>>) {
+        match self.resolve_cache() {
+            Some(cache) => (
+                Arc::new(CachedBackend::new(
+                    backend,
+                    Arc::clone(&cache),
+                    self.config.block_cache_warm_writes,
+                )),
+                Some(cache),
+            ),
+            None => (backend, None),
         }
     }
 
@@ -182,11 +244,14 @@ impl LetheBuilder {
         self.build_on(InMemoryBackend::new_shared(), LogicalClock::new())
     }
 
-    /// Builds an engine on an explicit device and clock.
+    /// Builds an engine on an explicit device and clock. When a block cache
+    /// is configured the device is wrapped in a [`CachedBackend`], so every
+    /// layer above (tables, tree, readers) transparently reads through it.
     pub fn build_on(self, backend: Arc<dyn StorageBackend>, clock: LogicalClock) -> Result<Lethe> {
+        let (backend, cache) = self.wrap_backend(backend);
         let policy = FadePolicy::with_selection(self.dth, self.selection);
         let tree = LsmTree::new(self.config, backend, clock, Box::new(policy))?;
-        Ok(Lethe { tree })
+        Ok(Lethe { tree, cache })
     }
 
     /// Opens (or creates) a durable engine rooted at `dir`: a file-backed
@@ -228,11 +293,14 @@ impl LetheBuilder {
             wal = wal.with_failpoint(fp.clone());
             manifest.set_failpoint(fp.clone());
         }
+        // the cache wraps the device before the tree ever sees it, so
+        // recovery's unreferenced-page GC already invalidates through it
+        let (backend, cache) = self.wrap_backend(Arc::new(backend));
         let policy = FadePolicy::with_selection(self.dth, self.selection);
-        let mut tree = LsmTree::new(self.config, Arc::new(backend), clock, Box::new(policy))?
-            .with_manifest(manifest);
+        let mut tree =
+            LsmTree::new(self.config, backend, clock, Box::new(policy))?.with_manifest(manifest);
         tree.recover(&wal)?;
-        Ok(Lethe { tree: tree.with_wal(Box::new(wal)) })
+        Ok(Lethe { tree: tree.with_wal(Box::new(wal)), cache })
     }
 }
 
@@ -250,6 +318,9 @@ fn expected_levels(config: &LsmConfig, entries: u64) -> usize {
 /// The Lethe key-value engine.
 pub struct Lethe {
     tree: LsmTree,
+    /// The block cache the engine's device reads through, if one was
+    /// configured (private, or shared with sibling shards).
+    cache: Option<Arc<PageCache>>,
 }
 
 impl Lethe {
@@ -337,9 +408,22 @@ impl Lethe {
         self.tree.set_maintenance_mode(mode);
     }
 
-    /// Device I/O counters.
+    /// Device I/O counters (including block-cache hit/miss counts when a
+    /// cache is configured).
     pub fn io_snapshot(&self) -> IoSnapshot {
         self.tree.io_snapshot()
+    }
+
+    /// The block cache this engine reads through, if one is configured.
+    pub fn block_cache(&self) -> Option<&Arc<PageCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters and occupancy of the block cache, if one is configured.
+    /// For an engine sharing its cache (a shard), the numbers are those of
+    /// the whole shared cache.
+    pub fn cache_snapshot(&self) -> Option<CacheSnapshot> {
+        self.cache.as_ref().map(|c| c.snapshot())
     }
 
     /// Measurement-time snapshot of the tree contents (space amplification,

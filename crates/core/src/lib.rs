@@ -70,5 +70,6 @@ pub use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
 pub use lethe_lsm::sstable::SecondaryDeleteStats;
 pub use lethe_lsm::stats::{ContentSnapshot, TreeStats};
 pub use lethe_storage::{
-    CostModel, DeleteKey, Entry, EntryKind, IoSnapshot, LogicalClock, SortKey, Timestamp,
+    CacheSnapshot, CostModel, DeleteKey, Entry, EntryKind, IoSnapshot, LogicalClock, PageCache,
+    SortKey, Timestamp,
 };

@@ -100,7 +100,8 @@ use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
 use lethe_lsm::tree::{MaintenanceMode, TreeReader};
 use lethe_storage::{
-    DeleteKey, Entry, IoSnapshot, LogicalClock, Result, SortKey, Timestamp,
+    CacheSnapshot, DeleteKey, Entry, IoSnapshot, LogicalClock, PageCache, Result, SortKey,
+    Timestamp,
 };
 use parking_lot::Mutex;
 use std::path::Path;
@@ -233,6 +234,32 @@ impl ShardedLetheBuilder {
         self
     }
 
+    /// Sets the **total** block-cache budget in bytes, shared by every shard
+    /// (`0`, the default, disables caching). One [`PageCache`] is created at
+    /// build time and handed to all shards, so hot shards naturally take a
+    /// larger slice of the budget; size it for the whole store, not per
+    /// shard.
+    pub fn block_cache_bytes(mut self, bytes: usize) -> Self {
+        self.inner = self.inner.block_cache_bytes(bytes);
+        self
+    }
+
+    /// If `true`, every shard warms the shared block cache with its flush/
+    /// compaction output pages as they are written.
+    pub fn warm_block_cache_on_write(mut self, warm: bool) -> Self {
+        self.inner = self.inner.warm_block_cache_on_write(warm);
+        self
+    }
+
+    /// Shares an existing [`PageCache`] with every shard of this store —
+    /// and, because the cache keys entries per device, with whatever *other*
+    /// stores also hold it — instead of creating a private cache at build
+    /// time. Implies caching regardless of `block_cache_bytes`.
+    pub fn shared_block_cache(mut self, cache: Arc<PageCache>) -> Self {
+        self.inner = self.inner.shared_block_cache(cache);
+        self
+    }
+
     /// Attaches one crash-injection fail point to the durable components of
     /// *every* shard opened by [`ShardedLetheBuilder::open`] (testing aid;
     /// the clones share a single countdown, so the injected failure fires
@@ -261,7 +288,7 @@ impl ShardedLetheBuilder {
     /// sharing one logical clock.
     pub fn build(self) -> Result<ShardedLethe> {
         let clock = LogicalClock::new();
-        let inner = self.resolved_inner();
+        let (inner, cache) = self.shared_cache_inner();
         let mut shards = Vec::with_capacity(self.shards);
         for _ in 0..self.shards {
             let engine = inner
@@ -269,7 +296,27 @@ impl ShardedLetheBuilder {
                 .build_on(lethe_storage::InMemoryBackend::new_shared(), clock.clone())?;
             shards.push(Shard::spawn(engine));
         }
-        Ok(ShardedLethe { shards, clock, stalls: AtomicU64::new(0), slowdowns: AtomicU64::new(0) })
+        Ok(ShardedLethe {
+            shards,
+            clock,
+            cache,
+            stalls: AtomicU64::new(0),
+            slowdowns: AtomicU64::new(0),
+        })
+    }
+
+    /// Resolves the per-shard builder and the **one** cache instance every
+    /// shard will share, through [`LetheBuilder::resolve_cache`]'s policy
+    /// (an externally supplied cache wins, otherwise a private one is
+    /// created when `block_cache_bytes > 0`); the resolved cache is pinned
+    /// back onto the builder so every shard wraps the same instance.
+    fn shared_cache_inner(&self) -> (LetheBuilder, Option<Arc<PageCache>>) {
+        let mut inner = self.resolved_inner();
+        let cache = inner.resolve_cache();
+        if let Some(c) = &cache {
+            inner = inner.shared_block_cache(Arc::clone(c));
+        }
+        (inner, cache)
     }
 
     /// Opens (or creates) a durable sharded engine rooted at `dir`. Each
@@ -286,7 +333,7 @@ impl ShardedLetheBuilder {
         std::fs::create_dir_all(dir)?;
         validate_shard_manifest(dir, self.shards)?;
         let clock = LogicalClock::new();
-        let inner = self.resolved_inner();
+        let (inner, cache) = self.shared_cache_inner();
         let mut shards = Vec::with_capacity(self.shards);
         for i in 0..self.shards {
             let engine = inner.clone().open_named(dir, &format!("shard-{i:03}"), clock.clone())?;
@@ -297,7 +344,13 @@ impl ShardedLetheBuilder {
         // that was never created), and atomically + fsync'd: once a client
         // can acknowledge writes, the recorded count must survive a crash
         write_shard_manifest(dir, self.shards)?;
-        Ok(ShardedLethe { shards, clock, stalls: AtomicU64::new(0), slowdowns: AtomicU64::new(0) })
+        Ok(ShardedLethe {
+            shards,
+            clock,
+            cache,
+            stalls: AtomicU64::new(0),
+            slowdowns: AtomicU64::new(0),
+        })
     }
 }
 
@@ -408,6 +461,8 @@ pub struct BackpressureStats {
 pub struct ShardedLethe {
     shards: Vec<Shard>,
     clock: LogicalClock,
+    /// The block cache shared by every shard, if one was configured.
+    cache: Option<Arc<PageCache>>,
     stalls: AtomicU64,
     slowdowns: AtomicU64,
 }
@@ -620,9 +675,22 @@ impl ShardedLethe {
         total
     }
 
-    /// Aggregated device I/O counters across all shards.
+    /// Aggregated device I/O counters across all shards, including the
+    /// block-cache hit/miss counts when a cache is configured.
     pub fn io_snapshot(&self) -> IoSnapshot {
         self.shards.iter().map(|shard| shard.engine.lock().io_snapshot()).sum()
+    }
+
+    /// The block cache shared by every shard, if one is configured.
+    pub fn block_cache(&self) -> Option<&Arc<PageCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters and occupancy of the shared block cache, if one is
+    /// configured (hit/miss/eviction/invalidation counts plus resident
+    /// bytes and pages).
+    pub fn cache_snapshot(&self) -> Option<CacheSnapshot> {
+        self.cache.as_ref().map(|c| c.snapshot())
     }
 
     /// Aggregated measurement-time snapshot of all shard trees.
@@ -923,6 +991,33 @@ mod tests {
         for k in 0..80u64 {
             assert!(db.get(k).unwrap().is_some(), "key {k} lost");
         }
+    }
+
+    #[test]
+    fn two_stores_share_one_block_cache_without_crosstalk() {
+        let cache = PageCache::new_shared(1 << 20);
+        let a = small().shards(2).shared_block_cache(Arc::clone(&cache)).build().unwrap();
+        let b = small().shards(2).shared_block_cache(Arc::clone(&cache)).build().unwrap();
+        for k in 0..200u64 {
+            a.put(k, k, format!("a{k}")).unwrap();
+            b.put(k, k, format!("b{k}")).unwrap();
+        }
+        a.persist().unwrap();
+        b.persist().unwrap();
+        // per-source keying: the same page ids exist in both stores, yet
+        // every read resolves to its own store's value
+        for k in 0..200u64 {
+            assert_eq!(a.get(k).unwrap(), Some(Bytes::from(format!("a{k}"))));
+            assert_eq!(b.get(k).unwrap(), Some(Bytes::from(format!("b{k}"))));
+        }
+        for k in 0..200u64 {
+            a.get(k).unwrap();
+            b.get(k).unwrap();
+        }
+        let snap = cache.snapshot();
+        assert!(snap.hits > 0, "the second pass must hit the shared cache: {snap:?}");
+        // both stores report the one shared cache
+        assert_eq!(a.cache_snapshot().unwrap(), b.cache_snapshot().unwrap());
     }
 
     #[test]

@@ -86,6 +86,18 @@ pub struct LsmConfig {
     /// this many runs, writers *stall* (block) until the compactor drains it
     /// below the threshold. Must be ≥ `l0_slowdown_runs`.
     pub l0_stall_runs: usize,
+    /// Memory budget of the shared block cache of decoded pages, in bytes.
+    /// `0` (the default) disables caching: every read that reaches the disk
+    /// levels pays a device access, which keeps the paper's I/O-count
+    /// reproduction exact. A sharded store shares **one** cache of this size
+    /// across all shards (hot shards naturally take a larger slice).
+    pub block_cache_bytes: usize,
+    /// If `true`, flush/compaction output pages are inserted into the block
+    /// cache as they are written (*warming*), so reads immediately after a
+    /// flush hit without going back to the device. Off by default: warming
+    /// competes with genuinely hot read pages for cache space and adds one
+    /// page copy per written page on the flush/compaction path.
+    pub block_cache_warm_writes: bool,
 }
 
 impl Default for LsmConfig {
@@ -111,6 +123,8 @@ impl Default for LsmConfig {
             wal_sync: SyncPolicy::Always,
             l0_slowdown_runs: 8,
             l0_stall_runs: 24,
+            block_cache_bytes: 0,
+            block_cache_warm_writes: false,
         }
     }
 }

@@ -309,7 +309,9 @@ impl SsTable {
         for tile_pages in &desc.tiles {
             let mut pages = Vec::with_capacity(tile_pages.len());
             for &pid in tile_pages {
-                let page = backend.read_page(pid).map_err(|e| match e {
+                // recovery is the biggest bulk scan of all: re-deriving the
+                // filters must not flush a shared cache's hot working set
+                let page = backend.read_page_nofill(pid).map_err(|e| match e {
                     StorageError::PageNotFound(id) => StorageError::Corruption(format!(
                         "manifest references missing page {id} of file {}",
                         desc.id
@@ -505,13 +507,14 @@ impl SsTable {
 
     /// Reads every point entry of the file (used by compactions), sorted on
     /// the sort key. Range tombstones are available separately via
-    /// [`SsTable::range_tombstones`].
+    /// [`SsTable::range_tombstones`]. A bulk scan: reads bypass block-cache
+    /// fill so a merge streaming whole files cannot evict the hot read set.
     pub fn read_all_entries(&self, backend: &dyn StorageBackend) -> Result<Vec<Entry>> {
         let mut out = Vec::with_capacity(self.meta.num_entries as usize);
         for tile in &self.tiles {
             for handle in &tile.pages {
-                let page = backend.read_page(handle.id)?;
-                out.extend(page.into_entries());
+                let page = backend.read_page_nofill(handle.id)?;
+                out.extend(page.entries().iter().cloned());
             }
         }
         out.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum)));
@@ -560,7 +563,7 @@ impl SsTable {
                     // the whole page qualifies, unless it holds tombstones
                     // which must survive to keep primary-delete persistence
                     if handle.num_tombstones > 0 {
-                        let page = backend.read_page(handle.id)?;
+                        let page = backend.read_page_nofill(handle.id)?;
                         let (deleted, kept) = page.partition_by_delete_key(d_lo, d_hi);
                         stats.entries_deleted += deleted.len() as u64;
                         obsolete_pages.push(handle.id);
@@ -578,7 +581,9 @@ impl SsTable {
                         obsolete_pages.push(handle.id);
                     }
                 } else if partial.contains(&idx) {
-                    let page = backend.read_page(handle.id)?;
+                    // this page is rewritten (or dropped) right below, so do
+                    // not let the read displace anything in the cache
+                    let page = backend.read_page_nofill(handle.id)?;
                     let (deleted, kept) = page.partition_by_delete_key(d_lo, d_hi);
                     stats.entries_deleted += deleted.len() as u64;
                     if deleted.is_empty() {

@@ -39,8 +39,22 @@ pub trait StorageBackend: Send + Sync {
     /// Persists a page and returns its new id.
     fn write_page(&self, page: &Page) -> Result<PageId>;
 
-    /// Reads a page back from the device.
-    fn read_page(&self, id: PageId) -> Result<Page>;
+    /// Reads a page back from the device. Pages are immutable once written,
+    /// so the result is a shared handle: the simulated device and the block
+    /// cache serve the same `Arc` to every reader instead of deep-copying
+    /// the entries, and concurrent readers on the durable device use
+    /// positional reads that never contend on a file lock.
+    fn read_page(&self, id: PageId) -> Result<Arc<Page>>;
+
+    /// Reads a page for a one-shot bulk scan (compaction inputs, secondary-
+    /// delete rewrites): cache-backed devices serve hits but do **not**
+    /// retain the page on a miss, so streaming a whole tree through a merge
+    /// cannot evict the hot point-read working set (the pages read here are
+    /// usually about to be retired anyway). Plain devices treat it as
+    /// [`StorageBackend::read_page`].
+    fn read_page_nofill(&self, id: PageId) -> Result<Arc<Page>> {
+        self.read_page(id)
+    }
 
     /// Releases a page without reading it (a KiWi *full page drop*).
     fn drop_page(&self, id: PageId) -> Result<()>;
@@ -60,10 +74,12 @@ pub trait StorageBackend: Send + Sync {
     fn sync(&self) -> Result<()>;
 }
 
-/// The simulated device used by tests and the benchmark harness.
+/// The simulated device used by tests and the benchmark harness. Pages are
+/// stored behind `Arc`s, so a read is a map lookup plus a pointer clone —
+/// never a deep copy of the entries.
 #[derive(Debug)]
 pub struct InMemoryBackend {
-    pages: RwLock<HashMap<PageId, Page>>,
+    pages: RwLock<HashMap<PageId, Arc<Page>>>,
     next_id: AtomicU64,
     stats: Arc<IoStats>,
 }
@@ -95,16 +111,16 @@ impl StorageBackend for InMemoryBackend {
     fn write_page(&self, page: &Page) -> Result<PageId> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.stats.record_write(page.data_size() as u64);
-        self.pages.write().insert(id, page.clone());
+        self.pages.write().insert(id, Arc::new(page.clone()));
         Ok(id)
     }
 
-    fn read_page(&self, id: PageId) -> Result<Page> {
+    fn read_page(&self, id: PageId) -> Result<Arc<Page>> {
         let pages = self.pages.read();
         match pages.get(&id) {
             Some(p) => {
                 self.stats.record_read(p.data_size() as u64);
-                Ok(p.clone())
+                Ok(Arc::clone(p))
             }
             None => Err(StorageError::PageNotFound(id)),
         }
@@ -150,15 +166,69 @@ const FRAME_HEADER: usize = 4 + 8 + 4 + 4;
 /// Dropped pages leave garbage frames in the file which recovery resurfaces
 /// (the crash-recovery layer releases the ones its manifest does not
 /// reference) and [`FileBackend::compact_file`] reclaims.
+/// Concurrency: writes (append + index insert) serialise behind the `file`
+/// mutex, but reads never touch it — they resolve `(offset, len)` from the
+/// index, clone the shared read handle, and issue a *positional* read
+/// (`pread`): no seek, no file lock, so N reader threads proceed fully in
+/// parallel on hits and misses alike. [`FileBackend::compact_file`] swaps the
+/// read handle together with the index (under the index write lock), so a
+/// reader always pairs offsets with the file generation they describe.
 #[derive(Debug)]
 pub struct FileBackend {
     path: PathBuf,
     file: Mutex<File>,
+    /// Shared handle for lock-free positional reads; replaced (with the
+    /// index, under its write lock) when `compact_file` rewrites the file.
+    read_file: RwLock<Arc<File>>,
     index: RwLock<HashMap<PageId, (u64, u32)>>,
     next_id: AtomicU64,
     stats: Arc<IoStats>,
     torn_frames_recovered: u64,
     failpoint: FailPoint,
+}
+
+/// Reads exactly `buf.len()` bytes of `file` at `offset`. On unix this is
+/// `pread`, which touches no file cursor at all. The Windows `seek_read`
+/// *does* move `file`'s cursor, which is harmless here: every call passes an
+/// absolute offset, nothing else ever uses the read handle's cursor, and the
+/// writer appends through a separate handle with its own cursor. All paths
+/// read the handle the caller pinned, never reopen by path — reopening
+/// could observe a newer file generation than the offsets describe.
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset)
+    }
+    #[cfg(windows)]
+    {
+        use std::os::windows::fs::FileExt;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let n = file.seek_read(&mut buf[pos..], offset + pos as u64)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "positional read past end of data file",
+                ));
+            }
+            pos += n;
+        }
+        Ok(())
+    }
+    #[cfg(not(any(unix, windows)))]
+    {
+        // no positional-read API: fall back to seek + read on the pinned
+        // handle, serialised by a global lock so concurrent readers do not
+        // race the shared cursor (correctness over parallelism on platforms
+        // that cannot express a positional read)
+        use std::io::{Read, Seek, SeekFrom};
+        static FALLBACK_CURSOR: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = FALLBACK_CURSOR.lock().unwrap_or_else(|e| e.into_inner());
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
 }
 
 impl FileBackend {
@@ -182,9 +252,11 @@ impl FileBackend {
         std::fs::create_dir_all(dir.as_ref())?;
         let path = dir.as_ref().join(format!("{name}.data"));
         let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
+        let read_file = OpenOptions::new().read(true).open(&path)?;
         let mut backend = FileBackend {
             path,
             file: Mutex::new(file),
+            read_file: RwLock::new(Arc::new(read_file)),
             index: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             stats: IoStats::new_shared(),
@@ -312,6 +384,10 @@ impl FileBackend {
         std::fs::rename(&tmp_path, &self.path)?;
         fsync_dir(&self.path)?;
         *file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        // swap the read handle while still holding the index write lock:
+        // readers resolve (offset, handle) under the index read lock, so
+        // they can never pair new offsets with the old file or vice versa
+        *self.read_file.write() = Arc::new(OpenOptions::new().read(true).open(&self.path)?);
         *index = new_index;
         Ok(())
     }
@@ -342,19 +418,20 @@ impl StorageBackend for FileBackend {
         Ok(id)
     }
 
-    fn read_page(&self, id: PageId) -> Result<Page> {
-        let (offset, len) = {
+    fn read_page(&self, id: PageId) -> Result<Arc<Page>> {
+        // resolve the offset and pin the matching file generation under one
+        // brief (shared) index read lock, then do the actual I/O with no
+        // lock at all: `pread` needs no seek and no cursor, so concurrent
+        // readers never serialise behind each other or behind the writer
+        let (file, offset, len) = {
             let index = self.index.read();
-            *index.get(&id).ok_or(StorageError::PageNotFound(id))?
+            let &(offset, len) = index.get(&id).ok_or(StorageError::PageNotFound(id))?;
+            (Arc::clone(&self.read_file.read()), offset, len)
         };
         let mut buf = vec![0u8; len as usize];
-        {
-            let mut file = self.file.lock();
-            file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(&mut buf)?;
-        }
+        read_exact_at(&file, &mut buf, offset)?;
         self.stats.record_read(len as u64);
-        Page::decode(bytes::Bytes::from(buf))
+        Page::decode(bytes::Bytes::from(buf)).map(Arc::new)
     }
 
     fn drop_page(&self, id: PageId) -> Result<()> {

@@ -27,6 +27,12 @@ pub struct IoStats {
     pub bytes_written: AtomicU64,
     /// Bloom filter probes performed (one hash digest per probe).
     pub bloom_probes: AtomicU64,
+    /// Page reads served by the block cache **without** touching the device
+    /// (not counted in `pages_read`/`bytes_read`).
+    pub cache_hits: AtomicU64,
+    /// Page reads that missed the block cache and fell through to the device
+    /// (these *are* also counted in `pages_read`).
+    pub cache_misses: AtomicU64,
 }
 
 impl IoStats {
@@ -57,6 +63,16 @@ impl IoStats {
         self.bloom_probes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records a page read served from the block cache (no device access).
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page read that missed the block cache.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns an owned snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -66,6 +82,8 @@ impl IoStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bloom_probes: self.bloom_probes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -77,6 +95,8 @@ impl IoStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.bloom_probes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -89,6 +109,10 @@ pub struct IoSnapshot {
     pub bytes_read: u64,
     pub bytes_written: u64,
     pub bloom_probes: u64,
+    /// Page reads served by the block cache without a device access.
+    pub cache_hits: u64,
+    /// Page reads that missed the block cache (also counted in `pages_read`).
+    pub cache_misses: u64,
 }
 
 impl IoSnapshot {
@@ -102,7 +126,19 @@ impl IoSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             bloom_probes: self.bloom_probes.saturating_sub(earlier.bloom_probes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
         }
+    }
+
+    /// Block-cache hit rate over the reads this snapshot covers, in `[0, 1]`
+    /// (0 when no cached device contributed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
     }
 
     /// Total page I/Os (reads + writes).
@@ -120,6 +156,8 @@ impl IoSnapshot {
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             bloom_probes: self.bloom_probes + other.bloom_probes,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
         }
     }
 }
@@ -232,14 +270,7 @@ mod tests {
     #[test]
     fn cost_model_matches_paper_constants() {
         let m = CostModel::default();
-        let snap = IoSnapshot {
-            pages_read: 10,
-            pages_written: 0,
-            pages_dropped: 0,
-            bytes_read: 0,
-            bytes_written: 0,
-            bloom_probes: 1000,
-        };
+        let snap = IoSnapshot { pages_read: 10, bloom_probes: 1000, ..Default::default() };
         assert!((m.io_time_us(&snap) - 1000.0).abs() < 1e-9);
         assert!((m.cpu_time_us(&snap) - 80.0).abs() < 1e-9);
         // hashing is three orders of magnitude cheaper than I/O per event

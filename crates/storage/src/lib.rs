@@ -13,7 +13,11 @@
 //! * [`fence`] — fence pointers on `S` and *delete fence pointers* on `D`,
 //!   the metadata that makes KiWi's full page drops possible.
 //! * [`backend`] — the page-granular device abstraction: a simulated SSD with
-//!   exact I/O accounting and a durable file-backed device.
+//!   exact I/O accounting and a durable file-backed device with lock-free
+//!   positional reads.
+//! * [`cache`] — the sharded, size-charged CLOCK block cache of decoded
+//!   pages ([`PageCache`]) and the [`CachedBackend`] device wrapper that
+//!   serves hits without touching the device.
 //! * [`iostats`] — I/O / hash counters plus the latency cost model (100 µs per
 //!   page access, 80 ns per hash) used to reproduce the paper's figures.
 //! * [`memtable`] — the in-memory write buffer with in-place delete/update
@@ -31,6 +35,7 @@
 
 pub mod backend;
 pub mod bloom;
+pub mod cache;
 pub mod checksum;
 pub mod clock;
 pub mod entry;
@@ -46,6 +51,7 @@ pub mod wal;
 
 pub use backend::{FileBackend, InMemoryBackend, PageId, StorageBackend};
 pub use bloom::BloomFilter;
+pub use cache::{CacheSnapshot, CachedBackend, PageCache};
 pub use checksum::crc32;
 pub use clock::{LogicalClock, Timestamp, MICROS_PER_SEC};
 pub use entry::{DeleteKey, Entry, EntryKind, SeqNum, SortKey};

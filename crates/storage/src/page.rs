@@ -50,11 +50,6 @@ impl Page {
         &self.entries
     }
 
-    /// Consumes the page and returns its entries.
-    pub fn into_entries(self) -> Vec<Entry> {
-        self.entries
-    }
-
     /// Smallest sort key in the page.
     pub fn min_sort_key(&self) -> Option<SortKey> {
         self.entries.first().map(|e| e.sort_key)

@@ -39,7 +39,7 @@ fn rounds() -> u64 {
     std::env::var("LETHE_STRESS_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(6)
 }
 
-fn store() -> ShardedLethe {
+fn store_with_cache(block_cache_bytes: usize) -> ShardedLethe {
     // tiny buffers: flushes and compactions run constantly under the load
     ShardedLetheBuilder::new()
         .shards(4)
@@ -47,8 +47,14 @@ fn store() -> ShardedLethe {
         .size_ratio(4)
         .delete_tile_pages(2)
         .delete_persistence_threshold_secs(2.0)
+        .block_cache_bytes(block_cache_bytes)
+        .warm_block_cache_on_write(block_cache_bytes > 0)
         .build()
         .unwrap()
+}
+
+fn store() -> ShardedLethe {
+    store_with_cache(0)
 }
 
 fn encode(key: u64, version: u64) -> Vec<u8> {
@@ -67,7 +73,21 @@ fn decode(key: u64, raw: &[u8]) -> u64 {
 
 #[test]
 fn writers_and_readers_with_live_oracle() {
-    let db = store();
+    oracle_stress(store());
+}
+
+/// The same harness reading through a block cache so small (a few pages
+/// across 4 shards) that every flush and compaction forces evictions while
+/// the churn thread retires pages via deletes of every flavour: any missed
+/// `drop_page`/deferred-reclamation invalidation — a stale page served from
+/// cache — fails the oracle's version bounds.
+#[test]
+fn writers_and_readers_with_live_oracle_eviction_heavy_cache() {
+    let db = store_with_cache(4096);
+    oracle_stress(db);
+}
+
+fn oracle_stress(db: ShardedLethe) {
     let issued: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
     let acked: Vec<AtomicU64> = (0..KEYS).map(|_| AtomicU64::new(0)).collect();
     let stop = AtomicBool::new(false);
@@ -214,6 +234,17 @@ fn writers_and_readers_with_live_oracle() {
     let installs: u64 =
         (0..db.shard_count()).map(|i| db.with_shard(i, |s| s.tree().versions().installs())).sum();
     assert!(installs > 0, "no version was ever installed");
+
+    // when running with a cache, it must actually have been exercised: the
+    // tiny budget forces constant eviction and the retire paths invalidate
+    if let Some(snap) = db.cache_snapshot() {
+        assert!(snap.hits > 0, "the cache never served a hit: {snap:?}");
+        assert!(snap.evictions > 0, "a few-page cache must evict under churn: {snap:?}");
+        assert!(
+            snap.bytes_resident <= snap.capacity_bytes,
+            "residency exceeded the configured budget: {snap:?}"
+        );
+    }
 }
 
 /// Readers hammering a store whose only mutations are *rewrites* (forced
