@@ -112,6 +112,18 @@ pub fn apply_operation(tree: &mut LsmTree, op: &Operation, value_size: usize) ->
         Operation::Delete { key } => tree.delete(*key).map(|_| ()),
         Operation::DeleteRange { start, end } => tree.delete_range(*start, *end),
         Operation::RangeLookup { start, end } => tree.range(*start, *end).map(|_| ()),
+        Operation::RangeStream { start, end, limit } => {
+            // consume one page of a streaming scan through the reader
+            let mut n = 0u64;
+            for item in tree.reader().iter_range(*start, *end)? {
+                item?;
+                n += 1;
+                if n >= *limit {
+                    break;
+                }
+            }
+            Ok(())
+        }
         Operation::SecondaryRangeDelete { start, end } => {
             tree.secondary_range_delete(*start, *end).map(|_| ())
         }

@@ -19,7 +19,7 @@ use bytes::Bytes;
 use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
 use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
-use lethe_lsm::tree::{LsmTree, MaintenanceMode, TreeReader};
+use lethe_lsm::tree::{LsmTree, MaintenanceMode, RangeIter, TreeReader};
 use lethe_storage::{
     CacheSnapshot, CachedBackend, DeleteKey, Entry, FailPoint, FileBackend, FileWal,
     InMemoryBackend, IoSnapshot, LogicalClock, Manifest, PageCache, Result, SortKey,
@@ -365,6 +365,18 @@ impl Lethe {
     /// Range lookup on the sort key over `[lo, hi)`.
     pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
         self.tree.range(lo, hi)
+    }
+
+    /// Streaming range scan over `[lo, hi)`: returns an iterator of live
+    /// `(key, value)` pairs in key order that decodes file pages lazily as
+    /// it is advanced, so large scans (analytics, backups, paging APIs) can
+    /// be consumed incrementally without materialising the whole result.
+    ///
+    /// The iterator owns a stable snapshot taken at creation: concurrent
+    /// writes, flushes and compactions affect neither its contents nor the
+    /// pages it still has to read (see [`lethe_lsm::RangeIter`]).
+    pub fn iter_range(&self, lo: SortKey, hi: SortKey) -> Result<RangeIter> {
+        self.tree.reader().iter_range(lo, hi)
     }
 
     /// Secondary range lookup: every live entry whose delete key lies in

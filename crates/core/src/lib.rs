@@ -54,7 +54,7 @@ pub mod tuning;
 pub use baseline::{Baseline, BaselineKind};
 pub use compactor::Compactor;
 pub use engine::{Lethe, LetheBuilder};
-pub use shard::{BackpressureStats, ShardedLethe, ShardedLetheBuilder};
+pub use shard::{BackpressureStats, ShardedLethe, ShardedLetheBuilder, ShardedRangeIter};
 pub use fade::{level_ttls, FadePolicy, SaturationSelection};
 pub use kiwi::{
     hash_cost_multiplier, metadata_overhead_bytes, plan_secondary_delete, DropPlan,
@@ -67,6 +67,7 @@ pub use tuning::{
 
 // Re-export the substrate types a user of the public API touches directly.
 pub use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
+pub use lethe_lsm::tree::RangeIter;
 pub use lethe_lsm::sstable::SecondaryDeleteStats;
 pub use lethe_lsm::stats::{ContentSnapshot, TreeStats};
 pub use lethe_storage::{

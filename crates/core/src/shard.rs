@@ -88,6 +88,10 @@
 //! });
 //! assert_eq!(db.get(123).unwrap().unwrap(), &b"v123"[..]);
 //! assert_eq!(db.range(0, 400).unwrap().len(), 400);
+//!
+//! // stream a long scan without materialising it: page through the first 10
+//! let page: Vec<_> = db.iter_range(0, 400).take(10).map(|r| r.unwrap()).collect();
+//! assert_eq!(page.len(), 10);
 //! ```
 
 use crate::compactor::Compactor;
@@ -98,7 +102,7 @@ use bytes::Bytes;
 use lethe_lsm::config::{LsmConfig, MergePolicy};
 use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
-use lethe_lsm::tree::{MaintenanceMode, TreeReader};
+use lethe_lsm::tree::{MaintenanceMode, RangeIter, TreeReader};
 use lethe_storage::{
     CacheSnapshot, DeleteKey, Entry, IoSnapshot, LogicalClock, PageCache, Result, SortKey,
     Timestamp,
@@ -586,12 +590,41 @@ impl ShardedLethe {
     /// Range lookup on the sort key over `[lo, hi)`: fans out to every
     /// shard's snapshot reader (no shard locks) and merges the per-shard
     /// results back into global sort-key order.
+    ///
+    /// Materialises the whole result; use
+    /// [`iter_range`](ShardedLethe::iter_range) to stream large scans.
     pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
-        let mut per_shard = Vec::with_capacity(self.shards.len());
+        self.iter_range(lo, hi).collect()
+    }
+
+    /// Streaming range scan over `[lo, hi)` across every shard: k-way merges
+    /// the per-shard streaming cursors into one iterator of live
+    /// `(key, value)` pairs in global sort-key order. Each shard's pages are
+    /// decoded lazily as the iterator advances, so callers can page through
+    /// arbitrarily large scans (backups, analytics, cursors-over-HTTP)
+    /// without materialising results, and an early stop never reads the
+    /// tail of any shard.
+    ///
+    /// Consistency matches `range`: each shard's snapshot is pinned when
+    /// this is called (no shard locks taken), so the scan is unaffected by
+    /// concurrent maintenance, but the per-shard snapshots are taken one
+    /// after another — the usual weakly-consistent fan-out contract.
+    pub fn iter_range(&self, lo: SortKey, hi: SortKey) -> ShardedRangeIter {
+        let mut heads = Vec::with_capacity(self.shards.len());
+        let mut pending_err = None;
         for shard in &self.shards {
-            per_shard.push(shard.reader.range(lo, hi)?);
+            match shard.reader.iter_range(lo, hi) {
+                Ok(iter) => {
+                    let mut head = ShardHead { iter, next: None };
+                    head.pull(&mut pending_err);
+                    heads.push(head);
+                }
+                Err(e) => {
+                    pending_err.get_or_insert(e);
+                }
+            }
         }
-        Ok(merge_sorted_by_key(per_shard, |(k, _)| *k))
+        ShardedRangeIter { heads, pending_err, done: false }
     }
 
     /// Secondary range lookup: every live entry whose delete key lies in
@@ -724,6 +757,72 @@ impl ShardedLethe {
         let shard = &self.shards[index];
         let _parked = shard.worker.pause();
         f(&mut shard.engine.lock())
+    }
+}
+
+/// One shard's stream inside a [`ShardedRangeIter`]: the shard's pinned
+/// streaming cursor plus its buffered head item.
+struct ShardHead {
+    iter: RangeIter,
+    next: Option<(SortKey, Bytes)>,
+}
+
+impl ShardHead {
+    /// Advances the underlying stream into the head slot; an error parks in
+    /// `pending_err` (first error wins) and leaves the head empty.
+    fn pull(&mut self, pending_err: &mut Option<lethe_storage::StorageError>) {
+        match self.iter.next() {
+            Some(Ok(kv)) => self.next = Some(kv),
+            Some(Err(e)) => {
+                self.next = None;
+                pending_err.get_or_insert(e);
+            }
+            None => self.next = None,
+        }
+    }
+}
+
+/// A streaming cross-shard range scan; obtained from
+/// [`ShardedLethe::iter_range`].
+///
+/// Yields `Result<(key, value)>` in global sort-key order (hash partitioning
+/// puts every key in exactly one shard, so there are no cross-shard ties).
+/// Each shard contributes through its own pinned snapshot cursor; pages are
+/// decoded lazily as the merge advances. If any shard's stream fails, the
+/// error is yielded once (after the items already merged) and the iterator
+/// is fused.
+pub struct ShardedRangeIter {
+    heads: Vec<ShardHead>,
+    pending_err: Option<lethe_storage::StorageError>,
+    done: bool,
+}
+
+impl Iterator for ShardedRangeIter {
+    type Item = Result<(SortKey, Bytes)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(e) = self.pending_err.take() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        let mut best: Option<(usize, SortKey)> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some((k, _)) = &head.next {
+                if best.is_none_or(|(_, bk)| *k < bk) {
+                    best = Some((i, *k));
+                }
+            }
+        }
+        let Some((i, _)) = best else {
+            self.done = true;
+            return None;
+        };
+        let item = self.heads[i].next.take().expect("best head has an item");
+        self.heads[i].pull(&mut self.pending_err);
+        Some(Ok(item))
     }
 }
 

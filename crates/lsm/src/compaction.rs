@@ -17,6 +17,13 @@
 //!
 //! The FADE policy of the paper lives in the `lethe-core` crate and
 //! implements the same trait.
+//!
+//! Policies only *choose* work. Executing a chosen job
+//! ([`crate::tree::JobPlan::execute`]) streams the input files through the
+//! lazy cursors and heap merge of [`crate::cursor`], so even a policy that
+//! picks an arbitrarily large merge (e.g. a forced full-tree compaction)
+//! runs in memory bounded by output-file and delete-tile granularity, never
+//! by total input size.
 
 use crate::config::{LsmConfig, MergePolicy};
 use crate::level::Level;

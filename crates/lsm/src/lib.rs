@@ -12,7 +12,11 @@
 //! * [`sstable`] — immutable sorted files laid out as delete tiles (the Key
 //!   Weaving Storage Layout; `h = 1` is the classic layout).
 //! * [`level`] — runs and levels.
-//! * [`merge`] — sort-merge with tombstone semantics.
+//! * [`cursor`] — streaming entry cursors (lazy per-tile file readers) and
+//!   the binary-heap k-way [`cursor::MergeIterator`] every scan, flush and
+//!   compaction is built on.
+//! * [`merge`] — the materialising sort-merge wrapper with tombstone
+//!   semantics (content snapshots, tests).
 //! * [`compaction`] — the [`compaction::CompactionPolicy`] trait plus the
 //!   baseline policies (saturation + min-overlap, saturation + most
 //!   tombstones, periodic full-tree compaction).
@@ -32,6 +36,7 @@
 
 pub mod compaction;
 pub mod config;
+pub mod cursor;
 pub mod level;
 pub mod merge;
 pub mod sstable;
@@ -43,10 +48,13 @@ pub use compaction::{
     CompactionPolicy, CompactionTask, FileSelection, PeriodicFullCompactionPolicy,
     SaturationPolicy, TreeView,
 };
+pub use cursor::{EntryCursor, MergeIterator, SsTableCursor, TombstoneWindow, VecCursor};
 pub use config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
 pub use level::{Level, Run};
 pub use merge::{merge_entries, MergeOutput};
 pub use sstable::{DeleteTile, PageHandle, SecondaryDeleteStats, SsTable, SsTableMeta};
 pub use stats::{ContentSnapshot, TreeStats};
-pub use tree::{BuildCtx, JobOutput, JobPlan, LsmTree, MaintenanceMode, RecoveryReport, TreeReader};
+pub use tree::{
+    BuildCtx, JobOutput, JobPlan, LsmTree, MaintenanceMode, RangeIter, RecoveryReport, TreeReader,
+};
 pub use version::{Version, VersionSet};

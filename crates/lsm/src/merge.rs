@@ -7,7 +7,17 @@
 //! because older versions of their keys may still exist further down the tree
 //! (paper §3.1.1); when the output is the last level they are discarded,
 //! which is the moment a logical delete becomes persistent.
+//!
+//! [`merge_entries`] is the *materialising* convenience wrapper over the
+//! streaming machinery in [`crate::cursor`]: it is retained for callers that
+//! genuinely need the whole output at once (content snapshots, tests). The
+//! hot paths — range scans and compaction — drive
+//! [`crate::cursor::MergeIterator`] directly and never hold more than one
+//! delete tile per input in memory. Range-tombstone shadowing is applied
+//! through the sorted [`crate::cursor::TombstoneWindow`] sweep, not by
+//! re-scanning the tombstone list per entry.
 
+use crate::cursor::{EntryCursor, MergeIterator, VecCursor};
 use lethe_storage::Entry;
 
 /// Result of a merge: surviving point entries (sorted on the sort key) and
@@ -50,31 +60,14 @@ pub fn merge_entries(
     drop_tombstones: bool,
 ) -> MergeOutput {
     let total: usize = inputs.iter().map(|v| v.len()).sum();
-    let mut all: Vec<Entry> = Vec::with_capacity(total);
-    for input in inputs {
-        all.extend(input);
-    }
-    // newest-first within equal sort keys
-    all.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum)));
-
-    let mut entries: Vec<Entry> = Vec::with_capacity(all.len());
-    let mut last_key: Option<u64> = None;
-    for e in all {
-        if last_key == Some(e.sort_key) {
-            continue; // an older version of a key we already emitted
-        }
-        last_key = Some(e.sort_key);
-        // apply range tombstones: a strictly newer covering range tombstone
-        // deletes this version
-        let shadowed = range_tombstones
-            .iter()
-            .any(|rt| rt.seqnum > e.seqnum && rt.covers(e.sort_key));
-        if shadowed {
-            continue;
-        }
-        if drop_tombstones && e.is_tombstone() {
-            continue;
-        }
+    let cursors: Vec<Box<dyn EntryCursor>> = inputs
+        .into_iter()
+        .map(|v| Box::new(VecCursor::from_unsorted(v)) as Box<dyn EntryCursor>)
+        .collect();
+    let mut merge = MergeIterator::new(cursors, range_tombstones.clone(), drop_tombstones)
+        .expect("in-memory cursors are infallible");
+    let mut entries: Vec<Entry> = Vec::with_capacity(total);
+    while let Some(e) = merge.next_merged().expect("in-memory cursors are infallible") {
         entries.push(e);
     }
 
@@ -163,6 +156,36 @@ mod tests {
         assert!(out.entries.windows(2).all(|w| w[0].sort_key < w[1].sort_key));
         // all survivors come from the newest input (seqnum >= 400)
         assert!(out.entries.iter().all(|e| e.seqnum >= 400));
+    }
+
+    /// Regression for the O(entries × tombstones) shadowing pass: 1k range
+    /// tombstones against 10k entries must merge through the sorted window
+    /// (and produce exactly the covered/uncovered split) without the
+    /// per-entry full-list scan the seed performed.
+    #[test]
+    fn many_tombstones_times_many_entries_uses_the_window() {
+        let n_entries = 10_000u64;
+        let n_rts = 1_000u64;
+        // entries at seq 1..=10k; tombstones cover [2i, 2i+10) at seq 100k+i
+        // (all newer than every entry), so exactly the covered keys die
+        let entries: Vec<Entry> = (0..n_entries).map(|k| put(k, k + 1)).collect();
+        let rts: Vec<Entry> = (0..n_rts)
+            .map(|i| Entry::range_tombstone(2 * i, 2 * i + 10, 100_000 + i))
+            .collect();
+        let start = std::time::Instant::now();
+        let out = merge_entries(vec![entries.clone()], rts.clone(), false);
+        let elapsed = start.elapsed();
+        // brute-force oracle on a sample of keys
+        for k in (0..n_entries).step_by(97) {
+            let shadowed = rts.iter().any(|rt| rt.covers(k));
+            let present = out.entries.iter().any(|e| e.sort_key == k);
+            assert_eq!(present, !shadowed, "key {k}");
+        }
+        assert_eq!(out.range_tombstones.len(), n_rts as usize);
+        assert!(out.entries.windows(2).all(|w| w[0].sort_key < w[1].sort_key));
+        // generous wall-clock sanity bound: the quadratic path took ~10M
+        // covers() calls here; the window does ~(n + t) log t work
+        assert!(elapsed.as_secs() < 10, "merge took {elapsed:?}");
     }
 
     #[test]

@@ -279,6 +279,8 @@ impl SsTable {
                 created_at: self.meta.created_at,
                 oldest_tombstone_ts: self.meta.oldest_tombstone_ts,
                 max_seqnum: self.meta.max_seqnum,
+                min_delete: self.meta.min_delete,
+                max_delete: self.meta.max_delete,
                 tiles: self
                     .tiles
                     .iter()
@@ -346,10 +348,25 @@ impl SsTable {
             )
             .max()
             .unwrap_or(0);
-        let min_delete =
+        // the delete-key bounds are recorded in the manifest (they are the
+        // file-granularity KiWi fences secondary scans prune on). Adopt the
+        // durable values — except for the conservative full-domain sentinel
+        // a version-1 manifest decodes to, where the exact bounds are
+        // re-derived from the pages just read (the in-memory fences are
+        // then exact for this run; the durable descriptor keeps the
+        // conservative bounds until the file is next rewritten)
+        let derived_min =
             tiles.iter().flat_map(|t| t.pages.iter()).map(|p| p.min_delete).min().unwrap_or(0);
-        let max_delete =
+        let derived_max =
             tiles.iter().flat_map(|t| t.pages.iter()).map(|p| p.max_delete).max().unwrap_or(0);
+        let v1_sentinel = desc.min_delete == 0 && desc.max_delete == DeleteKey::MAX;
+        let (min_delete, max_delete) =
+            if v1_sentinel { (derived_min, derived_max) } else { (desc.min_delete, desc.max_delete) };
+        debug_assert!(
+            v1_sentinel || (min_delete == derived_min && max_delete == derived_max),
+            "manifest delete-key bounds disagree with page contents of file {}",
+            desc.id
+        );
         Ok(SsTable {
             meta: SsTableMeta {
                 id: desc.id,

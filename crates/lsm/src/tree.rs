@@ -30,6 +30,9 @@
 
 use crate::compaction::{CompactionPolicy, CompactionTask, TreeView};
 use crate::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
+use crate::cursor::{
+    probe, EntryCursor, MergeIterator, SharedSliceCursor, SsTableCursor, VecCursor,
+};
 use crate::level::{Level, Run};
 use crate::merge::merge_entries;
 use crate::sstable::{SecondaryDeleteStats, SsTable};
@@ -119,12 +122,6 @@ impl FrozenBuffer {
         Entry::resolve_point_read(sort_key, point, covering_rt)
     }
 
-    fn range(&self, lo: SortKey, hi: SortKey) -> Vec<Entry> {
-        let start = self.entries.partition_point(|e| e.sort_key < lo);
-        let end = self.entries.partition_point(|e| e.sort_key < hi);
-        self.entries[start..end].to_vec()
-    }
-
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -134,6 +131,18 @@ impl FrozenBuffer {
         self.entries
             .retain(|e| e.is_tombstone() || e.delete_key < lo || e.delete_key >= hi);
         before - self.entries.len()
+    }
+}
+
+/// Adapter exposing a pinned frozen buffer's point entries as a sorted
+/// slice, so a scan streams them through a [`SharedSliceCursor`] instead of
+/// copying the buffer.
+#[derive(Clone)]
+struct FrozenEntries(Arc<FrozenBuffer>);
+
+impl AsRef<[Entry]> for FrozenEntries {
+    fn as_ref(&self) -> &[Entry] {
+        &self.0.entries
     }
 }
 
@@ -229,56 +238,125 @@ impl TreeReader {
         Ok(None)
     }
 
+    /// Builds the streaming merge a sort-key range scan runs on: one cursor
+    /// per source (active snapshot, pinned frozen buffer, fence-pruned lazy
+    /// file cursors of the pinned version), newest source first, plus every
+    /// source's range tombstones for the shadowing window. The returned
+    /// version pin must be held for as long as the merge is consumed.
+    fn build_range_merge(
+        &self,
+        lo: SortKey,
+        hi: SortKey,
+    ) -> Result<(MergeIterator, Arc<Version>)> {
+        let mut cursors: Vec<Box<dyn EntryCursor>> = Vec::new();
+        let mut rts: Vec<Entry> = Vec::new();
+        {
+            // the active memtable is mutable, so its in-range slice is the
+            // one source a streaming scan snapshots eagerly (bounded by the
+            // buffer capacity, not by the scan length)
+            let active = self.mem.active.read();
+            cursors.push(Box::new(VecCursor::from_sorted(active.range(lo, hi))));
+            rts.extend(active.range_tombstones().iter().cloned());
+        }
+        if let Some(f) = self.mem.frozen.read().as_ref() {
+            let start = f.entries.partition_point(|e| e.sort_key < lo);
+            let end = f.entries.partition_point(|e| e.sort_key < hi);
+            rts.extend(f.range_tombstones.iter().cloned());
+            cursors.push(Box::new(SharedSliceCursor::new(
+                FrozenEntries(Arc::clone(f)),
+                start,
+                end,
+            )));
+        }
+        let version = self.versions.current();
+        for table in version.overlapping_tables(lo, hi) {
+            rts.extend(table.range_tombstones.iter().cloned());
+            cursors.push(Box::new(SsTableCursor::new(
+                table,
+                Arc::clone(&self.backend),
+                lo,
+                hi,
+                false,
+            )));
+        }
+        Ok((MergeIterator::new(cursors, rts, true)?, version))
+    }
+
     /// Range lookup on the sort key: returns the live `(key, value)` pairs in
     /// `[lo, hi)`, newest version per key, in key order.
+    ///
+    /// Internally this drains [`TreeReader::iter_range`]'s streaming merge;
+    /// callers that do not need the whole result at once should use the
+    /// iterator directly.
     pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
         self.counters.range_lookups.fetch_add(1, Ordering::Relaxed);
         if hi <= lo {
             return Ok(Vec::new());
         }
-        let mut inputs: Vec<Vec<Entry>> = Vec::new();
-        let mut rts: Vec<Entry> = Vec::new();
-        {
-            let active = self.mem.active.read();
-            inputs.push(active.range(lo, hi));
-            rts.extend(active.range_tombstones().iter().cloned());
+        let (mut merge, _pin) = self.build_range_merge(lo, hi)?;
+        let mut out = Vec::new();
+        while let Some(e) = merge.next_merged()? {
+            out.push((e.sort_key, e.value));
         }
-        if let Some(f) = self.mem.frozen.read().as_ref() {
-            inputs.push(f.range(lo, hi));
-            rts.extend(f.range_tombstones.iter().cloned());
+        Ok(out)
+    }
+
+    /// Streaming range scan over `[lo, hi)`: yields the live `(key, value)`
+    /// pairs in key order, newest version per key, decoding file pages
+    /// lazily one delete tile at a time as the iterator is advanced — a long
+    /// scan that stops early never reads the tail, and no scan materialises
+    /// the tables it crosses.
+    ///
+    /// The iterator owns a stable snapshot taken at creation: the current
+    /// version is pinned (its pages cannot be reclaimed by concurrent
+    /// flushes, compactions or secondary deletes until the iterator is
+    /// dropped) and the write buffer's in-range slice is captured, so the
+    /// stream is unaffected by concurrent writes and maintenance.
+    pub fn iter_range(&self, lo: SortKey, hi: SortKey) -> Result<RangeIter> {
+        self.counters.range_lookups.fetch_add(1, Ordering::Relaxed);
+        if hi <= lo {
+            return Ok(RangeIter { merge: None, _pin: None });
         }
-        let version = self.versions.current();
-        for level in &version.levels {
-            for run in &level.runs {
-                for table in run.overlapping_range(lo, hi) {
-                    inputs.push(table.range_scan(lo, hi, self.backend.as_ref())?);
-                    rts.extend(table.range_tombstones.iter().cloned());
-                }
-            }
-        }
-        let merged = merge_entries(inputs, rts, true);
-        Ok(merged
-            .entries
-            .into_iter()
-            .filter(|e| e.sort_key >= lo && e.sort_key < hi)
-            .map(|e| (e.sort_key, e.value))
-            .collect())
+        let (merge, pin) = self.build_range_merge(lo, hi)?;
+        Ok(RangeIter { merge: Some(merge), _pin: Some(pin) })
     }
 
     /// Secondary range lookup: returns every live entry whose **delete key**
     /// lies in `[d_lo, d_hi)`.
     pub fn secondary_range_scan(&self, d_lo: DeleteKey, d_hi: DeleteKey) -> Result<Vec<Entry>> {
         self.counters.range_lookups.fetch_add(1, Ordering::Relaxed);
+        if d_hi <= d_lo {
+            return Ok(Vec::new());
+        }
         let qualifies =
             |e: &Entry| !e.is_tombstone() && e.delete_key >= d_lo && e.delete_key < d_hi;
         let mut hits: Vec<Entry> = self.mem.active.read().iter().filter(|e| qualifies(e)).cloned().collect();
         if let Some(f) = self.mem.frozen.read().as_ref() {
             hits.extend(f.entries.iter().filter(|e| qualifies(e)).cloned());
         }
+        // the install counter is read BEFORE the version is pinned: an
+        // install racing these two reads then shows up as a counter
+        // mismatch in `verify_newest` (counter already advanced past the
+        // captured generation), forcing the fresh re-pin. Read the other
+        // way around, a racing install could be counted into `generation`
+        // while the pin still holds the pre-install version, and the
+        // short-circuit would validate candidates against a stale snapshot.
+        let generation = self.versions.installs();
         let version = self.versions.current();
         for level in &version.levels {
             for run in &level.runs {
                 for table in run.tables() {
+                    // KiWi fence pruning at file granularity: a file whose
+                    // delete-key bounds cannot intersect the scanned range
+                    // holds no qualifying page, so none of its delete
+                    // fences (let alone pages) need to be consulted
+                    let meta = &table.meta;
+                    if meta.num_entries == 0
+                        || meta.max_delete < d_lo
+                        || meta.min_delete >= d_hi
+                    {
+                        continue;
+                    }
                     hits.extend(table.secondary_range_scan(d_lo, d_hi, self.backend.as_ref())?);
                 }
             }
@@ -293,18 +371,53 @@ impl TreeReader {
             }
             // verify this is the newest version tree-wide (it may have been
             // updated or deleted by a newer entry outside the delete-key
-            // range). The check deliberately re-pins per key rather than
-            // reusing the collection-time version: an entry that a
-            // concurrent flush moved from the frozen buffer into a newer
-            // version is found at its current home instead of being
-            // dropped through a stale snapshot.
-            if let Some(newest) = self.get_entry(e.sort_key)? {
+            // range)
+            if let Some(newest) = self.verify_newest(&version, generation, e.sort_key)? {
                 if newest.seqnum == e.seqnum && newest.kind == EntryKind::Put {
                     out.push(e);
                 }
             }
         }
         Ok(out)
+    }
+
+    /// The newest tree-wide version of `sort_key`, for re-validating a scan
+    /// candidate collected against `pinned` (taken when the version set's
+    /// install counter read `generation`).
+    ///
+    /// The buffered sources are always consulted live (they mutate without
+    /// version installs). For the disk portion the collection-time pin is
+    /// reused when no version has been installed since — skipping the
+    /// per-candidate re-pin (version lock + `Arc` bump) the seed paid on
+    /// every key — and only a mismatch falls back to a fresh pin.
+    ///
+    /// Safety of the short-circuit against a concurrent flush: `apply_job`
+    /// installs the new version *before* clearing the frozen slot, and the
+    /// frozen slot's lock synchronises this thread with the worker. So if an
+    /// entry has left the buffers by the time they are read here, the
+    /// covering install has already happened, the counter check below
+    /// observes it, and the fresh re-pin finds the entry at its new home. An
+    /// acknowledged write can therefore never be missed by both probes.
+    fn verify_newest(
+        &self,
+        pinned: &Arc<Version>,
+        generation: u64,
+        sort_key: SortKey,
+    ) -> Result<Option<Entry>> {
+        if let Some(e) = self.mem.active.read().get(sort_key) {
+            return Ok(Some(e));
+        }
+        if let Some(f) = self.mem.frozen.read().as_ref() {
+            if let Some(e) = f.get(sort_key) {
+                return Ok(Some(e));
+            }
+        }
+        if self.versions.installs() == generation {
+            self.disk_entry(pinned, sort_key)
+        } else {
+            let fresh = self.versions.current();
+            self.disk_entry(&fresh, sort_key)
+        }
     }
 
     /// Returns `true` if `sort_key` may exist in the tree (memtable check
@@ -364,6 +477,41 @@ impl TreeReader {
     pub fn write_stalled(&self) -> bool {
         self.mem.frozen.read().is_some()
             && self.mem.active.read().size_bytes() >= self.config.buffer_capacity_bytes()
+    }
+}
+
+/// A streaming range scan over a stable snapshot of one tree; obtained from
+/// [`TreeReader::iter_range`] (or `Lethe::iter_range` in `lethe-core`).
+///
+/// Yields `Result<(key, value)>` in ascending key order, newest version per
+/// key, tombstones resolved. Pages are decoded lazily as the iterator is
+/// advanced, so partial consumption (paging, `take(n)`, early break) only
+/// pays for the prefix actually read. The iterator pins the version it was
+/// created against: concurrent flushes and compactions can neither change
+/// its results nor reclaim the pages it still has to visit. After an I/O
+/// error the iterator is fused (yields `None` forever).
+pub struct RangeIter {
+    merge: Option<MergeIterator>,
+    /// Pins the snapshot's disk pages for the lifetime of the scan.
+    _pin: Option<Arc<Version>>,
+}
+
+impl Iterator for RangeIter {
+    type Item = Result<(SortKey, Bytes)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let merge = self.merge.as_mut()?;
+        match merge.next_merged() {
+            Ok(Some(e)) => Some(Ok((e.sort_key, e.value))),
+            Ok(None) => {
+                self.merge = None;
+                None
+            }
+            Err(e) => {
+                self.merge = None;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -436,63 +584,82 @@ impl JobPlan {
 
     /// The execute phase: reads the input pages, merges, and builds the
     /// output files on the device. Requires **no** tree lock — all inputs
-    /// are immutable (pinned `Arc<SsTable>`s and the cloned frozen buffer)
+    /// are immutable (pinned `Arc<SsTable>`s and the pinned frozen buffer)
     /// and the device is thread-safe. The output references freshly written
     /// pages that no version knows about yet; it becomes visible only via
     /// [`LsmTree::apply_job`].
+    ///
+    /// The merge is *streaming*: input files are read through lazy per-tile
+    /// cursors (cache-bypassing `nofill` reads, like every bulk maintenance
+    /// scan) into a heap merge, and output files are cut as the stream
+    /// passes each file-size boundary. Peak memory is one delete tile per
+    /// input plus one output file's entries — independent of the total
+    /// number of input entries, so arbitrarily large compactions run in
+    /// bounded space.
     pub fn execute(&self, ctx: &BuildCtx) -> Result<JobOutput> {
-        let backend = ctx.backend.as_ref();
         match &self.kind {
             JobKind::Flush { buffer, resident, tiering } => {
                 if *tiering {
-                    // the flushed buffer becomes a fresh run as-is
-                    let tables = build_tables_with(
+                    // the flushed buffer becomes a fresh run as-is (no
+                    // merge, no dedup — the buffer already holds one
+                    // version per key)
+                    let mut builder = TableStreamBuilder::new(
                         ctx,
-                        buffer.entries.clone(),
                         buffer.range_tombstones.clone(),
                         buffer.oldest_tombstone_ts,
-                    )?;
-                    return Ok(JobOutput { tables, input_entries: 0 });
+                    );
+                    for e in &buffer.entries {
+                        builder.push(e.clone())?;
+                    }
+                    return Ok(JobOutput { tables: builder.finish()?, input_entries: 0 });
                 }
-                // greedy sort-merge with the resident run of level 1
-                let mut inputs = vec![buffer.entries.clone()];
+                // greedy sort-merge with the resident run of level 1; the
+                // pinned buffer streams without being copied
+                let mut cursors: Vec<Box<dyn EntryCursor>> =
+                    Vec::with_capacity(1 + resident.len());
+                cursors.push(Box::new(SharedSliceCursor::new(
+                    FrozenEntries(Arc::clone(buffer)),
+                    0,
+                    buffer.entries.len(),
+                )));
                 let mut all_rts = buffer.range_tombstones.clone();
                 let mut oldest = buffer.oldest_tombstone_ts;
                 for table in resident {
-                    inputs.push(table.read_all_entries(backend)?);
+                    cursors.push(Box::new(SsTableCursor::full(
+                        Arc::clone(table),
+                        Arc::clone(&ctx.backend),
+                        true,
+                    )));
                     all_rts.extend(table.range_tombstones.iter().cloned());
                     oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
                 }
-                let merged = merge_entries(inputs, all_rts, self.drop_tombstones);
-                let oldest = if self.drop_tombstones { None } else { oldest };
-                let tables =
-                    build_tables_with(ctx, merged.entries, merged.range_tombstones, oldest)?;
+                let tables = stream_merge_build(
+                    ctx,
+                    cursors,
+                    all_rts,
+                    oldest,
+                    self.drop_tombstones,
+                    None,
+                )?;
                 Ok(JobOutput { tables, input_entries: 0 })
             }
             JobKind::Files { sources, overlapping, .. } => {
                 let inputs: Vec<&Arc<SsTable>> =
                     sources.iter().chain(overlapping.iter()).collect();
-                merge_and_build(ctx, &inputs, self.drop_tombstones)
+                merge_and_build(ctx, &inputs, self.drop_tombstones, None)
             }
-            JobKind::Tier { victims, .. } => {
-                merge_and_build(ctx, &victims.iter().collect::<Vec<_>>(), self.drop_tombstones)
-            }
-            JobKind::Full { victims, delete_key_filter, .. } => {
-                let mut inputs = Vec::with_capacity(victims.len());
-                let mut rts = Vec::new();
-                let mut input_entries = 0u64;
-                for table in victims {
-                    inputs.push(table.read_all_entries(backend)?);
-                    rts.extend(table.range_tombstones.iter().cloned());
-                    input_entries += table.meta.num_entries;
-                }
-                let mut merged = merge_entries(inputs, rts, true);
-                if let Some((d_lo, d_hi)) = delete_key_filter {
-                    merged.entries.retain(|e| e.delete_key < *d_lo || e.delete_key >= *d_hi);
-                }
-                let tables = build_tables_with(ctx, merged.entries, Vec::new(), None)?;
-                Ok(JobOutput { tables, input_entries })
-            }
+            JobKind::Tier { victims, .. } => merge_and_build(
+                ctx,
+                &victims.iter().collect::<Vec<_>>(),
+                self.drop_tombstones,
+                None,
+            ),
+            JobKind::Full { victims, delete_key_filter, .. } => merge_and_build(
+                ctx,
+                &victims.iter().collect::<Vec<_>>(),
+                self.drop_tombstones,
+                *delete_key_filter,
+            ),
         }
     }
 }
@@ -504,78 +671,149 @@ pub struct JobOutput {
     input_entries: u64,
 }
 
-/// Builds one or more files (each at most `max_pages_per_file` pages) from a
-/// merged, sorted entry stream. File ids come from the shared atomic
-/// allocator so concurrent builders never collide.
-fn build_tables_with(
-    ctx: &BuildCtx,
-    entries: Vec<Entry>,
-    range_tombstones: Vec<Entry>,
+/// Streams a merged, sorted entry sequence into successive output files
+/// (each at most `max_pages_per_file` pages) without ever holding more than
+/// one file's entries. File ids come from the shared atomic allocator so
+/// concurrent builders never collide.
+///
+/// Range tombstones (the small, already-in-memory survivors of the merge)
+/// are attached to the output file whose key range their start falls into;
+/// the final file absorbs whatever is left, exactly like the seed's
+/// materialising builder.
+struct TableStreamBuilder<'a> {
+    ctx: &'a BuildCtx,
+    per_file: usize,
+    chunk: Vec<Entry>,
+    /// Surviving range tombstones not yet attached, sorted by start key.
+    rts_remaining: Vec<Entry>,
     oldest_tombstone_ts: Option<Timestamp>,
-) -> Result<Vec<Arc<SsTable>>> {
-    if entries.is_empty() && range_tombstones.is_empty() {
-        return Ok(Vec::new());
+    tables: Vec<Arc<SsTable>>,
+}
+
+impl<'a> TableStreamBuilder<'a> {
+    fn new(
+        ctx: &'a BuildCtx,
+        mut range_tombstones: Vec<Entry>,
+        oldest_tombstone_ts: Option<Timestamp>,
+    ) -> Self {
+        range_tombstones.sort_by_key(|e| e.sort_key);
+        TableStreamBuilder {
+            per_file: ctx.config.entries_per_file().max(1),
+            ctx,
+            chunk: Vec::new(),
+            rts_remaining: range_tombstones,
+            oldest_tombstone_ts,
+            tables: Vec::new(),
+        }
     }
-    let per_file = ctx.config.entries_per_file().max(1);
-    let mut tables = Vec::new();
-    let chunks: Vec<Vec<Entry>> = if entries.is_empty() {
-        vec![Vec::new()]
-    } else {
-        entries.chunks(per_file).map(|c| c.to_vec()).collect()
-    };
-    let n_chunks = chunks.len();
-    let mut rts_remaining = range_tombstones;
-    for (i, chunk) in chunks.into_iter().enumerate() {
-        // attach range tombstones that start within this chunk's range
-        // (the last chunk absorbs whatever is left)
-        let rts: Vec<Entry> = if i + 1 == n_chunks {
-            std::mem::take(&mut rts_remaining)
+
+    /// Appends the next entry of the merged stream (must arrive in sort-key
+    /// order), cutting a file whenever one is full.
+    fn push(&mut self, e: Entry) -> Result<()> {
+        if self.chunk.len() >= self.per_file {
+            self.flush_file(false)?;
+        }
+        probe::add(1);
+        self.chunk.push(e);
+        Ok(())
+    }
+
+    /// Builds one output file from the accumulated chunk. A non-final file
+    /// takes the pending range tombstones starting within its key range; the
+    /// final file absorbs all that remain.
+    fn flush_file(&mut self, last: bool) -> Result<()> {
+        // nothing to build — except a final rts-only file when point entries
+        // ran out but surviving range tombstones remain
+        let rts_only_file = last && !self.rts_remaining.is_empty();
+        if self.chunk.is_empty() && !rts_only_file {
+            return Ok(());
+        }
+        let rts: Vec<Entry> = if last {
+            std::mem::take(&mut self.rts_remaining)
         } else {
-            let upper = chunk.last().map(|e| e.sort_key).unwrap_or(0);
-            let (take, keep): (Vec<Entry>, Vec<Entry>) =
-                rts_remaining.into_iter().partition(|rt| rt.sort_key <= upper);
-            rts_remaining = keep;
-            take
+            let upper = self.chunk.last().map(|e| e.sort_key).unwrap_or(0);
+            let split = self.rts_remaining.partition_point(|rt| rt.sort_key <= upper);
+            let keep = self.rts_remaining.split_off(split);
+            std::mem::replace(&mut self.rts_remaining, keep)
         };
+        let chunk = std::mem::take(&mut self.chunk);
+        probe::sub(chunk.len() as u64);
         let has_tombstones = !rts.is_empty() || chunk.iter().any(|e| e.is_tombstone());
-        let id = ctx.next_file_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.ctx.next_file_id.fetch_add(1, Ordering::Relaxed);
         let table = SsTable::build(
             id,
             chunk,
             rts,
-            ctx.now,
-            if has_tombstones { oldest_tombstone_ts } else { None },
-            &ctx.config,
-            ctx.backend.as_ref(),
+            self.ctx.now,
+            if has_tombstones { self.oldest_tombstone_ts } else { None },
+            &self.ctx.config,
+            self.ctx.backend.as_ref(),
         )?;
         if table.meta.num_entries > 0 {
-            tables.push(Arc::new(table));
+            self.tables.push(Arc::new(table));
         }
+        Ok(())
     }
-    Ok(tables)
+
+    /// Cuts the final file (which absorbs the remaining range tombstones)
+    /// and returns every file built.
+    fn finish(mut self) -> Result<Vec<Arc<SsTable>>> {
+        self.flush_file(true)?;
+        Ok(self.tables)
+    }
 }
 
-/// Reads, merges and rebuilds a set of input files — the shared body of the
-/// Files and Tier execute arms.
+/// Drives `cursors` through a streaming heap merge into a
+/// [`TableStreamBuilder`]: the shared tail of every execute arm.
+/// `delete_key_filter` additionally drops surviving puts whose delete key
+/// falls in the range (the full-tree secondary-delete baseline).
+fn stream_merge_build(
+    ctx: &BuildCtx,
+    cursors: Vec<Box<dyn EntryCursor>>,
+    range_tombstones: Vec<Entry>,
+    oldest: Option<Timestamp>,
+    drop_tombstones: bool,
+    delete_key_filter: Option<(DeleteKey, DeleteKey)>,
+) -> Result<Vec<Arc<SsTable>>> {
+    let oldest = if drop_tombstones { None } else { oldest };
+    let surviving_rts = if drop_tombstones { Vec::new() } else { range_tombstones.clone() };
+    let mut merge = MergeIterator::new(cursors, range_tombstones, drop_tombstones)?;
+    let mut builder = TableStreamBuilder::new(ctx, surviving_rts, oldest);
+    while let Some(e) = merge.next_merged()? {
+        if let Some((d_lo, d_hi)) = delete_key_filter {
+            if !e.is_tombstone() && e.delete_key >= d_lo && e.delete_key < d_hi {
+                continue;
+            }
+        }
+        builder.push(e)?;
+    }
+    builder.finish()
+}
+
+/// Merges and rebuilds a set of input files through lazy per-tile cursors —
+/// the shared body of the Files, Tier and Full execute arms.
 fn merge_and_build(
     ctx: &BuildCtx,
     tables: &[&Arc<SsTable>],
     drop_tombstones: bool,
+    delete_key_filter: Option<(DeleteKey, DeleteKey)>,
 ) -> Result<JobOutput> {
-    let backend = ctx.backend.as_ref();
-    let mut inputs = Vec::with_capacity(tables.len());
+    let mut cursors: Vec<Box<dyn EntryCursor>> = Vec::with_capacity(tables.len());
     let mut rts = Vec::new();
     let mut oldest: Option<Timestamp> = None;
     let mut input_entries = 0u64;
     for table in tables {
-        inputs.push(table.read_all_entries(backend)?);
+        cursors.push(Box::new(SsTableCursor::full(
+            Arc::clone(table),
+            Arc::clone(&ctx.backend),
+            true,
+        )));
         rts.extend(table.range_tombstones.iter().cloned());
         oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
         input_entries += table.meta.num_entries;
     }
-    let merged = merge_entries(inputs, rts, drop_tombstones);
-    let oldest = if drop_tombstones { None } else { oldest };
-    let tables = build_tables_with(ctx, merged.entries, merged.range_tombstones, oldest)?;
+    let tables =
+        stream_merge_build(ctx, cursors, rts, oldest, drop_tombstones, delete_key_filter)?;
     Ok(JobOutput { tables, input_entries })
 }
 
@@ -2111,6 +2349,39 @@ mod tests {
         }
         assert!(t.versions().garbage_len() > 0, "replaced files must await the pin");
         drop(pinned);
+        t.versions().collect_garbage(t.backend().as_ref());
+        assert_eq!(t.versions().garbage_len(), 0);
+    }
+
+    #[test]
+    fn iter_range_streams_a_stable_snapshot_through_maintenance() {
+        let mut t = tree(LsmConfig::small_for_test());
+        for k in 0..300u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        let reader = t.reader();
+        let expected = reader.range(50, 250).unwrap();
+        let mut iter = reader.iter_range(50, 250).unwrap();
+        let mut got: Vec<(SortKey, Bytes)> = Vec::new();
+        for _ in 0..20 {
+            got.push(iter.next().unwrap().unwrap());
+        }
+        // restructure the whole tree mid-iteration: deletes, a flush and a
+        // full compaction retire every file the iterator still has to read
+        for k in (0..300u64).step_by(3) {
+            t.delete(k).unwrap();
+        }
+        t.flush().unwrap();
+        t.force_full_compaction().unwrap();
+        got.extend(iter.map(|r| r.unwrap()));
+        assert_eq!(got, expected, "a live iterator must stream its creation-time snapshot");
+        // a scan opened now observes the deletes
+        let after = reader.range(50, 250).unwrap();
+        assert!(after.len() < expected.len());
+        // and dropping the iterator released its version pin: the retired
+        // files become reclaimable
         t.versions().collect_garbage(t.backend().as_ref());
         assert_eq!(t.versions().garbage_len(), 0);
     }

@@ -31,7 +31,7 @@
 
 use crate::level::Level;
 use crate::sstable::SsTable;
-use lethe_storage::{PageId, StorageBackend};
+use lethe_storage::{PageId, SortKey, StorageBackend};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,6 +63,25 @@ impl Version {
     /// signal: flushed-but-not-yet-compacted buffers pile up here).
     pub fn l0_run_count(&self) -> usize {
         self.levels.first().map(|l| l.run_count()).unwrap_or(0)
+    }
+
+    /// Every file whose sort-key range overlaps `[lo, hi)`, in read
+    /// precedence order (shallowest level first, newest run first). The
+    /// source order a range scan's merge requires: when two files hold the
+    /// same `(key, seqnum)` — a flush racing its own install — the earlier
+    /// (newer) source must win.
+    pub fn overlapping_tables(&self, lo: SortKey, hi: SortKey) -> Vec<Arc<SsTable>> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    if table.overlaps_sort_range(lo, hi) {
+                        out.push(Arc::clone(table));
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -29,7 +29,7 @@
 
 use crate::checksum::crc32;
 use crate::clock::Timestamp;
-use crate::entry::{Entry, SeqNum};
+use crate::entry::{DeleteKey, Entry, SeqNum};
 use crate::error::{Result, StorageError};
 use crate::failpoint::FailPoint;
 use crate::wal::fsync_dir;
@@ -43,8 +43,12 @@ use std::sync::Arc;
 /// Magic number opening every manifest file.
 const MANIFEST_MAGIC: u64 = 0x4C45_5448_454D_414E; // "LETHEMAN"
 
-/// On-disk format version of manifest records.
-const MANIFEST_VERSION: u8 = 1;
+/// On-disk format version of manifest records. Version 2 added the
+/// per-file delete-key bounds (`min_delete`/`max_delete`) to [`FileDesc`];
+/// version-1 records are still decoded (with conservative full-domain
+/// bounds, so secondary-scan pruning is merely disabled until recovery
+/// re-derives the exact bounds), keeping pre-existing stores openable.
+const MANIFEST_VERSION: u8 = 2;
 
 /// Record kinds.
 const KIND_SNAPSHOT: u8 = 0;
@@ -71,6 +75,14 @@ pub struct FileDesc {
     pub oldest_tombstone_ts: Option<Timestamp>,
     /// Largest sequence number stored in the file.
     pub max_seqnum: SeqNum,
+    /// Smallest delete key stored in the file (0 when the file holds no
+    /// point entries). Together with `max_delete` these are the paper's
+    /// file-granularity KiWi fences: secondary scans and deletes skip files
+    /// whose delete-key bounds cannot intersect the queried range, and the
+    /// bounds must survive restarts for that pruning to keep holding.
+    pub min_delete: DeleteKey,
+    /// Largest delete key stored in the file.
+    pub max_delete: DeleteKey,
     /// Device page ids per delete tile, pages in delete-key order (the KiWi
     /// layout is positional, so order matters and is preserved verbatim).
     pub tiles: Vec<Vec<u64>>,
@@ -437,7 +449,7 @@ fn decode_record(mut body: Bytes) -> Result<ManifestRecord> {
         return Err(StorageError::Corruption("manifest record truncated".into()));
     }
     let version = body.get_u8();
-    if version != MANIFEST_VERSION {
+    if version == 0 || version > MANIFEST_VERSION {
         return Err(StorageError::Corruption(format!("unknown manifest version {version}")));
     }
     let kind = body.get_u8();
@@ -452,7 +464,7 @@ fn decode_record(mut body: Bytes) -> Result<ManifestRecord> {
             let n = read_u32(&mut body)? as usize;
             let mut files = BTreeMap::new();
             for _ in 0..n {
-                let f = Arc::new(decode_file(&mut body)?);
+                let f = Arc::new(decode_file(&mut body, version)?);
                 files.insert(f.id, f);
             }
             let structure = decode_structure(&mut body)?;
@@ -483,7 +495,7 @@ fn decode_record(mut body: Bytes) -> Result<ManifestRecord> {
             let n_upserted = read_u32(&mut body)? as usize;
             let mut upserted = Vec::with_capacity(n_upserted);
             for _ in 0..n_upserted {
-                upserted.push(Arc::new(decode_file(&mut body)?));
+                upserted.push(Arc::new(decode_file(&mut body, version)?));
             }
             let structure = decode_structure(&mut body)?;
             Ok(ManifestRecord::Delta {
@@ -510,6 +522,8 @@ fn encode_file(f: &FileDesc, buf: &mut BytesMut) {
         None => buf.put_u8(0),
     }
     buf.put_u64(f.max_seqnum);
+    buf.put_u64(f.min_delete);
+    buf.put_u64(f.max_delete);
     buf.put_u32(f.tiles.len() as u32);
     for tile in &f.tiles {
         buf.put_u32(tile.len() as u32);
@@ -523,7 +537,7 @@ fn encode_file(f: &FileDesc, buf: &mut BytesMut) {
     }
 }
 
-fn decode_file(body: &mut Bytes) -> Result<FileDesc> {
+fn decode_file(body: &mut Bytes, version: u8) -> Result<FileDesc> {
     let id = read_u64(body)?;
     let created_at = read_u64(body)?;
     let oldest_tombstone_ts = match read_u8(body)? {
@@ -534,6 +548,15 @@ fn decode_file(body: &mut Bytes) -> Result<FileDesc> {
         }
     };
     let max_seqnum = read_u64(body)?;
+    // v1 records predate the per-file delete-key bounds; decode them with
+    // the conservative full-domain bounds (pruning never fires, so scans
+    // stay exact) — recovery re-derives the exact bounds from page
+    // contents, and the next manifest edit persists them as v2
+    let (min_delete, max_delete) = if version >= 2 {
+        (read_u64(body)?, read_u64(body)?)
+    } else {
+        (0, DeleteKey::MAX)
+    };
     let n_tiles = read_u32(body)? as usize;
     let mut tiles = Vec::with_capacity(n_tiles);
     for _ in 0..n_tiles {
@@ -549,7 +572,16 @@ fn decode_file(body: &mut Bytes) -> Result<FileDesc> {
     for _ in 0..n_rts {
         range_tombstones.push(Entry::decode_from(body)?);
     }
-    Ok(FileDesc { id, created_at, oldest_tombstone_ts, max_seqnum, tiles, range_tombstones })
+    Ok(FileDesc {
+        id,
+        created_at,
+        oldest_tombstone_ts,
+        max_seqnum,
+        min_delete,
+        max_delete,
+        tiles,
+        range_tombstones,
+    })
 }
 
 fn encode_structure(structure: &[Vec<Vec<u64>>], buf: &mut BytesMut) {
@@ -613,12 +645,64 @@ mod tests {
         std::env::temp_dir().join(format!("lethe-manifest-{tag}-{}.manifest", std::process::id()))
     }
 
+    /// Version-1 records (no per-file delete-key bounds) must keep
+    /// decoding: old stores stay openable, with the conservative
+    /// full-domain bounds that disable pruning but never exclude a file.
+    #[test]
+    fn decodes_version_1_records_with_conservative_delete_bounds() {
+        // hand-build a v1 delta body: one file, one tile of two pages
+        let mut body = BytesMut::new();
+        body.put_u8(1); // version 1
+        body.put_u8(KIND_DELTA);
+        body.put_u64(9); // next_file_id
+        body.put_u64(90); // next_seqnum
+        body.put_u64(900); // clock
+        body.put_u32(0); // removed
+        body.put_u32(1); // upserted
+        body.put_u64(7); // file id
+        body.put_u64(107); // created_at
+        body.put_u8(0); // no oldest tombstone
+        body.put_u64(70); // max_seqnum
+        // v1 layout continues straight into the tiles
+        body.put_u32(1);
+        body.put_u32(2);
+        body.put_u64(41);
+        body.put_u64(42);
+        body.put_u32(0); // range tombstones
+        // structure: one level, one run, the one file
+        body.put_u32(1);
+        body.put_u32(1);
+        body.put_u32(1);
+        body.put_u64(7);
+        let record = decode_record(body.freeze()).expect("v1 record must decode");
+        match record {
+            ManifestRecord::Delta { upserted, .. } => {
+                assert_eq!(upserted.len(), 1);
+                let f = &upserted[0];
+                assert_eq!(f.id, 7);
+                assert_eq!(f.tiles, vec![vec![41, 42]]);
+                assert_eq!((f.min_delete, f.max_delete), (0, u64::MAX));
+            }
+            other => panic!("expected a delta, got {other:?}"),
+        }
+        // future versions stay rejected
+        let mut bad = BytesMut::new();
+        bad.put_u8(MANIFEST_VERSION + 1);
+        bad.put_u8(KIND_DELTA);
+        bad.put_u64(0);
+        bad.put_u64(0);
+        bad.put_u64(0);
+        assert!(decode_record(bad.freeze()).is_err());
+    }
+
     fn file_desc(id: u64, pages: &[u64]) -> FileDesc {
         FileDesc {
             id,
             created_at: 100 + id,
             oldest_tombstone_ts: if id.is_multiple_of(2) { Some(id) } else { None },
             max_seqnum: id * 10,
+            min_delete: id,
+            max_delete: id * 7 + 3,
             tiles: vec![pages.to_vec()],
             range_tombstones: if id.is_multiple_of(3) {
                 vec![Entry::range_tombstone(id, id + 5, id)]

@@ -51,6 +51,18 @@ pub enum Operation {
         /// Exclusive end of the scanned range.
         end: u64,
     },
+    /// Streaming (paged) range scan on the sort key over `[start, end)` that
+    /// stops after consuming at most `limit` results — the paging-API
+    /// pattern `iter_range` exists for: the store must only pay for the
+    /// prefix actually read.
+    RangeStream {
+        /// Inclusive start of the scanned range.
+        start: u64,
+        /// Exclusive end of the scanned range.
+        end: u64,
+        /// Maximum number of results the client consumes.
+        limit: u64,
+    },
     /// Secondary range delete on the delete key over `[start, end)`.
     SecondaryRangeDelete {
         /// Inclusive start of the deleted delete-key range.
@@ -180,6 +192,7 @@ impl WorkloadGenerator {
             spec.point_delete_fraction,
             spec.range_delete_fraction,
             spec.range_lookup_fraction,
+            spec.streaming_range_fraction,
             spec.secondary_delete_fraction,
         ];
         let mut class = classes.len() - 1;
@@ -211,6 +224,16 @@ impl WorkloadGenerator {
                 let start = self.rng.gen_range(0..self.spec.key_space.saturating_sub(span).max(1));
                 Operation::RangeLookup { start, end: start + span }
             }
+            6 => {
+                // a paging client opens a long scan (the rest of the key
+                // space) but consumes only one page of it
+                let start = self.rng.gen_range(0..self.spec.key_space);
+                Operation::RangeStream {
+                    start,
+                    end: self.spec.key_space,
+                    limit: spec.streaming_range_limit.max(1),
+                }
+            }
             _ => {
                 // the delete-key domain is the arrival counter for
                 // uncorrelated workloads and the key space when correlated
@@ -240,6 +263,7 @@ mod tests {
 
     fn count_class(ops: &[Operation]) -> (usize, usize, usize, usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0, 0, 0, 0);
+        let mut streams = 0usize;
         for op in ops {
             match op {
                 Operation::Put { .. } => c.0 += 1,
@@ -248,10 +272,44 @@ mod tests {
                 Operation::Delete { .. } => c.3 += 1,
                 Operation::DeleteRange { .. } => c.4 += 1,
                 Operation::RangeLookup { .. } => c.5 += 1,
+                Operation::RangeStream { .. } => streams += 1,
                 Operation::SecondaryRangeDelete { .. } => c.6 += 1,
             }
         }
+        let _ = streams;
         c
+    }
+
+    #[test]
+    fn streaming_scans_are_generated_when_requested() {
+        let spec = WorkloadSpec {
+            operations: 5_000,
+            key_space: 10_000,
+            update_fraction: 0.8,
+            point_lookup_fraction: 0.0,
+            streaming_range_fraction: 0.2,
+            streaming_range_limit: 64,
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec.clone()).operations();
+        let streams: Vec<_> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Operation::RangeStream { start, end, limit } => Some((*start, *end, *limit)),
+                _ => None,
+            })
+            .collect();
+        let share = streams.len() as f64 / ops.len() as f64;
+        assert!((share - 0.2).abs() < 0.05, "stream share {share}");
+        for (start, end, limit) in streams {
+            assert!(start < end && end <= spec.key_space);
+            assert_eq!(limit, 64);
+        }
+        // with the knob off the class is never generated and streams are
+        // byte-identical to the pre-knob generator
+        let spec_off = WorkloadSpec { operations: 500, ..Default::default() };
+        let ops_off = WorkloadGenerator::new(spec_off).operations();
+        assert!(ops_off.iter().all(|op| !matches!(op, Operation::RangeStream { .. })));
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub struct WorkloadSpec {
     pub range_lookup_fraction: f64,
     /// Selectivity of each range lookup (fraction of the key space).
     pub range_lookup_selectivity: f64,
+    /// Fraction of operations that are *streaming* range scans: paged
+    /// cursor reads that consume at most
+    /// [`streaming_range_limit`](Self::streaming_range_limit) results of a
+    /// long scan (the `iter_range` paging-API workload). Defaults to 0, so
+    /// pre-existing specs keep generating identical operation streams.
+    pub streaming_range_fraction: f64,
+    /// Maximum results one streaming range scan consumes before stopping
+    /// (the page size of a paging API).
+    pub streaming_range_limit: u64,
     /// Fraction of operations that are secondary range deletes (on the
     /// delete key).
     pub secondary_delete_fraction: f64,
@@ -73,6 +82,10 @@ pub struct WorkloadSpec {
     pub distribution: KeyDistribution,
     /// Relationship between sort and delete keys.
     pub correlation: DeleteKeyCorrelation,
+}
+
+fn default_streaming_range_limit() -> u64 {
+    100
 }
 
 impl Default for WorkloadSpec {
@@ -91,6 +104,8 @@ impl Default for WorkloadSpec {
             range_delete_selectivity: 5.0e-4,
             range_lookup_fraction: 0.0,
             range_lookup_selectivity: 1.0e-3,
+            streaming_range_fraction: 0.0,
+            streaming_range_limit: default_streaming_range_limit(),
             secondary_delete_fraction: 0.0,
             secondary_delete_selectivity: 0.0,
             distribution: KeyDistribution::Uniform,
@@ -152,6 +167,7 @@ impl WorkloadSpec {
             + self.point_delete_fraction
             + self.range_delete_fraction
             + self.range_lookup_fraction
+            + self.streaming_range_fraction
             + self.secondary_delete_fraction
     }
 
@@ -165,6 +181,7 @@ impl WorkloadSpec {
             self.point_delete_fraction,
             self.range_delete_fraction,
             self.range_lookup_fraction,
+            self.streaming_range_fraction,
             self.secondary_delete_fraction,
         ];
         if fractions.iter().any(|f| *f < 0.0) {

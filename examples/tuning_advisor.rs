@@ -79,6 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 RangeLookup { start, end } => {
                     db.range(start, end)?;
                 }
+                RangeStream { start, end, limit } => {
+                    for item in db.iter_range(start, end)?.take(limit as usize) {
+                        item?;
+                    }
+                }
                 SecondaryRangeDelete { start, end } => {
                     db.delete_where_delete_key_in(start, end)?;
                 }

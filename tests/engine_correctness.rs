@@ -81,6 +81,20 @@ fn run_against_oracle(spec: WorkloadSpec, h: usize) {
                     lethe.range(*start, *end).unwrap().into_iter().map(|(k, _)| k).collect();
                 assert_eq!(got, expected, "lethe range [{start}, {end}) disagrees");
             }
+            Operation::RangeStream { start, end, limit } => {
+                let expected: Vec<u64> = oracle
+                    .range(*start..*end)
+                    .map(|(k, _)| *k)
+                    .take(*limit as usize)
+                    .collect();
+                let got: Vec<u64> = lethe
+                    .iter_range(*start, *end)
+                    .unwrap()
+                    .take(*limit as usize)
+                    .map(|r| r.unwrap().0)
+                    .collect();
+                assert_eq!(got, expected, "lethe stream [{start}, {end})x{limit} disagrees");
+            }
             Operation::SecondaryRangeDelete { start, end } => {
                 lethe.delete_where_delete_key_in(*start, *end).unwrap();
                 baseline.delete_where_delete_key_in(*start, *end).unwrap();
@@ -146,11 +160,13 @@ fn mixed_workload_matches_oracle_kiwi_layout() {
         key_space: 3_000,
         value_size: 32,
         update_fraction: 0.40,
-        point_lookup_fraction: 0.35,
+        point_lookup_fraction: 0.33,
         empty_lookup_fraction: 0.05,
         point_delete_fraction: 0.10,
         range_delete_fraction: 0.02,
         range_lookup_fraction: 0.05,
+        streaming_range_fraction: 0.02,
+        streaming_range_limit: 25,
         secondary_delete_fraction: 0.03,
         secondary_delete_selectivity: 0.05,
         ..Default::default()

@@ -163,11 +163,12 @@ fn concurrent_workload_driver_smoke() {
         value_size: 32,
         preload_keys: 1_000,
         update_fraction: 0.5,
-        point_lookup_fraction: 0.3,
+        point_lookup_fraction: 0.28,
         empty_lookup_fraction: 0.05,
         point_delete_fraction: 0.05,
         range_delete_fraction: 0.02,
         range_lookup_fraction: 0.05,
+        streaming_range_fraction: 0.02,
         secondary_delete_fraction: 0.03,
         ..Default::default()
     };
@@ -184,6 +185,11 @@ fn concurrent_workload_driver_smoke() {
         Operation::DeleteRange { start, end } => db.delete_range(*start, *end).unwrap(),
         Operation::RangeLookup { start, end } => {
             db.range(*start, *end).unwrap();
+        }
+        Operation::RangeStream { start, end, limit } => {
+            for item in db.iter_range(*start, *end).take(*limit as usize) {
+                item.unwrap();
+            }
         }
         Operation::SecondaryRangeDelete { start, end } => {
             db.delete_where_delete_key_in(*start, *end).unwrap();
