@@ -13,7 +13,7 @@ use lethe_core::engine::{Lethe, LetheBuilder};
 use lethe_lsm::config::{LsmConfig, SecondaryDeleteMode};
 use lethe_lsm::tree::LsmTree;
 use lethe_storage::{CostModel, IoSnapshot, Result, Timestamp};
-use lethe_workload::Operation;
+use lethe_workload::{BatchWriteOp, Operation};
 
 /// Which engine design an experiment instantiates.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +126,22 @@ pub fn apply_operation(tree: &mut LsmTree, op: &Operation, value_size: usize) ->
         }
         Operation::SecondaryRangeDelete { start, end } => {
             tree.secondary_range_delete(*start, *end).map(|_| ())
+        }
+        Operation::WriteBatch { ops } => {
+            let mut batch = lethe_lsm::batch::WriteBatch::new();
+            for op in ops {
+                match op {
+                    BatchWriteOp::Put { key, delete_key } => {
+                        let mut v = vec![0u8; value_size.max(8)];
+                        v[..8].copy_from_slice(&key.to_le_bytes());
+                        batch.put(*key, *delete_key, v);
+                    }
+                    BatchWriteOp::Delete { key } => {
+                        batch.delete(*key);
+                    }
+                }
+            }
+            tree.write_batch(batch)
         }
     }
 }

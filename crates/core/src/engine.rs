@@ -19,13 +19,16 @@ use bytes::Bytes;
 use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
 use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
+use lethe_lsm::batch::WriteBatch;
 use lethe_lsm::tree::{LsmTree, MaintenanceMode, RangeIter, TreeReader};
 use lethe_storage::{
     CacheSnapshot, CachedBackend, DeleteKey, Entry, FailPoint, FileBackend, FileWal,
     InMemoryBackend, IoSnapshot, LogicalClock, Manifest, PageCache, Result, SortKey,
     StorageBackend, SyncPolicy, Timestamp, MICROS_PER_SEC,
 };
+use std::collections::HashSet;
 use std::path::Path;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Builder for a [`Lethe`] engine.
@@ -39,6 +42,12 @@ pub struct LetheBuilder {
     /// sharded front-end passes one cache to every shard); when absent and
     /// `config.block_cache_bytes > 0`, a private cache is created at build.
     shared_cache: Option<Arc<PageCache>>,
+    /// A sequence-number allocator shared with sibling shards, so one
+    /// cross-shard batch commits under a single seqnum range.
+    seqnum_allocator: Option<Arc<AtomicU64>>,
+    /// Cross-shard batch ids the batch-commit log proves committed; WAL
+    /// replay rolls back prepared slices whose id is missing here.
+    committed_batches: Option<HashSet<u64>>,
 }
 
 impl Default for LetheBuilder {
@@ -63,7 +72,24 @@ impl LetheBuilder {
             selection: SaturationSelection::MostInvalidations,
             failpoint: None,
             shared_cache: None,
+            seqnum_allocator: None,
+            committed_batches: None,
         }
+    }
+
+    /// Shares a sequence-number allocator with this engine (the sharded
+    /// front-end hands one allocator to every shard so a cross-shard batch
+    /// commits under one seqnum range).
+    pub(crate) fn seqnum_allocator(mut self, alloc: Arc<AtomicU64>) -> Self {
+        self.seqnum_allocator = Some(alloc);
+        self
+    }
+
+    /// Supplies the committed cross-shard batch ids recovery must honour:
+    /// a prepared-but-uncommitted batch slice in the WAL rolls back.
+    pub(crate) fn committed_batches(mut self, ids: HashSet<u64>) -> Self {
+        self.committed_batches = Some(ids);
+        self
     }
 
     /// Sets the block-cache memory budget in bytes (`0` disables caching,
@@ -250,7 +276,10 @@ impl LetheBuilder {
     pub fn build_on(self, backend: Arc<dyn StorageBackend>, clock: LogicalClock) -> Result<Lethe> {
         let (backend, cache) = self.wrap_backend(backend);
         let policy = FadePolicy::with_selection(self.dth, self.selection);
-        let tree = LsmTree::new(self.config, backend, clock, Box::new(policy))?;
+        let mut tree = LsmTree::new(self.config, backend, clock, Box::new(policy))?;
+        if let Some(alloc) = self.seqnum_allocator {
+            tree = tree.with_seqnum_allocator(alloc);
+        }
         Ok(Lethe { tree, cache })
     }
 
@@ -299,6 +328,12 @@ impl LetheBuilder {
         let policy = FadePolicy::with_selection(self.dth, self.selection);
         let mut tree =
             LsmTree::new(self.config, backend, clock, Box::new(policy))?.with_manifest(manifest);
+        if let Some(alloc) = self.seqnum_allocator {
+            tree = tree.with_seqnum_allocator(alloc);
+        }
+        if let Some(ids) = self.committed_batches {
+            tree.set_committed_batches(ids);
+        }
         tree.recover(&wal)?;
         Ok(Lethe { tree: tree.with_wal(Box::new(wal)), cache })
     }
@@ -350,6 +385,14 @@ impl Lethe {
     /// Range delete on the sort key over `[start, end)`.
     pub fn delete_range(&mut self, start: SortKey, end: SortKey) -> Result<()> {
         self.tree.delete_range(start, end)
+    }
+
+    /// Atomically applies a [`WriteBatch`]: logged as one WAL frame (crash
+    /// recovery replays it entirely or not at all), made durable per the
+    /// sync policy with a single barrier, and applied so that concurrent
+    /// readers never observe a prefix of the batch's point operations.
+    pub fn write_batch(&mut self, batch: WriteBatch) -> Result<()> {
+        self.tree.write_batch(batch)
     }
 
     /// Secondary range delete: removes every entry whose **delete key** lies

@@ -20,6 +20,8 @@
 //! * [`compaction`] — the [`compaction::CompactionPolicy`] trait plus the
 //!   baseline policies (saturation + min-overlap, saturation + most
 //!   tombstones, periodic full-tree compaction).
+//! * [`batch`] — [`batch::WriteBatch`], the atomic multi-op unit the
+//!   group-commit write path logs as a single WAL frame.
 //! * [`tree`] — [`tree::LsmTree`], the engine: puts, deletes, range deletes,
 //!   secondary range deletes, lookups, scans, flush and compaction, plus the
 //!   lock-free [`tree::TreeReader`] read surface and the plan/execute/apply
@@ -34,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod compaction;
 pub mod config;
 pub mod cursor;
@@ -44,6 +47,7 @@ pub mod stats;
 pub mod tree;
 pub mod version;
 
+pub use batch::WriteBatch;
 pub use compaction::{
     CompactionPolicy, CompactionTask, FileSelection, PeriodicFullCompactionPolicy,
     SaturationPolicy, TreeView,

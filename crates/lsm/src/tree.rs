@@ -39,10 +39,11 @@ use crate::sstable::{SecondaryDeleteStats, SsTable};
 use crate::stats::{ContentSnapshot, TreeStats};
 use crate::version::{Version, VersionSet};
 use bytes::Bytes;
+use crate::batch::WriteBatch;
 use lethe_storage::{
-    DeleteKey, Entry, EntryKind, Histogram, IoSnapshot, LogicalClock, Manifest, ManifestState,
-    MemTable, PageId, Result, SeqNum, SortKey, StorageBackend, StorageError, Timestamp, Wal,
-    WalRecord,
+    BatchOp, DeleteKey, Entry, EntryKind, Histogram, IoSnapshot, LogicalClock, Manifest,
+    ManifestState, MemTable, PageId, Result, SeqNum, SortKey, StorageBackend, StorageError,
+    Timestamp, Wal, WalRecord,
 };
 use parking_lot::RwLock;
 use std::collections::HashSet;
@@ -835,7 +836,17 @@ pub struct LsmTree {
     /// Insertion time of the oldest tombstone currently in the active buffer.
     buffer_oldest_tombstone_ts: Option<Timestamp>,
     versions: Arc<VersionSet>,
-    next_seqnum: SeqNum,
+    /// Sequence-number allocator. Shared across every shard of a sharded
+    /// store so one cross-shard batch commits under one seqnum range.
+    next_seqnum: Arc<AtomicU64>,
+    /// Cross-shard batch ids proven committed by the batch-commit log;
+    /// replay rolls back any `WalRecord::Batch { id: Some(_), .. }` whose id
+    /// is missing here (prepared but never committed).
+    committed_batches: HashSet<u64>,
+    /// Every cross-shard batch id seen in the WAL during recovery (committed
+    /// or rolled back). The sharded front-end unions these across shards to
+    /// compact its batch-commit log down to ids some WAL still references.
+    replayed_batch_ids: HashSet<u64>,
     next_file_id: Arc<AtomicU64>,
     stats: TreeStats,
     counters: Arc<ReadCounters>,
@@ -877,7 +888,9 @@ impl LsmTree {
             mem,
             buffer_oldest_tombstone_ts: None,
             versions,
-            next_seqnum: 1,
+            next_seqnum: Arc::new(AtomicU64::new(1)),
+            committed_batches: HashSet::new(),
+            replayed_batch_ids: HashSet::new(),
             next_file_id: Arc::new(AtomicU64::new(1)),
             stats: TreeStats::default(),
             counters,
@@ -903,6 +916,32 @@ impl LsmTree {
     pub fn with_manifest(mut self, manifest: Manifest) -> Self {
         self.manifest = Some(manifest);
         self
+    }
+
+    /// Shares a sequence-number allocator with other trees (the shards of
+    /// one store), so every shard draws from one monotonic seqnum space and
+    /// a cross-shard batch commits under a single seqnum range. Call before
+    /// [`LsmTree::recover`]; recovery raises the shared counter with
+    /// `fetch_max`, never lowers it.
+    pub fn with_seqnum_allocator(mut self, alloc: Arc<AtomicU64>) -> Self {
+        alloc.fetch_max(self.next_seqnum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.next_seqnum = alloc;
+        self
+    }
+
+    /// Provides the set of cross-shard batch ids the batch-commit log proves
+    /// committed. Call before [`LsmTree::recover`]: WAL replay applies a
+    /// `WalRecord::Batch { id: Some(id), .. }` slice only when `id` is in
+    /// this set, rolling back batches that prepared but never committed.
+    pub fn set_committed_batches(&mut self, ids: HashSet<u64>) {
+        self.committed_batches = ids;
+    }
+
+    /// The cross-shard batch ids this tree's WAL still carried at recovery
+    /// time (committed or rolled back). Empty until [`LsmTree::recover`] runs
+    /// and for trees that never logged a cross-shard slice.
+    pub fn wal_batch_ids(&self) -> &HashSet<u64> {
+        &self.replayed_batch_ids
     }
 
     /// Selects who runs flushes and compactions (default
@@ -943,7 +982,7 @@ impl LsmTree {
         if let Some(manifest) = &self.manifest {
             let state = manifest.state().clone();
             self.next_file_id.fetch_max(state.next_file_id, Ordering::Relaxed);
-            self.next_seqnum = self.next_seqnum.max(state.next_seqnum);
+            self.next_seqnum.fetch_max(state.next_seqnum, Ordering::Relaxed);
             self.clock.advance_to(state.clock_micros);
             let mut levels = Vec::with_capacity(state.levels.len());
             for level_desc in &state.levels {
@@ -953,7 +992,7 @@ impl LsmTree {
                     for fd in run_desc {
                         let table = SsTable::recover(fd, &self.config, self.backend.as_ref())?;
                         self.next_file_id.fetch_max(fd.id + 1, Ordering::Relaxed);
-                        self.next_seqnum = self.next_seqnum.max(fd.max_seqnum + 1);
+                        self.next_seqnum.fetch_max(fd.max_seqnum + 1, Ordering::Relaxed);
                         report.files_recovered += 1;
                         self.versions.register_table(&table);
                         tables.push(Arc::new(table));
@@ -1023,6 +1062,19 @@ impl LsmTree {
                 // any on-device pages the pre-crash run did not get to
                 // (idempotent on the ones it did)
                 self.apply_secondary_range_delete(d_lo, d_hi)?;
+            }
+            WalRecord::Batch { id, ops, ts } => {
+                // a prepared cross-shard slice replays only when the batch
+                // commit log proves its id committed; otherwise the whole
+                // slice rolls back — a batch is never half-applied
+                if let Some(id) = id {
+                    self.replayed_batch_ids.insert(id);
+                    if !self.committed_batches.contains(&id) {
+                        return Ok(());
+                    }
+                }
+                self.clock.advance_to(ts);
+                self.apply_batch_ops(&ops, ts, false)?;
             }
         }
         self.maybe_flush()
@@ -1105,6 +1157,118 @@ impl LsmTree {
         let result = self.apply_secondary_range_delete(d_lo, d_hi)?;
         self.stats.secondary_delete.merge(&result);
         Ok(result)
+    }
+
+    // ----------------------------------------------------------------- batches
+
+    /// Atomically applies `batch`: the whole batch is logged as **one** WAL
+    /// frame (crash recovery replays it entirely or discards it entirely —
+    /// a torn tail can never split it), made durable per the sync policy,
+    /// and its point operations are applied to the write buffer under a
+    /// single memtable write lock (concurrent readers never observe a
+    /// prefix). Operations apply in insertion order under one commit
+    /// timestamp and consecutive sequence numbers. An empty batch is a
+    /// no-op.
+    pub fn write_batch(&mut self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let ts = self.stage_batch(batch.ops(), None)?;
+        self.wal_commit()?;
+        self.apply_batch(batch.into_ops(), ts)
+    }
+
+    /// Stages `ops` in the WAL as one atomic batch frame **without** the
+    /// sync-policy barrier. A group-commit leader stages every queued batch
+    /// with this, pays one [`LsmTree::wal_commit`] for the combined tail,
+    /// then applies each batch at the returned commit timestamp with
+    /// [`LsmTree::apply_batch`]. `id` tags a prepared cross-shard slice
+    /// (replay holds it back until the batch-commit log shows `id`);
+    /// `None` marks the frame itself as the commit point.
+    pub fn stage_batch(&mut self, ops: &[BatchOp], id: Option<u64>) -> Result<Timestamp> {
+        self.advance_clock_for_ingest();
+        let now = self.clock.now();
+        if let Some(wal) = &self.wal {
+            wal.append_nosync(WalRecord::Batch { id, ops: ops.to_vec(), ts: now })?;
+        }
+        Ok(now)
+    }
+
+    /// One durability barrier covering everything staged since the last
+    /// commit (the group-commit fsync). A no-op without a WAL.
+    pub fn wal_commit(&mut self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Applies a staged batch to the write buffer at its commit timestamp.
+    pub fn apply_batch(&mut self, ops: Vec<BatchOp>, ts: Timestamp) -> Result<()> {
+        self.apply_batch_ops(&ops, ts, true)?;
+        self.maybe_flush()
+    }
+
+    /// Applies batch operations in order. Consecutive point operations
+    /// (puts, deletes) are applied under a single memtable write lock so
+    /// concurrent readers observe them all-or-nothing; a secondary range
+    /// delete releases the guard (it touches the frozen buffer and the
+    /// version set) — it only purges data that predates the batch. With
+    /// `ack_time` false (WAL replay) the acknowledgement-time bookkeeping
+    /// (ingest stats, histograms) is skipped, mirroring the single-op
+    /// replay arms.
+    fn apply_batch_ops(&mut self, ops: &[BatchOp], ts: Timestamp, ack_time: bool) -> Result<()> {
+        let mem = Arc::clone(&self.mem);
+        let alloc = Arc::clone(&self.next_seqnum);
+        let mut i = 0;
+        while i < ops.len() {
+            match &ops[i] {
+                BatchOp::SecondaryDelete { d_lo, d_hi } => {
+                    if ack_time {
+                        self.stats.secondary_range_deletes += 1;
+                    }
+                    let result = self.apply_secondary_range_delete(*d_lo, *d_hi)?;
+                    if ack_time {
+                        self.stats.secondary_delete.merge(&result);
+                    }
+                    i += 1;
+                }
+                _ => {
+                    let run_end = ops[i..]
+                        .iter()
+                        .position(|o| matches!(o, BatchOp::SecondaryDelete { .. }))
+                        .map_or(ops.len(), |p| i + p);
+                    let mut active = mem.active.write();
+                    for op in &ops[i..run_end] {
+                        let seq = alloc.fetch_add(1, Ordering::Relaxed);
+                        match op {
+                            BatchOp::Put { sort_key, delete_key, value } => {
+                                if ack_time {
+                                    let entry =
+                                        Entry::put(*sort_key, *delete_key, seq, value.clone());
+                                    self.stats.record_ingest(entry.encoded_size() as u64);
+                                    self.sort_key_histogram.add(*sort_key);
+                                    self.delete_key_histogram.add(*delete_key);
+                                }
+                                active.put(*sort_key, *delete_key, seq, value.clone());
+                            }
+                            BatchOp::Delete { sort_key } => {
+                                if ack_time {
+                                    let entry = Entry::point_tombstone(*sort_key, seq);
+                                    self.stats.record_ingest(entry.encoded_size() as u64);
+                                    self.stats.point_deletes_issued += 1;
+                                }
+                                self.buffer_oldest_tombstone_ts.get_or_insert(ts);
+                                active.delete(*sort_key, seq);
+                            }
+                            BatchOp::SecondaryDelete { .. } => unreachable!("split above"),
+                        }
+                    }
+                    i = run_end;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The logging- and statistics-free body of a secondary range delete,
@@ -1252,9 +1416,7 @@ impl LsmTree {
     // ------------------------------------------------------------ flush/compact
 
     fn next_seq(&mut self) -> SeqNum {
-        let s = self.next_seqnum;
-        self.next_seqnum += 1;
-        s
+        self.next_seqnum.fetch_add(1, Ordering::Relaxed)
     }
 
     fn advance_clock_for_ingest(&self) {
@@ -1267,7 +1429,7 @@ impl LsmTree {
     fn describe_state(&self, levels: &[Level]) -> ManifestState {
         ManifestState {
             next_file_id: self.next_file_id.load(Ordering::Relaxed),
-            next_seqnum: self.next_seqnum,
+            next_seqnum: self.next_seqnum.load(Ordering::Relaxed),
             clock_micros: self.clock.now(),
             levels: levels
                 .iter()
@@ -1770,9 +1932,20 @@ impl LsmTree {
         s
     }
 
-    /// Snapshot of the device's I/O counters.
+    /// Snapshot of the device's I/O counters, with the WAL's durability
+    /// barriers folded into `fsyncs` (the backend counts its own).
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.backend.stats().snapshot()
+        let mut snap = self.backend.stats().snapshot();
+        if let Some(wal) = &self.wal {
+            snap.fsyncs += wal.fsync_count();
+        }
+        snap
+    }
+
+    /// Durability barriers issued by the attached WAL (0 without one).
+    /// Group commit exists to keep this sublinear in the record count.
+    pub fn wal_fsync_count(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.fsync_count())
     }
 
     /// The storage device the tree writes to.
@@ -1933,6 +2106,99 @@ mod tests {
         assert_eq!(t.get(10_000).unwrap(), None);
         assert!(t.level_count() >= 1);
         assert!(t.stats().flushes > 0);
+    }
+
+    #[test]
+    fn write_batch_applies_all_ops_in_order() {
+        let mut t = tree(LsmConfig::small_for_test());
+        t.put(5, 50, value(5)).unwrap();
+        let mut b = WriteBatch::new();
+        b.put(1, 10, value(1)).put(2, 20, value(2)).delete(5).put(1, 11, value(100));
+        t.write_batch(b).unwrap();
+        // last op wins within the batch; the pre-existing key is deleted
+        assert_eq!(t.get(1).unwrap(), Some(value(100)));
+        assert_eq!(t.get(2).unwrap(), Some(value(2)));
+        assert_eq!(t.get(5).unwrap(), None);
+        // empty batches are free
+        t.write_batch(WriteBatch::new()).unwrap();
+        // batches survive flush + compaction churn
+        for k in 100..600u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        t.flush().unwrap();
+        t.maintain().unwrap();
+        assert_eq!(t.get(1).unwrap(), Some(value(100)));
+        assert_eq!(t.get(5).unwrap(), None);
+    }
+
+    #[test]
+    fn write_batch_secondary_delete_purges_range() {
+        let mut t = tree(LsmConfig::small_for_test());
+        for k in 0..20u64 {
+            t.put(k, k, value(k)).unwrap();
+        }
+        let mut b = WriteBatch::new();
+        b.secondary_range_delete(0, 10).put(50, 5, value(50));
+        t.write_batch(b).unwrap();
+        for k in 0..10u64 {
+            assert_eq!(t.get(k).unwrap(), None, "delete key {k} in purge range");
+        }
+        assert_eq!(t.get(15).unwrap(), Some(value(15)));
+        // the put rides in the same batch even though its delete key (5)
+        // falls in the purged range: ops apply in order
+        assert_eq!(t.get(50).unwrap(), Some(value(50)));
+    }
+
+    #[test]
+    fn batches_replay_from_wal_and_respect_commit_filter() {
+        use lethe_storage::MemWal;
+        let wal = MemWal::new();
+        // stage one local batch (commit point = the frame) and one prepared
+        // cross-shard slice for an id that never committed
+        {
+            let t = tree(LsmConfig::small_for_test());
+            let mut t = t.with_wal(Box::new(MemWal::new()));
+            let mut b = WriteBatch::new();
+            b.put(1, 10, value(1)).delete(2);
+            t.write_batch(b).unwrap();
+            // copy the records into the outer wal plus an uncommitted slice
+            for r in t.wal.as_ref().unwrap().replay().unwrap() {
+                wal.append(r).unwrap();
+            }
+            wal.append(WalRecord::Batch {
+                id: Some(99),
+                ops: vec![BatchOp::Put { sort_key: 7, delete_key: 70, value: value(7) }],
+                ts: 1,
+            })
+            .unwrap();
+            wal.append(WalRecord::Batch {
+                id: Some(100),
+                ops: vec![BatchOp::Put { sort_key: 8, delete_key: 80, value: value(8) }],
+                ts: 2,
+            })
+            .unwrap();
+        }
+        let mut t = tree(LsmConfig::small_for_test());
+        t.set_committed_batches([100u64].into_iter().collect());
+        let replayed = t.recover_from(&wal).unwrap();
+        assert_eq!(replayed, 3);
+        assert_eq!(t.get(1).unwrap(), Some(value(1)));
+        assert_eq!(t.get(2).unwrap(), None);
+        assert_eq!(t.get(7).unwrap(), None, "uncommitted prepared slice must roll back");
+        assert_eq!(t.get(8).unwrap(), Some(value(8)), "committed slice must apply");
+    }
+
+    #[test]
+    fn shared_seqnum_allocator_spans_trees() {
+        let alloc = Arc::new(AtomicU64::new(1));
+        let mut a =
+            tree(LsmConfig::small_for_test()).with_seqnum_allocator(Arc::clone(&alloc));
+        let mut b =
+            tree(LsmConfig::small_for_test()).with_seqnum_allocator(Arc::clone(&alloc));
+        a.put(1, 1, value(1)).unwrap();
+        b.put(2, 2, value(2)).unwrap();
+        a.put(3, 3, value(3)).unwrap();
+        assert_eq!(alloc.load(Ordering::Relaxed), 4, "three writes drew three seqnums");
     }
 
     #[test]
@@ -2262,7 +2528,7 @@ mod tests {
             t.flush().unwrap();
             t.maintain().unwrap();
             files_before = t.files_per_level();
-            seq_hwm = t.next_seqnum;
+            seq_hwm = t.next_seqnum.load(Ordering::Relaxed);
             assert!(t.level_count() >= 2, "need a multi-level tree to make this meaningful");
         }
         {
@@ -2270,7 +2536,10 @@ mod tests {
             let report = t.recover(&wal).unwrap();
             assert_eq!(report.files_recovered, files_before.iter().sum::<usize>());
             assert_eq!(t.files_per_level(), files_before);
-            assert!(t.next_seqnum >= seq_hwm, "seqnums must not regress across restarts");
+            assert!(
+                t.next_seqnum.load(Ordering::Relaxed) >= seq_hwm,
+                "seqnums must not regress across restarts"
+            );
             for k in 0..700u64 {
                 let expect_deleted = k % 5 == 0;
                 let got = t.get(k).unwrap();

@@ -457,6 +457,7 @@ impl StorageBackend for FileBackend {
 
     fn sync(&self) -> Result<()> {
         self.file.lock().sync_all()?;
+        self.stats.record_fsync();
         Ok(())
     }
 }

@@ -1,0 +1,286 @@
+//! The batch-commit log: the commit point for cross-shard write batches.
+//!
+//! A cross-shard [`WriteBatch`](crate::wal::WalRecord::Batch) is a two-phase
+//! commit. **Prepare**: every involved shard durably logs its slice of the
+//! batch as a `WalRecord::Batch { id: Some(id), .. }` frame in its own WAL.
+//! **Commit**: the coordinator appends `id` to this store-wide log and
+//! fsyncs — that single fsync is the commit point. Recovery replays a
+//! prepared slice only when its id appears here; a crash between prepare and
+//! commit therefore rolls the whole batch back on every shard, never leaving
+//! it half-applied.
+//!
+//! The file is a sequence of fixed 12-byte records (`u64` id + CRC-32 of the
+//! id bytes). Like the WAL, a torn or checksum-invalid tail is the expected
+//! end state after a crash mid-commit (the batch simply did not commit) and
+//! is truncated away; damage before the last valid record is corruption.
+
+use crate::checksum::crc32;
+use crate::error::{Result, StorageError};
+use crate::failpoint::FailPoint;
+use crate::wal::fsync_dir;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Size of one committed-id record on disk: `u64` id + `u32` CRC.
+const RECORD_LEN: usize = 12;
+
+/// Durable append-only set of committed cross-shard batch ids.
+#[derive(Debug)]
+pub struct BatchCommitLog {
+    path: PathBuf,
+    file: Mutex<File>,
+    ids: Mutex<HashSet<u64>>,
+    next_id: AtomicU64,
+    fsyncs: AtomicU64,
+    failpoint: FailPoint,
+}
+
+impl BatchCommitLog {
+    /// Opens (or creates) the commit log at `path`, loading the committed-id
+    /// set and truncating any torn tail left by a crash mid-commit.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
+        let log = BatchCommitLog {
+            path,
+            file: Mutex::new(file),
+            ids: Mutex::new(HashSet::new()),
+            next_id: AtomicU64::new(1),
+            fsyncs: AtomicU64::new(0),
+            failpoint: FailPoint::new(),
+        };
+        log.load()?;
+        Ok(log)
+    }
+
+    /// Attaches a crash-injection fail point consulted before the append and
+    /// before the commit fsync (testing aid).
+    pub fn with_failpoint(mut self, fp: FailPoint) -> Self {
+        self.failpoint = fp;
+        self
+    }
+
+    fn load(&self) -> Result<()> {
+        let guard = self.file.lock();
+        let mut data = Vec::new();
+        {
+            let mut f = OpenOptions::new().read(true).open(&self.path)?;
+            f.read_to_end(&mut data)?;
+        }
+        let mut ids = HashSet::new();
+        let mut valid = 0usize;
+        let mut max_id = 0u64;
+        while data.len() - valid >= RECORD_LEN {
+            let rec = &data[valid..valid + RECORD_LEN];
+            let id = u64::from_be_bytes(rec[..8].try_into().unwrap());
+            let crc = u32::from_be_bytes(rec[8..].try_into().unwrap());
+            if crc != crc32(&rec[..8]) {
+                // a half-written tail record: the commit never happened
+                break;
+            }
+            ids.insert(id);
+            max_id = max_id.max(id);
+            valid += RECORD_LEN;
+        }
+        if valid < data.len() {
+            guard.set_len(valid as u64)?;
+            guard.sync_all()?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.next_id.store(max_id + 1, Ordering::Relaxed);
+        *self.ids.lock() = ids;
+        Ok(())
+    }
+
+    /// Allocates a fresh store-wide batch id (monotonic, never reused across
+    /// a reopen because it starts past the largest committed id).
+    pub fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Durably commits `id`: appends the record and fsyncs. Returns only
+    /// once the commit point is on stable storage.
+    pub fn commit(&self, id: u64) -> Result<()> {
+        self.failpoint.check()?;
+        let mut rec = [0u8; RECORD_LEN];
+        rec[..8].copy_from_slice(&id.to_be_bytes());
+        rec[8..].copy_from_slice(&crc32(&id.to_be_bytes()).to_be_bytes());
+        let mut file = self.file.lock();
+        file.write_all(&rec)?;
+        self.failpoint.check()?;
+        file.sync_data()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.ids.lock().insert(id);
+        Ok(())
+    }
+
+    /// Whether `id` has durably committed.
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.lock().contains(&id)
+    }
+
+    /// Snapshot of every committed id.
+    pub fn committed(&self) -> HashSet<u64> {
+        self.ids.lock().clone()
+    }
+
+    /// Compacts the log down to `live` (ids still referenced by some shard's
+    /// WAL). Once every prepared slice of a batch has been flushed out of the
+    /// WALs, its commit record has no reader left and can be dropped, keeping
+    /// the log bounded by in-flight batches instead of store lifetime.
+    pub fn retain(&self, live: &HashSet<u64>) -> Result<()> {
+        let mut file = self.file.lock();
+        let mut ids = self.ids.lock();
+        let keep: Vec<u64> = {
+            let mut v: Vec<u64> = ids.iter().copied().filter(|id| live.contains(id)).collect();
+            v.sort_unstable();
+            v
+        };
+        if keep.len() == ids.len() {
+            return Ok(());
+        }
+        let tmp = self.path.with_extension("batches.tmp");
+        {
+            let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+            for id in &keep {
+                let mut rec = [0u8; RECORD_LEN];
+                rec[..8].copy_from_slice(&id.to_be_bytes());
+                rec[8..].copy_from_slice(&crc32(&id.to_be_bytes()).to_be_bytes());
+                f.write_all(&rec)?;
+            }
+            f.sync_all()?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        fsync_dir(&self.path)?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        *file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        *ids = keep.into_iter().collect();
+        Ok(())
+    }
+
+    /// Durability barriers issued by this log.
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Validates internal invariants for tests.
+    pub fn assert_loadable(path: impl AsRef<Path>) -> Result<usize> {
+        let log = BatchCommitLog::open(path)?;
+        let n = log.ids.lock().len();
+        if log.next_id.load(Ordering::Relaxed) == 0 {
+            return Err(StorageError::Corruption("batch id allocator underflow".into()));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lethe-batchlog-{tag}-{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn commit_and_reload() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = BatchCommitLog::open(&path).unwrap();
+            let a = log.allocate_id();
+            let b = log.allocate_id();
+            assert_ne!(a, b);
+            log.commit(a).unwrap();
+            log.commit(b).unwrap();
+            assert!(log.contains(a) && log.contains(b));
+            assert_eq!(log.fsync_count(), 2, "one fsync per commit point");
+        }
+        let log = BatchCommitLog::open(&path).unwrap();
+        assert_eq!(log.committed().len(), 2);
+        // the allocator never reuses a committed id
+        assert!(!log.contains(log.allocate_id()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_means_not_committed() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let (a, b) = {
+            let log = BatchCommitLog::open(&path).unwrap();
+            let a = log.allocate_id();
+            let b = log.allocate_id();
+            log.commit(a).unwrap();
+            (a, b)
+        };
+        // a crash mid-commit of `b`: only part of its record reaches disk
+        {
+            let mut rec = [0u8; RECORD_LEN];
+            rec[..8].copy_from_slice(&b.to_be_bytes());
+            rec[8..].copy_from_slice(&crc32(&b.to_be_bytes()).to_be_bytes());
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&rec[..7]).unwrap();
+        }
+        let log = BatchCommitLog::open(&path).unwrap();
+        assert!(log.contains(a));
+        assert!(!log.contains(b), "a torn commit record must read as not-committed");
+        // a full-length tail record with a bad checksum is also rolled back
+        {
+            let mut rec = [0xEEu8; RECORD_LEN];
+            rec[..8].copy_from_slice(&b.to_be_bytes());
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&rec).unwrap();
+        }
+        let log = BatchCommitLog::open(&path).unwrap();
+        assert!(!log.contains(b));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn retain_compacts_dead_ids() {
+        let path = tmp("retain");
+        let _ = std::fs::remove_file(&path);
+        let log = BatchCommitLog::open(&path).unwrap();
+        let ids: Vec<u64> = (0..10).map(|_| log.allocate_id()).collect();
+        for &id in &ids {
+            log.commit(id).unwrap();
+        }
+        let live: HashSet<u64> = ids[7..].iter().copied().collect();
+        log.retain(&live).unwrap();
+        assert_eq!(log.committed(), live);
+        // the compaction survives a reopen and the allocator stays monotonic
+        drop(log);
+        let log = BatchCommitLog::open(&path).unwrap();
+        assert_eq!(log.committed(), live);
+        assert!(log.allocate_id() > *ids.last().unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failpoint_aborts_commit() {
+        let path = tmp("fp");
+        let _ = std::fs::remove_file(&path);
+        let fp = FailPoint::new();
+        let log = BatchCommitLog::open(&path).unwrap().with_failpoint(fp.clone());
+        let id = log.allocate_id();
+        fp.arm(0);
+        assert!(matches!(log.commit(id), Err(StorageError::Injected)));
+        assert!(!log.contains(id));
+        // after the crash window passes, the commit goes through
+        fp.disarm();
+        log.commit(id).unwrap();
+        assert!(log.contains(id));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -33,6 +33,10 @@ pub struct IoStats {
     /// Page reads that missed the block cache and fell through to the device
     /// (these *are* also counted in `pages_read`).
     pub cache_misses: AtomicU64,
+    /// Durability barriers issued (`fsync`/`fdatasync` on data files, WAL
+    /// segments and directories). Group commit exists to keep this number
+    /// far below the record count.
+    pub fsyncs: AtomicU64,
 }
 
 impl IoStats {
@@ -73,6 +77,11 @@ impl IoStats {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one durability barrier (`fsync`/`fdatasync`).
+    pub fn record_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Returns an owned snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -84,6 +93,7 @@ impl IoStats {
             bloom_probes: self.bloom_probes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
         }
     }
 
@@ -97,6 +107,7 @@ impl IoStats {
         self.bloom_probes.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.fsyncs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -113,6 +124,8 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     /// Page reads that missed the block cache (also counted in `pages_read`).
     pub cache_misses: u64,
+    /// Durability barriers issued (`fsync`/`fdatasync`).
+    pub fsyncs: u64,
 }
 
 impl IoSnapshot {
@@ -128,6 +141,7 @@ impl IoSnapshot {
             bloom_probes: self.bloom_probes.saturating_sub(earlier.bloom_probes),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            fsyncs: self.fsyncs.saturating_sub(earlier.fsyncs),
         }
     }
 
@@ -158,6 +172,7 @@ impl IoSnapshot {
             bloom_probes: self.bloom_probes + other.bloom_probes,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
+            fsyncs: self.fsyncs + other.fsyncs,
         }
     }
 }
@@ -242,6 +257,21 @@ mod tests {
         assert_eq!(snap.bytes_written, 4096);
         assert_eq!(snap.bloom_probes, 5);
         assert_eq!(snap.page_ios(), 3);
+    }
+
+    #[test]
+    fn fsyncs_are_counted_and_intervalled() {
+        let s = IoStats::default();
+        s.record_fsync();
+        s.record_fsync();
+        let a = s.snapshot();
+        assert_eq!(a.fsyncs, 2);
+        s.record_fsync();
+        let d = s.snapshot().since(&a);
+        assert_eq!(d.fsyncs, 1);
+        assert_eq!(a.combined(&d).fsyncs, 3);
+        s.reset();
+        assert_eq!(s.snapshot().fsyncs, 0);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! * [`memtable`] — the in-memory write buffer with in-place delete/update
 //!   semantics.
 //! * [`wal`] — write-ahead logging with the `D_th`-aware purge routine,
-//!   torn-tail recovery and the [`SyncPolicy`] durability knob.
+//!   torn-tail recovery, the [`SyncPolicy`] durability knob and the
+//!   group-commit staging primitives (`append_nosync` + `commit`).
+//! * [`batchlog`] — the durable commit point for cross-shard write batches
+//!   (two-phase commit over the per-shard WALs).
 //! * [`manifest`] — the durable, checksummed manifest recording the tree's
 //!   on-device state (levels, files, page ids) so a reopened store recovers
 //!   flushed data, not just the WAL tail.
@@ -34,6 +37,7 @@
 //! * [`clock`] — the logical clock that drives TTLs and tombstone ages.
 
 pub mod backend;
+pub mod batchlog;
 pub mod bloom;
 pub mod cache;
 pub mod checksum;
@@ -50,6 +54,7 @@ pub mod page;
 pub mod wal;
 
 pub use backend::{FileBackend, InMemoryBackend, PageId, StorageBackend};
+pub use batchlog::BatchCommitLog;
 pub use bloom::BloomFilter;
 pub use cache::{CacheSnapshot, CachedBackend, PageCache};
 pub use checksum::crc32;
@@ -63,4 +68,4 @@ pub use iostats::{CostModel, IoSnapshot, IoStats};
 pub use manifest::{FileDesc, Manifest, ManifestState};
 pub use memtable::MemTable;
 pub use page::Page;
-pub use wal::{FileWal, MemWal, SyncPolicy, Wal, WalRecord};
+pub use wal::{BatchOp, FileWal, MemWal, SyncPolicy, Wal, WalRecord};

@@ -55,6 +55,92 @@ pub fn fsync_dir(path: &Path) -> Result<()> {
     Ok(())
 }
 
+/// One operation inside a [`WalRecord::Batch`]. The batch carries the shared
+/// logical timestamp; the ops themselves are timestamp-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// A put of `(sort_key, delete_key, value)`.
+    Put {
+        /// Primary sort key `S`.
+        sort_key: SortKey,
+        /// Secondary delete key `D`.
+        delete_key: DeleteKey,
+        /// Opaque value bytes.
+        value: Bytes,
+    },
+    /// A point delete of `sort_key`.
+    Delete {
+        /// Primary sort key `S`.
+        sort_key: SortKey,
+    },
+    /// A secondary range delete of **delete keys** `[d_lo, d_hi)`.
+    SecondaryDelete {
+        /// Inclusive lower delete-key bound.
+        d_lo: DeleteKey,
+        /// Exclusive upper delete-key bound.
+        d_hi: DeleteKey,
+    },
+}
+
+impl BatchOp {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            BatchOp::Put { sort_key, delete_key, value } => {
+                buf.put_u8(0);
+                buf.put_u64(*sort_key);
+                buf.put_u64(*delete_key);
+                buf.put_u32(value.len() as u32);
+                buf.put_slice(value);
+            }
+            BatchOp::Delete { sort_key } => {
+                buf.put_u8(1);
+                buf.put_u64(*sort_key);
+            }
+            BatchOp::SecondaryDelete { d_lo, d_hi } => {
+                buf.put_u8(2);
+                buf.put_u64(*d_lo);
+                buf.put_u64(*d_hi);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        if buf.remaining() < 1 {
+            return Err(StorageError::Corruption("wal batch op truncated".into()));
+        }
+        match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 20 {
+                    return Err(StorageError::Corruption("wal batch put truncated".into()));
+                }
+                let sort_key = buf.get_u64();
+                let delete_key = buf.get_u64();
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    return Err(StorageError::Corruption("wal batch put value truncated".into()));
+                }
+                let value = buf.copy_to_bytes(len);
+                Ok(BatchOp::Put { sort_key, delete_key, value })
+            }
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(StorageError::Corruption("wal batch delete truncated".into()));
+                }
+                Ok(BatchOp::Delete { sort_key: buf.get_u64() })
+            }
+            2 => {
+                if buf.remaining() < 16 {
+                    return Err(StorageError::Corruption(
+                        "wal batch secondary delete truncated".into(),
+                    ));
+                }
+                Ok(BatchOp::SecondaryDelete { d_lo: buf.get_u64(), d_hi: buf.get_u64() })
+            }
+            t => Err(StorageError::Corruption(format!("unknown wal batch op tag {t}"))),
+        }
+    }
+}
+
 /// A logged mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalRecord {
@@ -69,6 +155,24 @@ pub enum WalRecord {
     /// resurrect buffered entries the delete purged: replaying the log in
     /// order re-purges them.
     SecondaryDelete { d_lo: DeleteKey, d_hi: DeleteKey, ts: Timestamp },
+    /// An atomic multi-op batch logged as **one frame**, so the torn-tail
+    /// truncation that protects single records extends, for free, to whole
+    /// batches: after a crash the batch is either entirely in the recovered
+    /// prefix or entirely gone, never split.
+    ///
+    /// `id` is `None` for a batch confined to one WAL (single shard — the
+    /// frame itself is the commit point). A cross-shard batch carries the
+    /// store-wide batch id of its per-shard slice; replay must hold such a
+    /// slice back until the batch-commit log proves the id committed.
+    Batch {
+        /// Store-wide batch id for cross-shard batches, `None` when the
+        /// frame alone is the commit point.
+        id: Option<u64>,
+        /// The operations, applied in order under one commit timestamp.
+        ops: Vec<BatchOp>,
+        /// Shared logical timestamp of every op in the batch.
+        ts: Timestamp,
+    },
 }
 
 impl WalRecord {
@@ -78,7 +182,8 @@ impl WalRecord {
             WalRecord::Put { ts, .. }
             | WalRecord::Delete { ts, .. }
             | WalRecord::DeleteRange { ts, .. }
-            | WalRecord::SecondaryDelete { ts, .. } => *ts,
+            | WalRecord::SecondaryDelete { ts, .. }
+            | WalRecord::Batch { ts, .. } => *ts,
         }
     }
 
@@ -108,6 +213,21 @@ impl WalRecord {
                 buf.put_u64(*d_lo);
                 buf.put_u64(*d_hi);
                 buf.put_u64(*ts);
+            }
+            WalRecord::Batch { id, ops, ts } => {
+                buf.put_u8(4);
+                match id {
+                    Some(id) => {
+                        buf.put_u8(1);
+                        buf.put_u64(*id);
+                    }
+                    None => buf.put_u8(0),
+                }
+                buf.put_u64(*ts);
+                buf.put_u32(ops.len() as u32);
+                for op in ops {
+                    op.encode(buf);
+                }
             }
         }
     }
@@ -154,6 +274,35 @@ impl WalRecord {
                     ts: buf.get_u64(),
                 })
             }
+            4 => {
+                if buf.remaining() < 1 {
+                    return Err(StorageError::Corruption("wal batch truncated".into()));
+                }
+                let id = match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        if buf.remaining() < 8 {
+                            return Err(StorageError::Corruption("wal batch id truncated".into()));
+                        }
+                        Some(buf.get_u64())
+                    }
+                    t => {
+                        return Err(StorageError::Corruption(format!(
+                            "unknown wal batch id marker {t}"
+                        )))
+                    }
+                };
+                if buf.remaining() < 12 {
+                    return Err(StorageError::Corruption("wal batch header truncated".into()));
+                }
+                let ts = buf.get_u64();
+                let n = buf.get_u32() as usize;
+                let mut ops = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ops.push(BatchOp::decode(buf)?);
+                }
+                Ok(WalRecord::Batch { id, ops, ts })
+            }
             t => Err(StorageError::Corruption(format!("unknown wal tag {t}"))),
         }
     }
@@ -163,6 +312,27 @@ impl WalRecord {
 pub trait Wal: Send + Sync {
     /// Appends a record.
     fn append(&self, record: WalRecord) -> Result<()>;
+    /// Appends a record **without** applying the sync policy. A group-commit
+    /// leader stages every queued record with this, then makes the combined
+    /// tail durable with one [`Wal::commit`] — the whole point of group
+    /// commit is that the fsync count scales with commit groups, not records.
+    /// The default implementation degrades to a plain [`Wal::append`].
+    fn append_nosync(&self, record: WalRecord) -> Result<()> {
+        self.append(record)
+    }
+    /// Makes everything staged by [`Wal::append_nosync`] as durable as the
+    /// sync policy demands (under [`SyncPolicy::Always`], one fsync for the
+    /// whole staged tail). The default implementation is a no-op because the
+    /// default `append_nosync` already syncs per record.
+    fn commit(&self) -> Result<()> {
+        Ok(())
+    }
+    /// Number of durability barriers (`fsync`/`fdatasync`) this log has
+    /// issued. Benches and tests assert group commit keeps this sublinear in
+    /// the record count. Logs without real durability report 0.
+    fn fsync_count(&self) -> u64 {
+        0
+    }
     /// Returns every record currently in the log, oldest first.
     fn replay(&self) -> Result<Vec<WalRecord>>;
     /// Removes every record (after a successful flush of the buffer).
@@ -266,6 +436,9 @@ pub struct FileWal {
     /// Records currently in the log; `u64::MAX` until first derived by a
     /// scan. Only read or written while `file` is locked.
     record_count: AtomicU64,
+    /// Durability barriers issued on behalf of this log (appends, explicit
+    /// syncs, rewrites and their directory fsyncs).
+    fsyncs: AtomicU64,
     failpoint: FailPoint,
 }
 
@@ -288,6 +461,7 @@ impl FileWal {
             appends_since_sync: AtomicU64::new(0),
             torn_tails_recovered: AtomicU64::new(0),
             record_count: AtomicU64::new(COUNT_UNKNOWN),
+            fsyncs: AtomicU64::new(0),
             failpoint: FailPoint::new(),
         })
     }
@@ -309,6 +483,31 @@ impl FileWal {
     /// so far — normally 0 or 1 right after a crash-reopen.
     pub fn torn_tails_recovered(&self) -> u64 {
         self.torn_tails_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Writes one framed record under the file lock without syncing, keeping
+    /// the cached record count in step. Shared by the per-record and
+    /// group-commit append paths.
+    fn write_frame_locked(&self, file: &mut File, record: &WalRecord) -> Result<()> {
+        let mut body = BytesMut::new();
+        record.encode(&mut body);
+        let mut frame = BytesMut::with_capacity(body.len() + 4);
+        frame.put_u32(body.len() as u32);
+        frame.extend_from_slice(&body);
+        file.write_all(&frame)?;
+        let count = self.record_count.load(Ordering::Relaxed);
+        if count != COUNT_UNKNOWN {
+            self.record_count.store(count + 1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// `fdatasync`s the log file and counts the barrier.
+    fn sync_data_counted(&self, file: &File) -> Result<()> {
+        file.sync_data()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.appends_since_sync.store(0, Ordering::Relaxed);
+        Ok(())
     }
 
     fn read_all(&self) -> Result<Vec<WalRecord>> {
@@ -347,6 +546,7 @@ impl FileWal {
             // header bytes, or a frame shorter than its length prefix)
             guard.set_len(valid)?;
             guard.sync_all()?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
             self.torn_tails_recovered.fetch_add(1, Ordering::Relaxed);
         }
         self.record_count.store(out.len() as u64, Ordering::Relaxed);
@@ -379,12 +579,14 @@ impl FileWal {
                 f.write_all(&frame)?;
             }
             f.sync_all()?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
         self.failpoint.check()?;
         std::fs::rename(&tmp, &self.path)?;
         // the rename itself must survive a power failure before the old log
         // (with records the caller considers flushed) can be considered gone
         fsync_dir(&self.path)?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
         **guard = OpenOptions::new().read(true).append(true).open(&self.path)?;
         self.record_count.store(records.len() as u64, Ordering::Relaxed);
         self.appends_since_sync.store(0, Ordering::Relaxed);
@@ -395,28 +597,16 @@ impl FileWal {
 impl Wal for FileWal {
     fn append(&self, record: WalRecord) -> Result<()> {
         self.failpoint.check()?;
-        let mut body = BytesMut::new();
-        record.encode(&mut body);
-        let mut frame = BytesMut::with_capacity(body.len() + 4);
-        frame.put_u32(body.len() as u32);
-        frame.extend_from_slice(&body);
         let mut file = self.file.lock();
-        file.write_all(&frame)?;
-        // keep the cached record count in step (only once it has been derived)
-        let count = self.record_count.load(Ordering::Relaxed);
-        if count != COUNT_UNKNOWN {
-            self.record_count.store(count + 1, Ordering::Relaxed);
-        }
+        self.write_frame_locked(&mut file, &record)?;
         match self.sync_policy {
             SyncPolicy::Always => {
-                file.sync_data()?;
-                self.appends_since_sync.store(0, Ordering::Relaxed);
+                self.sync_data_counted(&file)?;
             }
             SyncPolicy::EveryN(n) => {
                 let pending = self.appends_since_sync.fetch_add(1, Ordering::Relaxed) + 1;
                 if pending >= n.max(1) {
-                    file.sync_data()?;
-                    self.appends_since_sync.store(0, Ordering::Relaxed);
+                    self.sync_data_counted(&file)?;
                 }
             }
             SyncPolicy::OnFlush => {
@@ -424,6 +614,36 @@ impl Wal for FileWal {
             }
         }
         Ok(())
+    }
+
+    fn append_nosync(&self, record: WalRecord) -> Result<()> {
+        self.failpoint.check()?;
+        let mut file = self.file.lock();
+        self.write_frame_locked(&mut file, &record)?;
+        self.appends_since_sync.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn commit(&self) -> Result<()> {
+        let file = self.file.lock();
+        match self.sync_policy {
+            SyncPolicy::Always => {
+                if self.appends_since_sync.load(Ordering::Relaxed) > 0 {
+                    self.sync_data_counted(&file)?;
+                }
+            }
+            SyncPolicy::EveryN(n) => {
+                if self.appends_since_sync.load(Ordering::Relaxed) >= n.max(1) {
+                    self.sync_data_counted(&file)?;
+                }
+            }
+            SyncPolicy::OnFlush => {}
+        }
+        Ok(())
+    }
+
+    fn fsync_count(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
     }
 
     fn replay(&self) -> Result<Vec<WalRecord>> {
@@ -436,6 +656,7 @@ impl Wal for FileWal {
 
     fn sync(&self) -> Result<()> {
         self.file.lock().sync_all()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.appends_since_sync.store(0, Ordering::Relaxed);
         Ok(())
     }
@@ -691,6 +912,111 @@ mod tests {
             assert_eq!(r.timestamp(), want);
         }
         assert_eq!(WalRecord::SecondaryDelete { d_lo: 1, d_hi: 2, ts: 40 }.timestamp(), 40);
+    }
+
+    fn sample_batch(id: Option<u64>) -> WalRecord {
+        WalRecord::Batch {
+            id,
+            ops: vec![
+                BatchOp::Put { sort_key: 1, delete_key: 11, value: Bytes::from_static(b"a") },
+                BatchOp::Delete { sort_key: 2 },
+                BatchOp::SecondaryDelete { d_lo: 3, d_hi: 9 },
+            ],
+            ts: 77,
+        }
+    }
+
+    #[test]
+    fn batch_record_roundtrips() {
+        let path = std::env::temp_dir().join(format!("lethe-wal-batch-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let w = FileWal::open(&path).unwrap();
+        let records =
+            vec![sample_batch(None), sample_batch(Some(42)), WalRecord::Batch { id: None, ops: vec![], ts: 5 }];
+        for r in &records {
+            w.append(r.clone()).unwrap();
+        }
+        assert_eq!(w.replay().unwrap(), records);
+        assert_eq!(records[0].timestamp(), 77);
+        // reopening decodes the same frames
+        drop(w);
+        let w2 = FileWal::open(&path).unwrap();
+        assert_eq!(w2.replay().unwrap(), records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_batch_frame_is_discarded_whole() {
+        let path = std::env::temp_dir().join(format!("lethe-wal-tornb-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let w = FileWal::open(&path).unwrap();
+            w.append(WalRecord::Delete { sort_key: 1, ts: 10 }).unwrap();
+        }
+        // a batch frame chopped mid-op: the whole batch must vanish on
+        // replay — all-or-nothing, never a prefix of its ops
+        {
+            use std::io::Write;
+            let mut body = BytesMut::new();
+            sample_batch(None).encode(&mut body);
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut frame = BytesMut::new();
+            frame.put_u32(body.len() as u32);
+            frame.extend_from_slice(&body[..body.len() - 3]);
+            f.write_all(&frame).unwrap();
+        }
+        let w = FileWal::open(&path).unwrap();
+        let left = w.replay().unwrap();
+        assert_eq!(left, vec![WalRecord::Delete { sort_key: 1, ts: 10 }]);
+        assert_eq!(w.torn_tails_recovered(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_coalesces_fsyncs() {
+        let path = std::env::temp_dir().join(format!("lethe-wal-gc-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let w = FileWal::open(&path).unwrap(); // SyncPolicy::Always
+        for r in sample_records() {
+            w.append(r).unwrap();
+        }
+        let per_record = w.fsync_count();
+        assert_eq!(per_record, 3, "Always fsyncs once per append");
+        // a leader staging 8 records pays exactly one barrier at commit
+        for i in 0..8 {
+            w.append_nosync(WalRecord::Delete { sort_key: 100 + i, ts: 100 + i }).unwrap();
+        }
+        assert_eq!(w.fsync_count(), per_record, "staging must not sync");
+        w.commit().unwrap();
+        assert_eq!(w.fsync_count(), per_record + 1);
+        // an empty commit is free
+        w.commit().unwrap();
+        assert_eq!(w.fsync_count(), per_record + 1);
+        assert_eq!(w.replay().unwrap().len(), 11);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn commit_respects_policy() {
+        let path = std::env::temp_dir().join(format!("lethe-wal-gcp-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let w = FileWal::open(&path).unwrap().with_sync_policy(SyncPolicy::OnFlush);
+        for i in 0..4 {
+            w.append_nosync(WalRecord::Delete { sort_key: i, ts: i }).unwrap();
+        }
+        w.commit().unwrap();
+        assert_eq!(w.fsync_count(), 0, "OnFlush defers durability to the flush");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mem_wal_reports_zero_fsyncs() {
+        let w = MemWal::new();
+        w.append(WalRecord::Delete { sort_key: 1, ts: 1 }).unwrap();
+        w.append_nosync(WalRecord::Delete { sort_key: 2, ts: 2 }).unwrap();
+        w.commit().unwrap();
+        assert_eq!(w.fsync_count(), 0);
+        assert_eq!(w.replay().unwrap().len(), 2);
     }
 
     #[test]

@@ -70,6 +70,30 @@ pub enum Operation {
         /// Exclusive end of the deleted delete-key range.
         end: u64,
     },
+    /// An atomic multi-op write batch: every contained write commits (and,
+    /// across a crash, recovers) together or not at all. Drivers map this to
+    /// `ShardedLethe::write` / `LsmTree::write_batch`.
+    WriteBatch {
+        /// The writes inside the batch, in application order.
+        ops: Vec<BatchWriteOp>,
+    },
+}
+
+/// One write inside an [`Operation::WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchWriteOp {
+    /// Insert or update `key` with the given delete key.
+    Put {
+        /// Sort key.
+        key: u64,
+        /// Delete key (secondary attribute, e.g. creation time).
+        delete_key: u64,
+    },
+    /// Point delete of `key`.
+    Delete {
+        /// Sort key to delete.
+        key: u64,
+    },
 }
 
 /// A seeded generator of operation streams.
@@ -163,6 +187,27 @@ impl WorkloadGenerator {
         Operation::Put { key, delete_key }
     }
 
+    /// Builds one atomic write batch of `batch_size` ops: mostly puts, with
+    /// roughly one in eight a point delete of an already-inserted key (so
+    /// batches exercise mixed put/delete atomicity, not just group inserts).
+    fn make_batch(&mut self) -> Operation {
+        let n = self.spec.batch_size.max(1);
+        let mut ops = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            if self.rng.gen_range(0..8u32) == 0 {
+                if let Some(key) = self.pick_existing_key() {
+                    ops.push(BatchWriteOp::Delete { key });
+                    continue;
+                }
+            }
+            let key = self.pick_key();
+            let delete_key = self.delete_key_for(key);
+            self.inserted.push(key);
+            ops.push(BatchWriteOp::Put { key, delete_key });
+        }
+        Operation::WriteBatch { ops }
+    }
+
     /// Generates the preload phase: `preload_keys` distinct puts covering the
     /// key space evenly (so later range deletes behave predictably).
     pub fn preload(&mut self) -> Vec<Operation> {
@@ -193,6 +238,7 @@ impl WorkloadGenerator {
             spec.range_delete_fraction,
             spec.range_lookup_fraction,
             spec.streaming_range_fraction,
+            spec.batch_fraction,
             spec.secondary_delete_fraction,
         ];
         let mut class = classes.len() - 1;
@@ -234,6 +280,10 @@ impl WorkloadGenerator {
                     limit: spec.streaming_range_limit.max(1),
                 }
             }
+            7 => self.make_batch(),
+            // secondary range deletes stay the final arm: it doubles as the
+            // floating-point fallback class, so adding new classes above
+            // never changes what a rounding leftover generates
             _ => {
                 // the delete-key domain is the arrival counter for
                 // uncorrelated workloads and the key space when correlated
@@ -274,6 +324,7 @@ mod tests {
                 Operation::RangeLookup { .. } => c.5 += 1,
                 Operation::RangeStream { .. } => streams += 1,
                 Operation::SecondaryRangeDelete { .. } => c.6 += 1,
+                Operation::WriteBatch { .. } => {}
             }
         }
         let _ = streams;
@@ -310,6 +361,46 @@ mod tests {
         let spec_off = WorkloadSpec { operations: 500, ..Default::default() };
         let ops_off = WorkloadGenerator::new(spec_off).operations();
         assert!(ops_off.iter().all(|op| !matches!(op, Operation::RangeStream { .. })));
+    }
+
+    #[test]
+    fn batches_are_generated_when_requested() {
+        let spec = WorkloadSpec {
+            operations: 5_000,
+            key_space: 10_000,
+            update_fraction: 0.7,
+            point_lookup_fraction: 0.1,
+            batch_fraction: 0.2,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec).operations();
+        let batches: Vec<&Vec<BatchWriteOp>> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Operation::WriteBatch { ops } => Some(ops),
+                _ => None,
+            })
+            .collect();
+        let share = batches.len() as f64 / ops.len() as f64;
+        assert!((share - 0.2).abs() < 0.05, "batch share {share}");
+        let mut puts = 0usize;
+        let mut deletes = 0usize;
+        for batch in &batches {
+            assert_eq!(batch.len(), 16);
+            for op in batch.iter() {
+                match op {
+                    BatchWriteOp::Put { .. } => puts += 1,
+                    BatchWriteOp::Delete { .. } => deletes += 1,
+                }
+            }
+        }
+        assert!(puts > 0 && deletes > 0, "batches must mix puts and deletes ({puts}/{deletes})");
+        // with the knob off the class is never generated and the stream is
+        // byte-identical to the pre-knob generator
+        let ops_off = WorkloadGenerator::new(WorkloadSpec { operations: 500, ..Default::default() })
+            .operations();
+        assert!(ops_off.iter().all(|op| !matches!(op, Operation::WriteBatch { .. })));
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod spec;
 pub mod zipf;
 
 pub use concurrent::{run_concurrent, thread_spec, ConcurrentReport};
-pub use generator::{Operation, WorkloadGenerator};
+pub use generator::{BatchWriteOp, Operation, WorkloadGenerator};
 pub use spec::{DeleteKeyCorrelation, KeyDistribution, WorkloadSpec};
 pub use zipf::Zipf;

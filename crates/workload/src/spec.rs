@@ -78,6 +78,13 @@ pub struct WorkloadSpec {
     /// Selectivity of each secondary range delete (fraction of the delete-key
     /// domain).
     pub secondary_delete_selectivity: f64,
+    /// Fraction of operations that are atomic multi-op write batches
+    /// (`ShardedLethe::write` / `LsmTree::write_batch`). Defaults to 0, so
+    /// pre-existing specs keep generating identical operation streams.
+    pub batch_fraction: f64,
+    /// Number of write operations inside each generated batch (mostly puts,
+    /// with ~1 in 8 a point delete of an existing key).
+    pub batch_size: u64,
     /// Key popularity distribution.
     pub distribution: KeyDistribution,
     /// Relationship between sort and delete keys.
@@ -108,6 +115,8 @@ impl Default for WorkloadSpec {
             streaming_range_limit: default_streaming_range_limit(),
             secondary_delete_fraction: 0.0,
             secondary_delete_selectivity: 0.0,
+            batch_fraction: 0.0,
+            batch_size: 8,
             distribution: KeyDistribution::Uniform,
             correlation: DeleteKeyCorrelation::Uncorrelated,
         }
@@ -169,6 +178,7 @@ impl WorkloadSpec {
             + self.range_lookup_fraction
             + self.streaming_range_fraction
             + self.secondary_delete_fraction
+            + self.batch_fraction
     }
 
     /// Checks that fractions are non-negative and sum to ~1, and that
@@ -183,9 +193,13 @@ impl WorkloadSpec {
             self.range_lookup_fraction,
             self.streaming_range_fraction,
             self.secondary_delete_fraction,
+            self.batch_fraction,
         ];
         if fractions.iter().any(|f| *f < 0.0) {
             return Err("operation fractions must be non-negative".into());
+        }
+        if self.batch_fraction > 0.0 && self.batch_size == 0 {
+            return Err("batch_size must be at least 1 when batches are generated".into());
         }
         if (self.total_fraction() - 1.0).abs() > 1e-6 {
             return Err(format!("operation fractions sum to {}, expected 1", self.total_fraction()));

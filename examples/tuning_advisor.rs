@@ -87,6 +87,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 SecondaryRangeDelete { start, end } => {
                     db.delete_where_delete_key_in(start, end)?;
                 }
+                WriteBatch { ops } => {
+                    let mut batch = lethe::WriteBatch::new();
+                    for op in ops {
+                        match op {
+                            lethe::workload::BatchWriteOp::Put { key, delete_key } => {
+                                batch.put(key, delete_key, vec![0u8; 64]);
+                            }
+                            lethe::workload::BatchWriteOp::Delete { key } => {
+                                batch.delete(key);
+                            }
+                        }
+                    }
+                    db.write_batch(batch)?;
+                }
             }
             ops_run += 1;
         }

@@ -20,7 +20,7 @@
 use bytes::Bytes;
 use lethe::lsm::{LsmConfig, SecondaryDeleteMode};
 use lethe::storage::{FailPoint, Result, SyncPolicy};
-use lethe::{Lethe, LetheBuilder, ShardedLethe, ShardedLetheBuilder};
+use lethe::{Lethe, LetheBuilder, ShardedLethe, ShardedLetheBuilder, WriteBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -557,4 +557,235 @@ fn kill_point_sweep_background_commit() {
         kill += 1;
     }
     assert!(crashes >= 8, "sweep must cross the background commit's durable steps, got {crashes}");
+}
+
+// ------------------------------------- group-commit kill-point sweep
+
+/// One write inside an atomic [`WriteBatch`].
+#[derive(Debug, Clone)]
+enum BatchItem {
+    Put(u64, u8),
+    Delete(u64),
+    /// Secondary range delete `[s, e)` on the delete key — the structural
+    /// batch op that restructures KiWi pages under a paused worker.
+    SecDel(u64, u64),
+}
+
+/// An op in the group-commit sweep script: an atomic batch or one of the
+/// plain ops (so batches land between flushes, WAL truncations and
+/// compactions, not in a vacuum).
+#[derive(Debug, Clone)]
+enum GOp {
+    Batch(Vec<BatchItem>),
+    Single(Op),
+}
+
+fn random_batch(rng: &mut StdRng) -> Vec<BatchItem> {
+    let n = rng.gen_range(2..10usize);
+    let mut items: Vec<BatchItem> = (0..n)
+        .map(|_| {
+            if rng.gen_range(0..5u32) == 0 {
+                BatchItem::Delete(rng.gen_range(0..KEY_SPACE))
+            } else {
+                BatchItem::Put(rng.gen_range(0..KEY_SPACE), rng.gen::<u8>())
+            }
+        })
+        .collect();
+    // occasionally make the batch structural: a secondary range delete
+    // rides along with the puts and deletes
+    if rng.gen_range(0..8u32) == 0 {
+        let s = rng.gen_range(0..KEY_SPACE);
+        items.push(BatchItem::SecDel(s, s + rng.gen_range(1..KEY_SPACE / 4)));
+    }
+    items
+}
+
+/// Deterministic script for the group-commit sweep: roughly half atomic
+/// batches, interleaved with plain ops and periodic persists so the armed
+/// kills also land inside the flushes and compactions between batches.
+fn group_commit_script(seed: u64) -> Vec<GOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut script = Vec::new();
+    for i in 0..70 {
+        if rng.gen_range(0..2u32) == 0 {
+            script.push(GOp::Batch(random_batch(&mut rng)));
+        } else {
+            script.push(GOp::Single(random_op(&mut rng)));
+        }
+        if i % 20 == 19 {
+            script.push(GOp::Single(Op::Persist));
+        }
+    }
+    script.push(GOp::Batch(random_batch(&mut rng)));
+    script.push(GOp::Single(Op::Persist));
+    script
+}
+
+fn apply_batch_to(db: &ShardedLethe, items: &[BatchItem]) -> Result<()> {
+    let mut batch = WriteBatch::new();
+    for item in items {
+        match item {
+            BatchItem::Put(k, v) => {
+                batch.put(*k, delete_key_of(*k), vec![*v; 9]);
+            }
+            BatchItem::Delete(k) => {
+                batch.delete(*k);
+            }
+            BatchItem::SecDel(s, e) => {
+                batch.secondary_range_delete(*s, *e);
+            }
+        }
+    }
+    db.write(batch)
+}
+
+fn apply_batch_oracle(oracle: &mut Oracle, items: &[BatchItem]) {
+    for item in items {
+        match item {
+            BatchItem::Put(k, v) => {
+                oracle.insert(*k, vec![*v; 9]);
+            }
+            BatchItem::Delete(k) => {
+                oracle.remove(k);
+            }
+            BatchItem::SecDel(s, e) => {
+                apply_oracle(oracle, &Op::SecondaryDelete(*s, *e));
+            }
+        }
+    }
+}
+
+/// Keys a batch may touch (a superset: secondary deletes contribute every
+/// key whose delete key falls in range, live or not).
+fn batch_keys(items: &[BatchItem]) -> Vec<u64> {
+    let mut keys: Vec<u64> = items
+        .iter()
+        .flat_map(|item| match item {
+            BatchItem::Put(k, _) | BatchItem::Delete(k) => vec![*k],
+            BatchItem::SecDel(s, e) => affected_keys(&Op::SecondaryDelete(*s, *e)),
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// The batch-level atomicity check: unlike [`verify_and_resync`], which
+/// allows each ambiguous key independently to be in its before or after
+/// state, a crashed batch must leave **all** of its keys in the pre-batch
+/// state or **all** of them in the post-batch state — a mix is a torn batch.
+/// The oracle is resynchronised to whichever side the store durably chose.
+fn verify_batch_all_or_nothing(store: &mut dyn Store, oracle: &mut Oracle, items: &[BatchItem]) {
+    let mut after = oracle.clone();
+    apply_batch_oracle(&mut after, items);
+    let mut all_before = true;
+    let mut all_after = true;
+    let mut observed: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+    for k in batch_keys(items) {
+        let got = store.get(k).unwrap().map(|b| b.to_vec());
+        if got != oracle.get(&k).cloned() {
+            all_before = false;
+        }
+        if got != after.get(&k).cloned() {
+            all_after = false;
+        }
+        observed.insert(k, got);
+    }
+    assert!(
+        all_before || all_after,
+        "torn batch after crash: observed {observed:?} matches neither the pre-batch \
+         nor the post-batch state (batch {items:?})"
+    );
+    if all_after {
+        *oracle = after;
+    }
+}
+
+/// Replays the group-commit script with the fail point armed at `kill`,
+/// reopens, and checks every acknowledged op exactly and the in-flight op
+/// (batch-atomically for batches). Returns `false` once nothing crashed.
+fn run_group_commit_sweep_iteration(script: &[GOp], kill: u64, shards: usize) -> (bool, bool) {
+    let dir = unique_dir("gcsweep");
+    let fp = FailPoint::new();
+    let mut oracle: Oracle = BTreeMap::new();
+    let mut pending: Option<GOp> = None;
+    {
+        let db = ShardedLetheBuilder::from_builder(builder())
+            .shards(shards)
+            .crash_failpoint(fp.clone())
+            .open(&dir)
+            .unwrap();
+        fp.arm(kill);
+        for op in script {
+            let res = match op {
+                GOp::Batch(items) => apply_batch_to(&db, items),
+                GOp::Single(op) => apply_sharded(&db, op),
+            };
+            match res {
+                Ok(()) => match op {
+                    GOp::Batch(items) => apply_batch_oracle(&mut oracle, items),
+                    GOp::Single(op) => apply_oracle(&mut oracle, op),
+                },
+                Err(_) => {
+                    pending = Some(op.clone());
+                    break;
+                }
+            }
+        }
+        fp.disarm();
+    }
+    let crashed = pending.is_some();
+    let batch_crashed = matches!(pending, Some(GOp::Batch(_)));
+    let mut store: Box<dyn Store> = Box::new(
+        ShardedLetheBuilder::from_builder(builder()).shards(shards).open(&dir).unwrap(),
+    );
+    match &pending {
+        Some(GOp::Batch(items)) => {
+            verify_batch_all_or_nothing(store.as_mut(), &mut oracle, items);
+            verify_and_resync(store.as_mut(), &mut oracle, None);
+        }
+        Some(GOp::Single(op)) => verify_and_resync(store.as_mut(), &mut oracle, Some(op)),
+        None => verify_and_resync(store.as_mut(), &mut oracle, None),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (crashed, batch_crashed)
+}
+
+fn run_group_commit_sweep(shards: usize, seed: u64) {
+    let script = group_commit_script(seed);
+    let mut kill = 0u64;
+    let mut crashes = 0u32;
+    let mut batch_crashes = 0u32;
+    loop {
+        let (crashed, batch_crashed) = run_group_commit_sweep_iteration(&script, kill, shards);
+        if !crashed {
+            break;
+        }
+        crashes += 1;
+        batch_crashes += u32::from(batch_crashed);
+        kill += 1 + kill / 16;
+    }
+    assert!(crashes > 30, "sweep must cross many kill points, got {crashes}");
+    assert!(
+        batch_crashes > 3,
+        "sweep must kill inside batch commits, got {batch_crashes} of {crashes}"
+    );
+}
+
+/// Single-shard group commit: every kill lands inside the stage → fsync →
+/// apply sequence of one WAL frame (or the flush/compaction around it), and
+/// each in-flight batch must recover all-or-nothing.
+#[test]
+fn group_commit_kill_point_sweep_single_shard() {
+    run_group_commit_sweep(1, 0xBA7C4);
+}
+
+/// Cross-shard group commit: kills land in every window of the two-phase
+/// protocol — some prepared WALs durable but not all, all prepared but the
+/// BATCHES commit record absent, the commit record durable but the crash
+/// before apply — and each in-flight batch must still recover atomically
+/// across all three shards.
+#[test]
+fn group_commit_kill_point_sweep_cross_shard() {
+    run_group_commit_sweep(3, 0xBA7C4);
 }

@@ -3,8 +3,8 @@
 //! under mixed workloads, and Lethe must additionally honour its
 //! delete-persistence guarantee.
 
-use lethe::workload::{Operation, WorkloadGenerator, WorkloadSpec};
-use lethe::{Baseline, BaselineKind, Lethe, LetheBuilder, LsmConfig};
+use lethe::workload::{BatchWriteOp, Operation, WorkloadGenerator, WorkloadSpec};
+use lethe::{Baseline, BaselineKind, Lethe, LetheBuilder, LsmConfig, WriteBatch};
 use std::collections::BTreeMap;
 
 fn small_config() -> LsmConfig {
@@ -107,6 +107,27 @@ fn run_against_oracle(spec: WorkloadSpec, h: usize) {
                     oracle.remove(&k);
                 }
             }
+            Operation::WriteBatch { ops: batch_ops } => {
+                let mut lethe_batch = WriteBatch::new();
+                let mut baseline_batch = WriteBatch::new();
+                for op in batch_ops {
+                    match op {
+                        BatchWriteOp::Put { key, delete_key } => {
+                            let value = format!("b-{key}-{delete_key}").into_bytes();
+                            lethe_batch.put(*key, *delete_key, value.clone());
+                            baseline_batch.put(*key, *delete_key, value.clone());
+                            oracle.insert(*key, (*delete_key, value));
+                        }
+                        BatchWriteOp::Delete { key } => {
+                            lethe_batch.delete(*key);
+                            baseline_batch.delete(*key);
+                            oracle.remove(key);
+                        }
+                    }
+                }
+                lethe.write_batch(lethe_batch).unwrap();
+                baseline.tree_mut().write_batch(baseline_batch).unwrap();
+            }
         }
     }
 
@@ -159,7 +180,9 @@ fn mixed_workload_matches_oracle_kiwi_layout() {
         operations: 3_000,
         key_space: 3_000,
         value_size: 32,
-        update_fraction: 0.40,
+        update_fraction: 0.36,
+        batch_fraction: 0.04,
+        batch_size: 5,
         point_lookup_fraction: 0.33,
         empty_lookup_fraction: 0.05,
         point_delete_fraction: 0.10,

@@ -8,8 +8,8 @@
 //! a seeded operation stream, so the *final* store state is independent of
 //! the thread interleaving and can be compared against the oracle exactly.
 
-use lethe::workload::{run_concurrent, Operation, WorkloadSpec};
-use lethe::{ShardedLethe, ShardedLetheBuilder};
+use lethe::workload::{run_concurrent, BatchWriteOp, Operation, WorkloadSpec};
+use lethe::{ShardedLethe, ShardedLetheBuilder, WriteBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -162,7 +162,9 @@ fn concurrent_workload_driver_smoke() {
         key_space: 50_000,
         value_size: 32,
         preload_keys: 1_000,
-        update_fraction: 0.5,
+        update_fraction: 0.46,
+        batch_fraction: 0.04,
+        batch_size: 6,
         point_lookup_fraction: 0.28,
         empty_lookup_fraction: 0.05,
         point_delete_fraction: 0.05,
@@ -193,6 +195,20 @@ fn concurrent_workload_driver_smoke() {
         }
         Operation::SecondaryRangeDelete { start, end } => {
             db.delete_where_delete_key_in(*start, *end).unwrap();
+        }
+        Operation::WriteBatch { ops } => {
+            let mut batch = WriteBatch::new();
+            for op in ops {
+                match op {
+                    BatchWriteOp::Put { key, delete_key } => {
+                        batch.put(*key, *delete_key, vec![0u8; 32]);
+                    }
+                    BatchWriteOp::Delete { key } => {
+                        batch.delete(*key);
+                    }
+                }
+            }
+            db.write(batch).unwrap();
         }
     });
     assert_eq!(report.operations, 4_000);
