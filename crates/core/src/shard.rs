@@ -386,6 +386,15 @@ impl ShardedLetheBuilder {
             live_ids.extend(engine.tree().wal_batch_ids().iter().copied());
             engines.push(engine);
         }
+        // rolled-back prepared frames stay in the shard WALs after recovery
+        // (nothing rewrites a WAL on open), so the id allocator — rebuilt
+        // from committed records only — must be advanced past every id the
+        // WALs still hold: reusing one for a batch that then commits would
+        // retroactively commit the stale slice and resurrect part of an
+        // aborted batch on the next recovery
+        if let Some(max) = live_ids.iter().copied().max() {
+            batch_log.bump_next_id(max + 1);
+        }
         // commit records whose batch no WAL references any more have no
         // reader left (the slices were flushed and truncated away): compact
         // them out so the log is bounded by in-flight batches
@@ -802,6 +811,16 @@ impl ShardedLethe {
     /// they have no crash to protect against — and commit each slice through
     /// its shard's queue directly.
     ///
+    /// # Errors
+    ///
+    /// An `Err` raised *before* the commit point means the batch did not
+    /// (and never will) take effect. An `Err` raised *after* it — an
+    /// in-memory apply failure on some shard — means the batch **is**
+    /// durably committed: every slice whose apply succeeded is already
+    /// visible, and the rest surface when the store is reopened (recovery
+    /// replays the committed batch in full). Callers that cannot tolerate
+    /// that window should treat such an error as fatal and restart.
+    ///
     /// The weakly-consistent fan-out contract (module docs) still applies to
     /// *live* readers of a multi-shard batch: per-shard snapshots are pinned
     /// one at a time, so a concurrent scan may observe one shard's slice
@@ -875,17 +894,29 @@ impl ShardedLethe {
         }
         // commit point: one fsync in the store-wide batch-commit log
         log.commit(id)?;
-        // apply: the batch is durable on every shard; a crash from here on
-        // replays it in full
+        // apply: the batch is durable on every shard and will replay in
+        // full on the next recovery no matter what happens below, so an
+        // apply error must not abort the loop — skipping the remaining
+        // slices would leave the batch half-visible to live readers while
+        // a restart would surface all of it. Apply every slice, remember
+        // the first error, and surface it after the fan-out: an `Err` from
+        // here on means "committed, apply incomplete until restart", never
+        // "rolled back" (see the `write` docs).
+        let mut apply_err = None;
         for ((guard, &i), ts) in guards.iter_mut().zip(&involved).zip(stamps) {
-            guard.tree_mut().apply_batch(std::mem::take(&mut slices[i]), ts)?;
+            if let Err(e) = guard.tree_mut().apply_batch(std::mem::take(&mut slices[i]), ts) {
+                apply_err.get_or_insert(e);
+            }
         }
         let frozen: Vec<bool> = guards.iter().map(|g| g.tree().has_frozen()).collect();
         drop(guards);
         for (&i, frozen) in involved.iter().zip(frozen) {
             self.after_write(&self.shards[i], frozen);
         }
-        Ok(())
+        match apply_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Point lookup — served lock-free from the owning shard's snapshot

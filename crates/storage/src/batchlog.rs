@@ -84,6 +84,21 @@ impl BatchCommitLog {
             let id = u64::from_be_bytes(rec[..8].try_into().unwrap());
             let crc = u32::from_be_bytes(rec[8..].try_into().unwrap());
             if crc != crc32(&rec[..8]) {
+                // a torn append can only damage the very tail of the file;
+                // a bad record with valid records after it is real damage,
+                // and truncating there would silently roll back the
+                // committed ids that follow
+                let followed_by_valid =
+                    data[valid + RECORD_LEN..].chunks_exact(RECORD_LEN).any(|r| {
+                        u32::from_be_bytes(r[8..].try_into().unwrap()) == crc32(&r[..8])
+                    });
+                if followed_by_valid {
+                    return Err(StorageError::Corruption(format!(
+                        "batch commit log {:?}: invalid record at offset {valid} precedes \
+                         valid records",
+                        self.path
+                    )));
+                }
                 // a half-written tail record: the commit never happened
                 break;
             }
@@ -102,9 +117,26 @@ impl BatchCommitLog {
     }
 
     /// Allocates a fresh store-wide batch id (monotonic, never reused across
-    /// a reopen because it starts past the largest committed id).
+    /// a reopen because [`open`](BatchCommitLog::open) starts past the
+    /// largest committed id and the store bumps it past every id still
+    /// prepared in a shard WAL via
+    /// [`bump_next_id`](BatchCommitLog::bump_next_id)).
     pub fn allocate_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Advances the id allocator to at least `floor`.
+    ///
+    /// `open` rebuilds the allocator from *committed* records only, but a
+    /// prepared-yet-uncommitted `Batch { id }` frame survives a reopen in
+    /// its shard's WAL (recovery rolls the slice back without rewriting the
+    /// WAL). Handing that id to a new batch that later commits would
+    /// retroactively mark the stale rolled-back slice as committed and
+    /// resurrect part of an aborted batch on the next recovery. The store
+    /// therefore calls this on open with one past the largest id found in
+    /// any shard WAL, committed or not.
+    pub fn bump_next_id(&self, floor: u64) {
+        self.next_id.fetch_max(floor, Ordering::Relaxed);
     }
 
     /// Durably commits `id`: appends the record and fsyncs. Returns only
@@ -244,6 +276,46 @@ mod tests {
         }
         let log = BatchCommitLog::open(&path).unwrap();
         assert!(!log.contains(b));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bump_next_id_skips_wal_resident_ids() {
+        let path = tmp("bump");
+        let _ = std::fs::remove_file(&path);
+        let log = BatchCommitLog::open(&path).unwrap();
+        // simulate a reopen after a crash mid-2PC: id 5 was prepared in some
+        // shard WAL but never committed, so the committed set is empty and
+        // the allocator would restart at 1 — the bump must push it past 5
+        log.bump_next_id(6);
+        assert_eq!(log.allocate_id(), 6);
+        // a lower floor never moves the allocator backwards
+        log.bump_next_id(3);
+        assert_eq!(log.allocate_id(), 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_a_rollback() {
+        let path = tmp("midcorrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = BatchCommitLog::open(&path).unwrap();
+            for _ in 0..3 {
+                let id = log.allocate_id();
+                log.commit(id).unwrap();
+            }
+        }
+        // damage the *middle* record: valid records follow, so this is real
+        // corruption — truncating here would silently roll back committed
+        // batches — and open must refuse rather than guess
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(RECORD_LEN as u64 + 2)).unwrap();
+            f.write_all(&[0xEE; 4]).unwrap();
+        }
+        assert!(matches!(BatchCommitLog::open(&path), Err(StorageError::Corruption(_))));
         let _ = std::fs::remove_file(&path);
     }
 

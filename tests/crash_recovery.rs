@@ -789,3 +789,88 @@ fn group_commit_kill_point_sweep_single_shard() {
 fn group_commit_kill_point_sweep_cross_shard() {
     run_group_commit_sweep(3, 0xBA7C4);
 }
+
+/// A batch id left in a shard WAL by a crashed (rolled-back) cross-shard
+/// batch must never be handed to a later batch: recovery does not rewrite
+/// WALs, so if the new batch commits under the reused id, the *next*
+/// recovery would find the stale prepared slice's id in the committed set
+/// and resurrect part of the aborted batch. The sweep crashes batch A in
+/// every window of the 2PC, reopens, commits an unrelated batch B, then
+/// recovers once more and checks A is still all-or-nothing and B intact.
+/// (Keys 100–102 and 200–202 both span shards 0 and 2 of 3 under the
+/// routing hash, so both batches take the cross-shard prepare/commit path.)
+#[test]
+fn aborted_batch_id_is_never_reused_after_reopen() {
+    let shards = 3;
+    let mut kill = 0u64;
+    let mut crashes = 0u32;
+    loop {
+        let dir = unique_dir("gc-id-reuse");
+        let fp = FailPoint::new();
+        let crashed = {
+            let db = ShardedLetheBuilder::from_builder(builder())
+                .shards(shards)
+                .crash_failpoint(fp.clone())
+                .open(&dir)
+                .unwrap();
+            fp.arm(kill);
+            let mut a = WriteBatch::new();
+            for k in [100u64, 101, 102] {
+                a.put(k, delete_key_of(k), vec![0xAA; 9]);
+            }
+            let res = db.write(a);
+            fp.disarm();
+            res.is_err()
+        };
+        // first recovery rolls A back (or replays it in full if the crash
+        // landed past the commit point); then an unrelated batch commits —
+        // its id must be fresh, not A's leftover
+        let a_applied = {
+            let db =
+                ShardedLetheBuilder::from_builder(builder()).shards(shards).open(&dir).unwrap();
+            let a_applied = db.get(100).unwrap().is_some();
+            for k in [101u64, 102] {
+                assert_eq!(
+                    db.get(k).unwrap().is_some(),
+                    a_applied,
+                    "torn batch A after first recovery (kill {kill})"
+                );
+            }
+            let mut b = WriteBatch::new();
+            for k in [200u64, 201, 202] {
+                b.put(k, delete_key_of(k), vec![0xBB; 9]);
+            }
+            db.write(b).unwrap();
+            a_applied
+        };
+        // the second recovery is where id reuse would bite: B's commit
+        // record must not retroactively commit A's stale prepared slices
+        {
+            let db =
+                ShardedLetheBuilder::from_builder(builder()).shards(shards).open(&dir).unwrap();
+            for k in [100u64, 101, 102] {
+                assert_eq!(
+                    db.get(k).unwrap().is_some(),
+                    a_applied,
+                    "rolled-back batch slice resurrected by id reuse (kill {kill})"
+                );
+            }
+            for k in [200u64, 201, 202] {
+                assert!(
+                    db.get(k).unwrap().is_some(),
+                    "committed batch B lost after recovery (kill {kill})"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        if !crashed {
+            break;
+        }
+        crashes += 1;
+        kill += 1;
+    }
+    // 4 injectable durable steps under OnFlush: one prepare append per
+    // involved shard plus the commit log's append and fsync checks — the
+    // sweep must at least cross the all-prepared-uncommitted window
+    assert!(crashes >= 4, "sweep must cross the prepare/commit windows, got {crashes}");
+}
