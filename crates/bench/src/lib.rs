@@ -6,6 +6,8 @@
 //! workload operations to an engine, and small formatting utilities for the
 //! printed series.
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 
 use lethe_core::baseline::{Baseline, BaselineKind};

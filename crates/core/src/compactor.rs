@@ -38,23 +38,9 @@
 
 use crate::engine::Lethe;
 use lethe_storage::{Result, StorageError};
-use parking_lot::Mutex;
-use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use lethe_sync::{Condvar, LockRank, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-
-/// Locks the worker-state mutex, ignoring poisoning (a panicking worker is
-/// a bug, not a reason to wedge shutdown).
-fn lock_state(m: &StdMutex<WorkerState>) -> MutexGuard<'_, WorkerState> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Waits on `cv`, ignoring poisoning.
-fn wait_on<'a>(
-    cv: &Condvar,
-    guard: MutexGuard<'a, WorkerState>,
-) -> MutexGuard<'a, WorkerState> {
-    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
-}
 
 #[derive(Debug, Default)]
 struct WorkerState {
@@ -76,8 +62,21 @@ struct WorkerState {
 
 struct Shared {
     engine: Arc<Mutex<Lethe>>,
-    state: StdMutex<WorkerState>,
+    state: Mutex<WorkerState>,
     cv: Condvar,
+}
+
+impl Shared {
+    /// Locks the worker-state mutex (ranked: `WorkerState` sits below the
+    /// engine lock, so callers must not already hold the shard lock).
+    fn lock_state(&self) -> MutexGuard<'_, WorkerState> {
+        self.state.lock()
+    }
+
+    /// Waits on the worker condvar, re-locking the state mutex on wake.
+    fn wait_on<'a>(&'a self, guard: MutexGuard<'a, WorkerState>) -> MutexGuard<'a, WorkerState> {
+        self.cv.wait(guard, &self.state)
+    }
 }
 
 /// Handle to a shard's background maintenance thread. Dropping it shuts the
@@ -95,7 +94,7 @@ pub struct PauseGuard {
 
 impl Drop for PauseGuard {
     fn drop(&mut self) {
-        let mut st = lock_state(&self.shared.state);
+        let mut st = self.shared.lock_state();
         st.pause_requests -= 1;
         // the pause may have interrupted a pass mid-way (its wake flag was
         // already consumed): re-arm it so pending work — an unflushed
@@ -111,7 +110,7 @@ impl Compactor {
     pub fn spawn(engine: Arc<Mutex<Lethe>>) -> Compactor {
         let shared = Arc::new(Shared {
             engine,
-            state: StdMutex::new(WorkerState::default()),
+            state: Mutex::new(LockRank::WorkerState, WorkerState::default()),
             cv: Condvar::new(),
         });
         let thread_shared = Arc::clone(&shared);
@@ -124,7 +123,7 @@ impl Compactor {
 
     /// Nudges the worker: work may be available.
     pub fn wake(&self) {
-        let mut st = lock_state(&self.shared.state);
+        let mut st = self.shared.lock_state();
         st.wake = true;
         self.shared.cv.notify_all();
     }
@@ -133,7 +132,7 @@ impl Compactor {
     /// when the call was made, then reports (and clears) any background
     /// failure encountered since the last drain.
     pub fn drain(&self) -> Result<()> {
-        let mut st = lock_state(&self.shared.state);
+        let mut st = self.shared.lock_state();
         st.wake = true;
         self.shared.cv.notify_all();
         loop {
@@ -143,7 +142,7 @@ impl Compactor {
             if (!st.busy && !st.wake) || st.shutdown {
                 return Ok(());
             }
-            st = wait_on(&self.shared.cv, st);
+            st = self.shared.wait_on(st);
         }
     }
 
@@ -152,11 +151,11 @@ impl Compactor {
     /// hold the shard lock while pausing (the in-flight job needs it to
     /// finish).
     pub fn pause(&self) -> PauseGuard {
-        let mut st = lock_state(&self.shared.state);
+        let mut st = self.shared.lock_state();
         st.pause_requests += 1;
         self.shared.cv.notify_all();
         while st.busy {
-            st = wait_on(&self.shared.cv, st);
+            st = self.shared.wait_on(st);
         }
         PauseGuard { shared: Arc::clone(&self.shared) }
     }
@@ -165,7 +164,7 @@ impl Compactor {
     /// a pass (the blocking half of write backpressure: the stalled writer
     /// waits here for the flush/compaction that unblocks it).
     pub fn wait_for_progress(&self) {
-        let mut st = lock_state(&self.shared.state);
+        let mut st = self.shared.lock_state();
         let jobs0 = st.jobs_done;
         let passes0 = st.passes;
         st.wake = true;
@@ -175,20 +174,20 @@ impl Compactor {
             && st.error.is_none()
             && !st.shutdown
         {
-            st = wait_on(&self.shared.cv, st);
+            st = self.shared.wait_on(st);
         }
     }
 
     /// Jobs successfully applied so far (diagnostic).
     pub fn jobs_done(&self) -> u64 {
-        lock_state(&self.shared.state).jobs_done
+        self.shared.lock_state().jobs_done
     }
 }
 
 impl Drop for Compactor {
     fn drop(&mut self) {
         {
-            let mut st = lock_state(&self.shared.state);
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
             self.shared.cv.notify_all();
         }
@@ -202,7 +201,7 @@ fn worker_loop(shared: Arc<Shared>) {
     loop {
         // wait for work (or shutdown), respecting pauses
         {
-            let mut st = lock_state(&shared.state);
+            let mut st = shared.lock_state();
             loop {
                 if st.shutdown {
                     return;
@@ -210,7 +209,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 if st.wake && st.pause_requests == 0 {
                     break;
                 }
-                st = wait_on(&shared.cv, st);
+                st = shared.wait_on(st);
             }
             st.wake = false;
             st.busy = true;
@@ -218,20 +217,20 @@ fn worker_loop(shared: Arc<Shared>) {
         // drain available work, one plan → execute → apply cycle at a time
         loop {
             {
-                let st = lock_state(&shared.state);
+                let st = shared.lock_state();
                 if st.shutdown || st.pause_requests > 0 {
                     break;
                 }
             }
             match run_one_job(&shared.engine) {
                 Ok(true) => {
-                    let mut st = lock_state(&shared.state);
+                    let mut st = shared.lock_state();
                     st.jobs_done += 1;
                     shared.cv.notify_all();
                 }
                 Ok(false) => break,
                 Err(e) => {
-                    let mut st = lock_state(&shared.state);
+                    let mut st = shared.lock_state();
                     st.error.get_or_insert_with(|| e.to_string());
                     shared.cv.notify_all();
                     break;
@@ -239,7 +238,7 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         }
         {
-            let mut st = lock_state(&shared.state);
+            let mut st = shared.lock_state();
             st.busy = false;
             st.passes += 1;
             shared.cv.notify_all();

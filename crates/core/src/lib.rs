@@ -41,6 +41,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod baseline;
 pub mod compactor;

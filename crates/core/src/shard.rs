@@ -17,7 +17,7 @@
 //!   no shard lock, so a reader is *never* blocked by a writer, a flush or
 //!   a compaction, and never observes a half-committed version.
 //! * **Writers** (`put`/`write`/`delete`/`delete_range`) take the shard's
-//!   [`parking_lot::Mutex`] for the WAL append + memtable insert only. A
+//!   ranked [`lethe_sync::Mutex`] for the WAL append + memtable insert only. A
 //!   full buffer is *frozen*, not flushed: the writer returns immediately
 //!   and the worker persists it. Backpressure replaces the old inline
 //!   compact-to-completion loop: once level 0 accumulates
@@ -125,10 +125,8 @@ use lethe_storage::{
     BatchCommitLog, BatchOp, CacheSnapshot, DeleteKey, Entry, IoSnapshot, LogicalClock, PageCache,
     Result, SortKey, StorageError, Timestamp,
 };
-use parking_lot::Mutex;
-// the vendored `parking_lot` stand-in aliases its `MutexGuard` to
-// `std::sync::MutexGuard`, so the std condvar pairs with it directly
-use std::sync::Condvar;
+use lethe_storage::barrier;
+use lethe_sync::{Condvar, LockRank, Mutex};
 use std::collections::HashSet;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -324,17 +322,18 @@ impl ShardedLetheBuilder {
         // under one consecutive seqnum range
         let inner = inner.seqnum_allocator(Arc::new(AtomicU64::new(1)));
         let mut shards = Vec::with_capacity(self.shards);
-        for _ in 0..self.shards {
+        for i in 0..self.shards {
             let engine = inner
                 .clone()
                 .build_on(lethe_storage::InMemoryBackend::new_shared(), clock.clone())?;
-            shards.push(Shard::spawn(engine));
+            shards.push(Shard::spawn(engine, i));
         }
         Ok(ShardedLethe {
             shards,
             clock,
             cache,
             batch_log: None,
+            manifest_fsyncs: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
             slowdowns: AtomicU64::new(0),
         })
@@ -403,12 +402,14 @@ impl ShardedLetheBuilder {
         // successfully (a failed open never pins a shard count for a store
         // that was never created), and atomically + fsync'd: once a client
         // can acknowledge writes, the recorded count must survive a crash
-        write_shard_manifest(dir, self.shards)?;
+        let manifest_fsyncs = AtomicU64::new(0);
+        write_shard_manifest(dir, self.shards, &manifest_fsyncs)?;
         Ok(ShardedLethe {
-            shards: engines.into_iter().map(Shard::spawn).collect(),
+            shards: engines.into_iter().enumerate().map(|(i, e)| Shard::spawn(e, i)).collect(),
             clock,
             cache,
             batch_log: Some(batch_log),
+            manifest_fsyncs,
             stalls: AtomicU64::new(0),
             slowdowns: AtomicU64::new(0),
         })
@@ -416,18 +417,19 @@ impl ShardedLetheBuilder {
 }
 
 /// Durably records the shard count: write-to-temporary, atomic rename,
-/// parent-directory fsync.
-fn write_shard_manifest(dir: &Path, shards: usize) -> Result<()> {
+/// parent-directory fsync. Both barriers charge `fsyncs` so the store's
+/// [`IoSnapshot`] accounts for them.
+fn write_shard_manifest(dir: &Path, shards: usize, fsyncs: &AtomicU64) -> Result<()> {
     use std::io::Write;
     let path = dir.join("SHARDS");
     let tmp = dir.join("SHARDS.tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(format!("{shards}\n").as_bytes())?;
-        f.sync_all()?;
+        barrier::sync_all_counted(&f, fsyncs)?;
     }
     std::fs::rename(&tmp, &path)?;
-    lethe_storage::wal::fsync_dir(&path)?;
+    barrier::fsync_dir_counted(&path, fsyncs)?;
     Ok(())
 }
 
@@ -495,13 +497,16 @@ struct Shard {
 
 impl Shard {
     /// Switches `engine` to background maintenance, wraps it behind its
-    /// lock, and spawns the worker.
-    fn spawn(mut engine: Lethe) -> Shard {
+    /// lock, and spawns the worker. `index` is the shard's position in the
+    /// store: engine locks share one rank, so cross-shard writers must take
+    /// them in ascending index order, which the ranked mutex enforces
+    /// through its same-rank acquisition order.
+    fn spawn(mut engine: Lethe, index: usize) -> Shard {
         engine.set_maintenance_mode(MaintenanceMode::Background);
         let reader = engine.reader();
         let slowdown_runs = engine.config().l0_slowdown_runs;
         let stall_runs = engine.config().l0_stall_runs;
-        let engine = Arc::new(Mutex::new(engine));
+        let engine = Arc::new(Mutex::with_order(LockRank::Engine, index as u64, engine));
         let worker = Compactor::spawn(Arc::clone(&engine));
         Shard { engine, reader, worker, queue: CommitQueue::new(), slowdown_runs, stall_runs }
     }
@@ -532,7 +537,10 @@ struct CommitQueueState {
 impl CommitQueue {
     fn new() -> CommitQueue {
         CommitQueue {
-            state: Mutex::new(CommitQueueState { pending: Vec::new(), leader_active: false }),
+            state: Mutex::new(
+                LockRank::CommitQueueState,
+                CommitQueueState { pending: Vec::new(), leader_active: false },
+            ),
             follower_cv: Condvar::new(),
         }
     }
@@ -540,7 +548,7 @@ impl CommitQueue {
     /// Joins the queue with `ops`; returns the outcome slot and whether the
     /// calling writer must lead.
     fn join(&self, ops: Vec<BatchOp>) -> (Arc<Mutex<Option<Result<()>>>>, bool) {
-        let slot = Arc::new(Mutex::new(None));
+        let slot = Arc::new(Mutex::new(LockRank::CommitSlot, None));
         let mut state = self.state.lock();
         state.pending.push(PendingWrite { ops, slot: Arc::clone(&slot) });
         let lead = !state.leader_active;
@@ -630,6 +638,8 @@ pub struct ShardedLethe {
     /// The store-wide commit point for cross-shard batches; `None` for
     /// in-memory stores, which have no crash to protect against.
     batch_log: Option<Arc<BatchCommitLog>>,
+    /// Durability barriers issued for the `SHARDS` super-manifest.
+    manifest_fsyncs: AtomicU64,
     stalls: AtomicU64,
     slowdowns: AtomicU64,
 }
@@ -733,11 +743,7 @@ impl ShardedLethe {
         } else {
             let mut state = shard.queue.state.lock();
             while slot.lock().is_none() {
-                state = shard
-                    .queue
-                    .follower_cv
-                    .wait(state)
-                    .unwrap_or_else(|e| e.into_inner());
+                state = shard.queue.follower_cv.wait(state, &shard.queue.state);
             }
             drop(state);
         }
@@ -1093,6 +1099,7 @@ impl ShardedLethe {
         if let Some(log) = &self.batch_log {
             snap.fsyncs += log.fsync_count();
         }
+        snap.fsyncs += self.manifest_fsyncs.load(Ordering::Relaxed);
         snap
     }
 
@@ -1138,7 +1145,11 @@ impl ShardedLethe {
     pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut Lethe) -> R) -> R {
         let shard = &self.shards[index];
         let _parked = shard.worker.pause();
-        f(&mut shard.engine.lock())
+        // bind the guard: a tail-expression temporary would outlive
+        // `_parked`, making the pause guard re-lock the worker state while
+        // the engine lock is still held — a rank inversion
+        let mut engine = shard.engine.lock();
+        f(&mut engine)
     }
 }
 

@@ -1,0 +1,13 @@
+// must-fail: panic paths in storage/lsm non-test code
+fn decode(buf: &[u8]) -> u64 {
+    let header: [u8; 8] = buf[..8].try_into().unwrap();
+    u64::from_le_bytes(header)
+}
+
+fn lookup(map: &std::collections::BTreeMap<u64, u64>, k: u64) -> u64 {
+    *map.get(&k).expect("key must exist")
+}
+
+fn unsupported() {
+    unimplemented!("later")
+}

@@ -1,0 +1,25 @@
+// must-pass: error returns, the unwrap_or family, justified markers, and
+// test code
+fn decode(buf: &[u8]) -> Result<u64> {
+    let header: [u8; 8] =
+        buf.get(..8).ok_or(StorageError::Corruption)?.try_into().map_err(|_| bad())?;
+    Ok(u64::from_le_bytes(header))
+}
+
+fn fallback(v: Option<u64>) -> u64 {
+    v.unwrap_or_default().max(v.unwrap_or(7)).max(v.unwrap_or_else(|| 9))
+}
+
+fn justified(v: Option<u64>) -> u64 {
+    // lint:allow(no-panic): the slice is length-checked two lines above
+    v.expect("checked above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_freely() {
+        assert_eq!(Some(1).unwrap(), 1);
+        panic!("test code may panic");
+    }
+}

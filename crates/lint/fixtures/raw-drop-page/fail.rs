@@ -1,0 +1,4 @@
+// must-fail: raw drop_page call outside the retirement choke point
+fn release(backend: &dyn StorageBackend, id: PageId) {
+    let _ = backend.drop_page(id);
+}

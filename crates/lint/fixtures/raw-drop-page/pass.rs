@@ -1,0 +1,20 @@
+// must-pass: retirement goes through the choke point; a commented call,
+// a call in test code, and an allow-marked call are all fine
+fn release(backend: &dyn StorageBackend, id: PageId) {
+    crate::reclaim::retire_page(backend, id);
+    // backend.drop_page(id) would bypass cache invalidation
+}
+
+fn checked(backend: &dyn StorageBackend, id: PageId) {
+    // lint:allow(raw-drop-page): fixture demonstrating a justified bypass
+    let _ = backend.drop_page(id);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn drops_directly() {
+        let b = InMemoryBackend::new();
+        b.drop_page(id).unwrap();
+    }
+}

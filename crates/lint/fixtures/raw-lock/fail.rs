@@ -1,0 +1,7 @@
+// must-fail: raw lock constructions outside crates/sync
+use parking_lot::Mutex;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+struct Shared {
+    state: std::sync::RwLock<u64>,
+}

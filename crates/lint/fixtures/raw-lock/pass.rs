@@ -1,0 +1,14 @@
+// must-pass: ranked primitives, and the std::sync items that are NOT locks
+use lethe_sync::{Condvar, LockRank, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::sync::mpsc;
+
+struct Shared {
+    engine: Arc<Mutex<u64>>,
+    stats: AtomicU64,
+}
+
+fn build() -> Shared {
+    Shared { engine: Arc::new(Mutex::new(LockRank::Engine, 0)), stats: AtomicU64::new(0) }
+}

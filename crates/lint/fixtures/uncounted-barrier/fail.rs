@@ -1,0 +1,9 @@
+// must-fail: a raw fsync bypasses the counted barrier helpers
+fn persist(file: &std::fs::File) -> std::io::Result<()> {
+    file.sync_all()?;
+    Ok(())
+}
+
+fn persist_data(file: &std::fs::File) -> std::io::Result<()> {
+    file.sync_data()
+}

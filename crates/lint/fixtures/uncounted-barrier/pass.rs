@@ -1,0 +1,7 @@
+// must-pass: barriers go through the counted helpers, which charge the
+// component's fsync counter
+fn persist(file: &std::fs::File, fsyncs: &AtomicU64) -> Result<()> {
+    barrier::sync_all_counted(file, fsyncs)?;
+    barrier::sync_data_counted(file, fsyncs)?;
+    barrier::fsync_dir_counted(path, fsyncs)
+}

@@ -1,0 +1,3 @@
+//! must-fail: a crate root with no unsafe_code gate.
+
+pub mod something;

@@ -1,0 +1,5 @@
+//! must-pass: the crate root forbids unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub mod something;

@@ -1,0 +1,691 @@
+//! Repo-specific static invariant checks for the Lethe workspace.
+//!
+//! `lethe-lint` is a lightweight, dependency-free Rust source scanner — not a
+//! compiler plugin — that enforces the conventions the type system cannot:
+//!
+//! | rule id               | invariant                                                            |
+//! |-----------------------|----------------------------------------------------------------------|
+//! | `raw-drop-page`       | `drop_page` calls only in the retirement choke point / cache wrapper |
+//! | `uncounted-barrier`   | every `sync_all`/`sync_data` goes through the counted barrier helpers|
+//! | `kill-point-registry` | `FailPoint::check` site names ⇆ `KILL_POINTS` registry, both ways    |
+//! | `raw-lock`            | no `std::sync`/`parking_lot` lock types outside `crates/sync`        |
+//! | `no-panic`            | no `unwrap`/`expect`/`panic!` in non-test storage/lsm code           |
+//! | `unsafe-hygiene`      | every crate root carries `#![forbid(unsafe_code)]` (or `deny`)       |
+//!
+//! A violation is silenced by a marker on the same line or the line above:
+//! `// lint:allow(<rule-id>): <reason>` — the reason is mandatory.
+//!
+//! The scanner strips comments and string literals before matching (so this
+//! file's own rule table does not trip the rules), tracks `#[cfg(test)]`
+//! module bodies brace-by-brace (test code is exempt from every rule except
+//! the registry cross-check), and extracts string literals that feed
+//! `FailPoint::check` for the kill-point registry.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::Path;
+
+/// One rule violation: where it is and what convention it breaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`raw-drop-page`, `no-panic`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A source file reduced to scannable form: comments and string-literal
+/// bodies blanked out, `lint:allow` markers and `#[cfg(test)]` regions
+/// resolved, string literals extracted with their call context.
+pub struct Scanned {
+    /// The source with comment text and string-literal contents replaced by
+    /// spaces (quotes and newlines preserved, so offsets and line numbers
+    /// still correspond to the original).
+    pub code: String,
+    /// For every 1-based line, whether it lies inside a `#[cfg(test)]`
+    /// module body.
+    test_line: Vec<bool>,
+    /// `lint:allow` markers: line → rule ids allowed on that line and the
+    /// next.
+    allows: BTreeMap<usize, Vec<String>>,
+    /// Extracted string literals: (content, 1-based line, byte offset of the
+    /// opening quote in `code`).
+    strings: Vec<(String, usize, usize)>,
+}
+
+impl Scanned {
+    /// Strips `source` into scannable form.
+    pub fn new(source: &str) -> Scanned {
+        let (code, strings) = blank_comments_and_strings(source);
+        let test_line = mark_test_lines(&code);
+        let allows = collect_allows(source);
+        Scanned { code, test_line, allows, strings }
+    }
+
+    /// Whether 1-based `line` is inside a `#[cfg(test)]` module body.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_line.get(line.saturating_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// Whether `rule` is allowed at `line` by a marker on the same line or
+    /// the line above.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        for probe in [line, line.saturating_sub(1)] {
+            if let Some(rules) = self.allows.get(&probe) {
+                if rules.iter().any(|r| r == rule) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// 1-based line number of byte `offset` in `code`.
+    fn line_of(&self, offset: usize) -> usize {
+        self.code.as_bytes()[..offset].iter().filter(|&&b| b == b'\n').count() + 1
+    }
+
+    /// String literals whose opening quote is directly preceded (modulo
+    /// whitespace) by `prefix` — e.g. `".check("` to find fail-point sites.
+    pub fn strings_after(&self, prefix: &str) -> Vec<(String, usize)> {
+        let bytes = self.code.as_bytes();
+        let mut out = Vec::new();
+        for (content, line, offset) in &self.strings {
+            let mut end = *offset;
+            while end > 0 && (bytes[end - 1] as char).is_whitespace() {
+                end -= 1;
+            }
+            if end >= prefix.len() && &self.code[end - prefix.len()..end] == prefix {
+                out.push((content.clone(), *line));
+            }
+        }
+        out
+    }
+}
+
+/// Replaces comment text and string-literal bodies with spaces, preserving
+/// line structure, and collects the string literals. Handles nested block
+/// comments, raw strings with hashes, and char literals vs. lifetimes.
+fn blank_comments_and_strings(source: &str) -> (String, Vec<(String, usize, usize)>) {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut strings = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    fn push_blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+        }
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            // blank the whole line comment (markers are collected from the
+            // raw source separately)
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let mut depth = 1usize;
+            out.extend_from_slice(b"  ");
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    push_blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if b == b'r' && i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') {
+            // possible raw string r"..." / r#"..."#
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'"' {
+                let quote_off = out.len() + (j - i);
+                out.push(b'r');
+                out.extend(std::iter::repeat_n(b'#', hashes));
+                out.push(b'"');
+                let start_line = line;
+                let mut k = j + 1;
+                let mut content = String::new();
+                while k < bytes.len() {
+                    if bytes[k] == b'"'
+                        && bytes[k + 1..].iter().take(hashes).filter(|&&c| c == b'#').count()
+                            == hashes
+                    {
+                        out.push(b'"');
+                        out.extend(std::iter::repeat_n(b'#', hashes));
+                        k += 1 + hashes;
+                        break;
+                    }
+                    if bytes[k] == b'\n' {
+                        line += 1;
+                    }
+                    content.push(bytes[k] as char);
+                    push_blank(&mut out, bytes[k]);
+                    k += 1;
+                }
+                strings.push((content, start_line, quote_off));
+                i = k;
+                continue;
+            }
+        }
+        if b == b'"' {
+            let quote_off = out.len();
+            out.push(b'"');
+            let start_line = line;
+            let mut content = String::new();
+            let mut j = i + 1;
+            while j < bytes.len() {
+                if bytes[j] == b'\\' && j + 1 < bytes.len() {
+                    content.push(bytes[j] as char);
+                    content.push(bytes[j + 1] as char);
+                    push_blank(&mut out, bytes[j]);
+                    push_blank(&mut out, bytes[j + 1]);
+                    line += bytes[j..j + 2].iter().filter(|&&c| c == b'\n').count();
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == b'"' {
+                    out.push(b'"');
+                    j += 1;
+                    break;
+                }
+                if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                content.push(bytes[j] as char);
+                push_blank(&mut out, bytes[j]);
+                j += 1;
+            }
+            strings.push((content, start_line, quote_off));
+            i = j;
+            continue;
+        }
+        if b == b'\'' {
+            // char literal vs. lifetime: a literal closes within a couple of
+            // bytes (`'a'`, `'\n'`); a lifetime is never followed by `'`
+            let lookahead = &bytes[i + 1..bytes.len().min(i + 4)];
+            let is_char = match lookahead.first() {
+                Some(b'\\') => true,
+                Some(_) => lookahead.get(1) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                out.push(b'\'');
+                let mut j = i + 1;
+                if j < bytes.len() && bytes[j] == b'\\' {
+                    push_blank(&mut out, bytes[j]);
+                    j += 1;
+                    // skip the escaped char so `'\''` terminates correctly
+                    if j < bytes.len() {
+                        push_blank(&mut out, bytes[j]);
+                        j += 1;
+                    }
+                }
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    push_blank(&mut out, bytes[j]);
+                    j += 1;
+                }
+                if j < bytes.len() {
+                    out.push(b'\'');
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+        out.push(b);
+        i += 1;
+    }
+    (String::from_utf8_lossy(&out).into_owned(), strings)
+}
+
+/// Marks the lines covered by `#[cfg(test)]`-attributed items (modules or
+/// functions) by matching the brace group that follows the attribute.
+fn mark_test_lines(code: &str) -> Vec<bool> {
+    let lines = code.lines().count().max(1);
+    let mut test = vec![false; lines];
+    let bytes = code.as_bytes();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0usize;
+    while let Some(pos) = find_from(bytes, needle, i) {
+        i = pos + needle.len();
+        let Some(open) = bytes[i..].iter().position(|&b| b == b'{') else {
+            break;
+        };
+        let open = i + open;
+        let mut depth = 0usize;
+        let mut end = open;
+        for (j, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let first = line_at(bytes, pos);
+        let last = line_at(bytes, end);
+        for entry in test.iter_mut().take(last.min(lines)).skip(first.saturating_sub(1)) {
+            *entry = true;
+        }
+    }
+    test
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
+}
+
+fn line_at(bytes: &[u8], offset: usize) -> usize {
+    bytes[..offset].iter().filter(|&&b| b == b'\n').count() + 1
+}
+
+/// Collects `// lint:allow(rule): reason` markers (reason mandatory) from
+/// the raw source.
+fn collect_allows(source: &str) -> BTreeMap<usize, Vec<String>> {
+    let mut out: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let Some(pos) = raw.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &raw[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        // the reason after "):" must be non-empty, otherwise the marker is
+        // ignored (an unexplained suppression is itself a smell)
+        let after = rest[close + 1..].trim_start();
+        if let Some(reason) = after.strip_prefix(':') {
+            if !reason.trim().is_empty() {
+                out.entry(idx + 1).or_default().push(rule);
+            }
+        }
+    }
+    out
+}
+
+/// Files exempt from `raw-drop-page`: the retirement choke point and the
+/// cache's invalidating wrapper.
+const DROP_PAGE_EXEMPT: &[&str] = &["crates/lsm/src/reclaim.rs", "crates/storage/src/cache.rs"];
+
+/// The only module allowed to call `sync_all`/`sync_data` directly.
+const BARRIER_MODULE: &str = "crates/storage/src/barrier.rs";
+
+/// Crates whose non-test code must be panic-free.
+const NO_PANIC_ROOTS: &[&str] = &["crates/storage/src/", "crates/lsm/src/"];
+
+/// Runs every single-file rule against one workspace-relative file.
+pub fn check_file(rel: &str, source: &str) -> Vec<Finding> {
+    let scanned = Scanned::new(source);
+    let mut findings = Vec::new();
+    rule_raw_drop_page(rel, &scanned, &mut findings);
+    rule_uncounted_barrier(rel, &scanned, &mut findings);
+    rule_raw_lock(rel, &scanned, &mut findings);
+    rule_no_panic(rel, &scanned, &mut findings);
+    findings
+}
+
+/// Reports `pattern` occurrences in non-test, non-allowed lines of `code`.
+fn scan_pattern(
+    rel: &str,
+    scanned: &Scanned,
+    rule: &'static str,
+    pattern: &str,
+    message: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let bytes = scanned.code.as_bytes();
+    let mut i = 0usize;
+    while let Some(pos) = find_from(bytes, pattern.as_bytes(), i) {
+        i = pos + pattern.len();
+        let line = scanned.line_of(pos);
+        if scanned.is_test_line(line) || scanned.allowed(rule, line) {
+            continue;
+        }
+        findings.push(Finding { rule, file: rel.to_string(), line, message: message.to_string() });
+    }
+}
+
+fn rule_raw_drop_page(rel: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
+    if DROP_PAGE_EXEMPT.contains(&rel) {
+        return;
+    }
+    scan_pattern(
+        rel,
+        scanned,
+        "raw-drop-page",
+        ".drop_page(",
+        "raw drop_page call: route page retirement through lethe_lsm::reclaim::retire_page \
+         (cache invalidation and the retirement policy live there)",
+        findings,
+    );
+}
+
+fn rule_uncounted_barrier(rel: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
+    if rel == BARRIER_MODULE {
+        return;
+    }
+    for pattern in [".sync_all(", ".sync_data("] {
+        scan_pattern(
+            rel,
+            scanned,
+            "uncounted-barrier",
+            pattern,
+            "uncounted durability barrier: use lethe_storage::barrier::sync_*_counted so \
+             IoSnapshot.fsyncs stays exact",
+            findings,
+        );
+    }
+}
+
+fn rule_raw_lock(rel: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
+    if rel.starts_with("crates/sync/") || rel.starts_with("crates/lint/") {
+        return;
+    }
+    // any parking_lot mention at all
+    scan_pattern(
+        rel,
+        scanned,
+        "raw-lock",
+        "parking_lot",
+        "raw lock: use the ranked primitives in lethe_sync instead of parking_lot",
+        findings,
+    );
+    // std::sync lock types, both `std::sync::Mutex::new` paths and
+    // `use std::sync::{.., Mutex, ..}` imports
+    let bytes = scanned.code.as_bytes();
+    let mut i = 0usize;
+    while let Some(pos) = find_from(bytes, b"std::sync::", i) {
+        i = pos + "std::sync::".len();
+        let flagged = leading_ident_group_matches(&scanned.code[i..], |ident| {
+            matches!(ident, "Mutex" | "RwLock" | "Condvar")
+        });
+        if flagged {
+            let line = scanned.line_of(pos);
+            if scanned.is_test_line(line) || scanned.allowed("raw-lock", line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "raw-lock",
+                file: rel.to_string(),
+                line,
+                message: "raw lock: use the ranked lethe_sync::{Mutex, RwLock, Condvar} \
+                          (deadlock-checked in debug builds) instead of std::sync"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Applies `pred` to the identifier(s) that begin `rest`: either one bare
+/// path segment (`Mutex::new`) or every top-level identifier of a brace
+/// group (`{Arc, Mutex as StdMutex}`). Returns true if any matches.
+fn leading_ident_group_matches(rest: &str, pred: impl Fn(&str) -> bool) -> bool {
+    let rest = rest.trim_start();
+    if let Some(group) = rest.strip_prefix('{') {
+        let Some(close) = group.find('}') else {
+            return false;
+        };
+        group[..close]
+            .split(',')
+            .map(|part| part.split_whitespace().next().unwrap_or(""))
+            .any(pred)
+    } else {
+        let ident: String =
+            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        pred(&ident)
+    }
+}
+
+fn rule_no_panic(rel: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
+    if !NO_PANIC_ROOTS.iter().any(|root| rel.starts_with(root)) {
+        return;
+    }
+    for pattern in
+        [".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("]
+    {
+        scan_pattern(
+            rel,
+            scanned,
+            "no-panic",
+            pattern,
+            "panic path in storage/lsm code: return a StorageError, or justify with \
+             a `lint:allow(no-panic): reason` marker",
+            findings,
+        );
+    }
+}
+
+/// Cross-checks the fail-point site names found in source (`sites`: name →
+/// (file, line)) against the `KILL_POINTS` registry in the crash-recovery
+/// suite (`registry`: name → line). Both directions are errors: an
+/// unregistered site is untested, a registered name with no site is dead.
+pub fn check_kill_points(
+    sites: &BTreeMap<String, (String, usize)>,
+    registry: &BTreeMap<String, usize>,
+    registry_file: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, (file, line)) in sites {
+        if !registry.contains_key(name) {
+            findings.push(Finding {
+                rule: "kill-point-registry",
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "fail-point site {name:?} is not listed in KILL_POINTS ({registry_file}); \
+                     the crash sweeps will never assert coverage for it"
+                ),
+            });
+        }
+    }
+    for (name, line) in registry {
+        if !sites.contains_key(name) {
+            findings.push(Finding {
+                rule: "kill-point-registry",
+                file: registry_file.to_string(),
+                line: *line,
+                message: format!(
+                    "KILL_POINTS entry {name:?} matches no FailPoint::check site in the source; \
+                     remove the dead registry entry"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Parses the `KILL_POINTS` registry from the crash-recovery suite: every
+/// string literal between the `lint:kill-points-registry:begin`/`:end`
+/// marker comments.
+pub fn parse_registry(source: &str) -> BTreeMap<String, usize> {
+    let mut registry = BTreeMap::new();
+    let mut inside = false;
+    for (idx, raw) in source.lines().enumerate() {
+        if raw.contains("lint:kill-points-registry:begin") {
+            inside = true;
+            continue;
+        }
+        if raw.contains("lint:kill-points-registry:end") {
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        let mut rest = raw;
+        while let Some(start) = rest.find('"') {
+            let Some(len) = rest[start + 1..].find('"') else {
+                break;
+            };
+            registry.insert(rest[start + 1..start + 1 + len].to_string(), idx + 1);
+            rest = &rest[start + len + 2..];
+        }
+    }
+    registry
+}
+
+/// Checks a crate root for the `unsafe_code` lint gate.
+pub fn rule_unsafe_hygiene(rel: &str, source: &str) -> Option<Finding> {
+    let is_root = rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || (rel.starts_with("crates/")
+            && (rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs")));
+    if !is_root {
+        return None;
+    }
+    if source.contains("#![forbid(unsafe_code)]") || source.contains("#![deny(unsafe_code)]") {
+        return None;
+    }
+    Some(Finding {
+        rule: "unsafe-hygiene",
+        file: rel.to_string(),
+        line: 1,
+        message: "crate root is missing #![forbid(unsafe_code)] (or #![deny(unsafe_code)])"
+            .to_string(),
+    })
+}
+
+/// Recursively collects `.rs` files under `dir`, returning workspace-relative
+/// paths (sorted for deterministic output).
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root` (`crates/*/src` and
+/// `src/` for the code rules, `tests/crash_recovery.rs` for the kill-point
+/// registry). I/O errors on individual files are reported as findings so a
+/// truncated checkout cannot pass silently.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs(root, &dir.join("src"), &mut files);
+        }
+    }
+    collect_rs(root, &root.join("src"), &mut files);
+
+    let mut findings = Vec::new();
+    let mut sites: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for rel in &files {
+        let source = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                findings.push(Finding {
+                    rule: "io",
+                    file: rel.clone(),
+                    line: 0,
+                    message: format!("unreadable source file: {e}"),
+                });
+                continue;
+            }
+        };
+        findings.extend(check_file(rel, &source));
+        if let Some(f) = rule_unsafe_hygiene(rel, &source) {
+            findings.push(f);
+        }
+        let scanned = Scanned::new(&source);
+        for (name, line) in scanned.strings_after(".check(") {
+            if !scanned.is_test_line(line) {
+                sites.entry(name).or_insert((rel.clone(), line));
+            }
+        }
+    }
+
+    let registry_file = "tests/crash_recovery.rs";
+    match std::fs::read_to_string(root.join(registry_file)) {
+        Ok(source) => {
+            let registry = parse_registry(&source);
+            if registry.is_empty() {
+                findings.push(Finding {
+                    rule: "kill-point-registry",
+                    file: registry_file.to_string(),
+                    line: 1,
+                    message: "no KILL_POINTS registry found (missing \
+                              lint:kill-points-registry markers)"
+                        .to_string(),
+                });
+            } else {
+                findings.extend(check_kill_points(&sites, &registry, registry_file));
+            }
+        }
+        Err(e) => findings.push(Finding {
+            rule: "kill-point-registry",
+            file: registry_file.to_string(),
+            line: 0,
+            message: format!("unreadable registry file: {e}"),
+        }),
+    }
+
+    // deduplicate (a pattern can match twice on one line) and sort for
+    // stable CI output
+    let set: BTreeSet<(String, usize, &'static str, String)> =
+        findings.into_iter().map(|f| (f.file, f.line, f.rule, f.message)).collect();
+    set.into_iter()
+        .map(|(file, line, rule, message)| Finding { rule, file, line, message })
+        .collect()
+}

@@ -1,0 +1,27 @@
+//! `lethe-lint`: run the workspace invariant checks and exit non-zero on any
+//! violation. Usage: `lethe-lint [workspace-root]` (defaults to the current
+//! directory; CI runs it from the repo root).
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = Path::new(&root);
+    if !root.join("Cargo.toml").exists() {
+        eprintln!("lethe-lint: {} does not look like a workspace root", root.display());
+        return ExitCode::FAILURE;
+    }
+    let findings = lethe_lint::run(root);
+    if findings.is_empty() {
+        println!("lethe-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("lethe-lint: {} violation(s)", findings.len());
+    ExitCode::FAILURE
+}

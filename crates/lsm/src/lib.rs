@@ -28,6 +28,8 @@
 //!   job cycle a background worker drives.
 //! * [`version`] — immutable, `Arc`-shared version sets: snapshot-isolated
 //!   reads and deferred page reclamation.
+//! * [`reclaim`] — the page-retirement choke point every engine-path
+//!   `drop_page` funnels through (enforced by the repo lint).
 //! * [`stats`] — space/write amplification and tombstone-age accounting.
 //!
 //! The delete-aware pieces of the paper (the FADE compaction policy and the
@@ -35,6 +37,7 @@
 //! substrate through [`compaction::CompactionPolicy`] and [`config::LsmConfig`].
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod batch;
 pub mod compaction;
@@ -42,6 +45,7 @@ pub mod config;
 pub mod cursor;
 pub mod level;
 pub mod merge;
+pub mod reclaim;
 pub mod sstable;
 pub mod stats;
 pub mod tree;

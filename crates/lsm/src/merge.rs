@@ -64,9 +64,11 @@ pub fn merge_entries(
         .into_iter()
         .map(|v| Box::new(VecCursor::from_unsorted(v)) as Box<dyn EntryCursor>)
         .collect();
-    let mut merge = MergeIterator::new(cursors, range_tombstones.clone(), drop_tombstones)
-        .expect("in-memory cursors are infallible");
+    let merge = MergeIterator::new(cursors, range_tombstones.clone(), drop_tombstones);
+    // lint:allow(no-panic): VecCursor never returns an I/O error
+    let mut merge = merge.expect("in-memory cursors are infallible");
     let mut entries: Vec<Entry> = Vec::with_capacity(total);
+    // lint:allow(no-panic): VecCursor never returns an I/O error
     while let Some(e) = merge.next_merged().expect("in-memory cursors are infallible") {
         entries.push(e);
     }

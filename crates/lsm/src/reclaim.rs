@@ -1,0 +1,46 @@
+//! The page-retirement choke point.
+//!
+//! Every engine-path release of a device page goes through this module. The
+//! repo lint (`cargo run -p lethe-lint`) bans raw
+//! [`StorageBackend::drop_page`] calls everywhere else (outside the
+//! cache-invalidating device wrapper in `lethe_storage::cache` and test
+//! code), because a drop issued from an arbitrary call site is how two
+//! classes of bugs slip in:
+//!
+//! 1. **Cache resurrection** — dropping on an inner device while a
+//!    [`CachedBackend`](lethe_storage::CachedBackend) still holds the page
+//!    resident would serve deleted data from memory. Routing every drop
+//!    through the engine's *outermost* device (which is the cached wrapper
+//!    when a cache is configured) keeps invalidate-before-drop a structural
+//!    property instead of a convention.
+//! 2. **Premature reclamation** — dropping a page that a pinned snapshot can
+//!    still reach. The version set's deferred-reclamation logic
+//!    ([`VersionSet::collect_garbage`](crate::version::VersionSet::collect_garbage))
+//!    is the only place with enough information to decide a page is
+//!    unreachable, and it calls in here once it has.
+//!
+//! The helpers are deliberately thin: the *policy* (when a page may die)
+//! stays with the callers listed below; this module only centralises the
+//! *mechanism* so the lint has one place to point at.
+
+use lethe_storage::{PageId, StorageBackend};
+
+/// Releases one page the caller has proven unreachable (reference count
+/// reached zero, or the durable manifest does not reference it). Errors on
+/// already-missing pages are swallowed: reclamation must be idempotent
+/// across crash recovery, which may retire the same page twice.
+pub fn retire_page(backend: &dyn StorageBackend, id: PageId) {
+    // lint:allow(raw-drop-page): this is the choke point the rule funnels into
+    let _ = backend.drop_page(id);
+}
+
+/// Releases every page of a file that was compacted away and is referenced
+/// by no version, snapshot or reference count any more.
+pub fn retire_pages<I: IntoIterator<Item = PageId>>(backend: &dyn StorageBackend, ids: I) -> usize {
+    let mut released = 0;
+    for id in ids {
+        retire_page(backend, id);
+        released += 1;
+    }
+    released
+}

@@ -541,11 +541,10 @@ impl SsTable {
     /// Releases every page of the file (after the file was compacted away).
     /// Errors on already-missing pages are ignored.
     pub fn release_pages(&self, backend: &dyn StorageBackend) {
-        for tile in &self.tiles {
-            for handle in &tile.pages {
-                let _ = backend.drop_page(handle.id);
-            }
-        }
+        crate::reclaim::retire_pages(
+            backend,
+            self.tiles.iter().flat_map(|tile| tile.pages.iter().map(|handle| handle.id)),
+        );
     }
 
     /// Executes a secondary range delete: removes every non-tombstone entry

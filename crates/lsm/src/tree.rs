@@ -45,7 +45,7 @@ use lethe_storage::{
     ManifestState, MemTable, PageId, Result, SeqNum, SortKey, StorageBackend, StorageError,
     Timestamp, Wal, WalRecord,
 };
-use parking_lot::RwLock;
+use lethe_sync::{LockRank, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -152,7 +152,7 @@ impl AsRef<[Entry]> for FrozenEntries {
 /// lock; readers take brief read locks in the order the data moves
 /// (active → frozen → version set), so an entry is always visible in at
 /// least one of the three places.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct MemState {
     active: RwLock<MemTable>,
     /// `Arc` so the flush plan pins the buffer with a pointer clone instead
@@ -160,6 +160,15 @@ struct MemState {
     /// (secondary-delete purge, which runs with the worker paused) goes
     /// through [`Arc::make_mut`].
     frozen: RwLock<Option<Arc<FrozenBuffer>>>,
+}
+
+impl Default for MemState {
+    fn default() -> Self {
+        MemState {
+            active: RwLock::new(LockRank::MemtableActive, MemTable::default()),
+            frozen: RwLock::new(LockRank::MemtableFrozen, None),
+        }
+    }
 }
 
 /// A cheap-to-clone, `Send + Sync` handle serving snapshot-isolated reads
@@ -476,8 +485,12 @@ impl TreeReader {
     /// unflushed frozen one); see [`LsmTree::write_stalled`]. Exposed on the
     /// reader so backpressure checks need no shard lock.
     pub fn write_stalled(&self) -> bool {
-        self.mem.frozen.read().is_some()
-            && self.mem.active.read().size_bytes() >= self.config.buffer_capacity_bytes()
+        // active before frozen: the `&&` keeps its first operand's guard
+        // alive across the second, so this order must match the lock ranks
+        // (MemtableActive < MemtableFrozen) — the reverse order was a real
+        // rank inversion against the freeze path
+        self.mem.active.read().size_bytes() >= self.config.buffer_capacity_bytes()
+            && self.mem.frozen.read().is_some()
     }
 }
 
@@ -1008,7 +1021,7 @@ impl LsmTree {
                 state.files().flat_map(|f| f.tiles.iter().flatten().copied()).collect();
             for id in self.backend.page_ids() {
                 if !referenced.contains(&id) {
-                    let _ = self.backend.drop_page(id);
+                    crate::reclaim::retire_page(self.backend.as_ref(), id);
                     report.pages_released += 1;
                 }
             }
@@ -1261,7 +1274,10 @@ impl LsmTree {
                                 self.buffer_oldest_tombstone_ts.get_or_insert(ts);
                                 active.delete(*sort_key, seq);
                             }
-                            BatchOp::SecondaryDelete { .. } => unreachable!("split above"),
+                            BatchOp::SecondaryDelete { .. } => {
+                                // lint:allow(no-panic): the op split above routes these out
+                                unreachable!("split above")
+                            }
                         }
                     }
                     i = run_end;
@@ -1454,6 +1470,7 @@ impl LsmTree {
         }
         self.backend.sync()?;
         let state = self.describe_state(levels);
+        // lint:allow(no-panic): the is_none() early-return above guarantees presence
         self.manifest.as_mut().expect("manifest presence checked above").commit(state)
     }
 
@@ -1932,12 +1949,16 @@ impl LsmTree {
         s
     }
 
-    /// Snapshot of the device's I/O counters, with the WAL's durability
-    /// barriers folded into `fsyncs` (the backend counts its own).
+    /// Snapshot of the device's I/O counters, with the WAL's and the
+    /// manifest's durability barriers folded into `fsyncs` (the backend
+    /// counts its own).
     pub fn io_snapshot(&self) -> IoSnapshot {
         let mut snap = self.backend.stats().snapshot();
         if let Some(wal) = &self.wal {
             snap.fsyncs += wal.fsync_count();
+        }
+        if let Some(manifest) = &self.manifest {
+            snap.fsyncs += manifest.fsync_count();
         }
         snap
     }

@@ -30,9 +30,10 @@
 //!   zero.
 
 use crate::level::Level;
+use crate::reclaim;
 use crate::sstable::SsTable;
 use lethe_storage::{PageId, SortKey, StorageBackend};
-use parking_lot::{Mutex, RwLock};
+use lethe_sync::{LockRank, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -108,9 +109,9 @@ impl VersionSet {
     /// Creates a version set holding an empty tree.
     pub fn new() -> Self {
         VersionSet {
-            current: RwLock::new(Arc::new(Version::empty())),
-            garbage: Mutex::new(Vec::new()),
-            page_refs: Mutex::new(HashMap::new()),
+            current: RwLock::new(LockRank::VersionCurrent, Arc::new(Version::empty())),
+            garbage: Mutex::new(LockRank::VersionGarbage, Vec::new()),
+            page_refs: Mutex::new(LockRank::PageRefs, HashMap::new()),
             installs: AtomicU64::new(0),
         }
     }
@@ -179,7 +180,7 @@ impl VersionSet {
                             Some(n) if *n > 1 => *n -= 1,
                             _ => {
                                 refs.remove(&handle.id);
-                                let _ = backend.drop_page(handle.id);
+                                reclaim::retire_page(backend, handle.id);
                             }
                         }
                     }
@@ -208,7 +209,7 @@ impl VersionSet {
         for tile in &table.tiles {
             for handle in &tile.pages {
                 if !refs.contains_key(&handle.id) {
-                    let _ = backend.drop_page(handle.id);
+                    reclaim::retire_page(backend, handle.id);
                 }
             }
         }

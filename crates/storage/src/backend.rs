@@ -16,14 +16,14 @@
 //! released **without being read**, which is exactly the I/O saving the paper
 //! claims for secondary range deletes.
 
+use crate::barrier;
 use crate::checksum::crc32;
 use crate::error::{Result, StorageError};
 use crate::failpoint::FailPoint;
 use crate::iostats::IoStats;
 use crate::page::Page;
-use crate::wal::fsync_dir;
 use bytes::{BufMut, BytesMut};
-use parking_lot::{Mutex, RwLock};
+use lethe_sync::{LockRank, Mutex, RwLock};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -88,7 +88,7 @@ impl InMemoryBackend {
     /// Creates an empty simulated device.
     pub fn new() -> Self {
         InMemoryBackend {
-            pages: RwLock::new(HashMap::new()),
+            pages: RwLock::new(LockRank::BackendPages, HashMap::new()),
             next_id: AtomicU64::new(1),
             stats: IoStats::new_shared(),
         }
@@ -223,8 +223,8 @@ fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()
         // race the shared cursor (correctness over parallelism on platforms
         // that cannot express a positional read)
         use std::io::{Read, Seek, SeekFrom};
-        static FALLBACK_CURSOR: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        let _guard = FALLBACK_CURSOR.lock().unwrap_or_else(|e| e.into_inner());
+        static FALLBACK_CURSOR: Mutex<()> = Mutex::new(LockRank::FallbackCursor, ());
+        let _guard = FALLBACK_CURSOR.lock();
         let mut f = file;
         f.seek(SeekFrom::Start(offset))?;
         f.read_exact(buf)
@@ -255,9 +255,9 @@ impl FileBackend {
         let read_file = OpenOptions::new().read(true).open(&path)?;
         let mut backend = FileBackend {
             path,
-            file: Mutex::new(file),
-            read_file: RwLock::new(Arc::new(read_file)),
-            index: RwLock::new(HashMap::new()),
+            file: Mutex::new(LockRank::BackendFile, file),
+            read_file: RwLock::new(LockRank::BackendReadHandle, Arc::new(read_file)),
+            index: RwLock::new(LockRank::BackendIndex, HashMap::new()),
             next_id: AtomicU64::new(1),
             stats: IoStats::new_shared(),
             torn_frames_recovered: 0,
@@ -302,9 +302,13 @@ impl FileBackend {
             let mut payload = Vec::new();
             while total - off >= FRAME_HEADER as u64 {
                 reader.read_exact(&mut header)?;
+                // lint:allow(no-panic): fixed-width subslices of the 20-byte header, infallible
                 let magic = u32::from_be_bytes(header[0..4].try_into().expect("4-byte slice"));
+                // lint:allow(no-panic): fixed-width subslices of the 20-byte header, infallible
                 let id = u64::from_be_bytes(header[4..12].try_into().expect("8-byte slice"));
+                // lint:allow(no-panic): fixed-width subslices of the 20-byte header, infallible
                 let len = u32::from_be_bytes(header[12..16].try_into().expect("4-byte slice"));
+                // lint:allow(no-panic): fixed-width subslices of the 20-byte header, infallible
                 let crc = u32::from_be_bytes(header[16..20].try_into().expect("4-byte slice"));
                 if magic != FRAME_MAGIC {
                     // a torn append of >= 4 bytes still writes the magic, so
@@ -337,7 +341,7 @@ impl FileBackend {
         }
         if off < total {
             file.set_len(off)?;
-            file.sync_all()?;
+            barrier::sync_all_counted(&file, &self.stats.fsyncs)?;
             self.torn_frames_recovered += 1;
         }
         self.next_id.store(max_id + 1, Ordering::Relaxed);
@@ -380,9 +384,9 @@ impl FileBackend {
             new_index.insert(id, (offset + FRAME_HEADER as u64, buf.len() as u32));
             offset += frame.len() as u64;
         }
-        tmp.sync_all()?;
+        barrier::sync_all_counted(&tmp, &self.stats.fsyncs)?;
         std::fs::rename(&tmp_path, &self.path)?;
-        fsync_dir(&self.path)?;
+        barrier::fsync_dir_counted(&self.path, &self.stats.fsyncs)?;
         *file = OpenOptions::new().read(true).append(true).open(&self.path)?;
         // swap the read handle while still holding the index write lock:
         // readers resolve (offset, handle) under the index read lock, so
@@ -406,7 +410,7 @@ fn encode_frame(id: PageId, payload: &[u8]) -> BytesMut {
 
 impl StorageBackend for FileBackend {
     fn write_page(&self, page: &Page) -> Result<PageId> {
-        self.failpoint.check()?;
+        self.failpoint.check("backend.write_page")?;
         let encoded = page.encode();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let frame = encode_frame(id, &encoded);
@@ -456,8 +460,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn sync(&self) -> Result<()> {
-        self.file.lock().sync_all()?;
-        self.stats.record_fsync();
+        barrier::sync_all_counted(&self.file.lock(), &self.stats.fsyncs)?;
         Ok(())
     }
 }

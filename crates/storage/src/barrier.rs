@@ -1,0 +1,81 @@
+//! Counted durability barriers.
+//!
+//! Every `fsync`/`fdatasync` the engine issues goes through this module, so
+//! each one is charged to a counter that ultimately surfaces in
+//! [`IoSnapshot::fsyncs`](crate::iostats::IoSnapshot) — the paper's
+//! cost-model experiments (and the group-commit bench gate) rely on that
+//! count being *exact*. The repo lint (`cargo run -p lethe-lint`) bans raw
+//! `sync_all()` / `sync_data()` / directory-fsync calls everywhere outside
+//! this file, so an uncounted barrier cannot be reintroduced silently.
+//!
+//! The helpers take the owning component's barrier counter explicitly
+//! (a `&AtomicU64` — the WAL's, the device's [`IoStats`](crate::IoStats)
+//! field, the manifest's, the batch log's, or the sharded store's), so
+//! there is no global that could double-count a store sharing a process
+//! with another store.
+
+use crate::error::Result;
+use std::fs::File;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `fdatasync`s `file` and charges one barrier to `fsyncs`. The cheaper
+/// barrier: flushes data (and size) but not file timestamps — what every
+/// append-path commit wants.
+pub fn sync_data_counted(file: &File, fsyncs: &AtomicU64) -> Result<()> {
+    file.sync_data()?;
+    fsyncs.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// `fsync`s `file` (data + metadata) and charges one barrier to `fsyncs`.
+/// Used where metadata matters: freshly created rewrite temporaries and
+/// post-truncation tails.
+pub fn sync_all_counted(file: &File, fsyncs: &AtomicU64) -> Result<()> {
+    file.sync_all()?;
+    fsyncs.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// `fsync`s the parent directory of `path` and charges one barrier to
+/// `fsyncs`: a rename is only crash-durable once the directory entry is.
+/// A path without a parent (or with an empty one) is a no-op *and charges
+/// nothing* — there is no barrier to count.
+pub fn fsync_dir_counted(path: &Path, fsyncs: &AtomicU64) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            File::open(parent)?.sync_all()?;
+            fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_helper_counts_exactly_one_barrier() {
+        let dir = std::env::temp_dir().join(format!("lethe-barrier-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        let file = File::create(&path).unwrap();
+        let n = AtomicU64::new(0);
+        sync_data_counted(&file, &n).unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+        sync_all_counted(&file, &n).unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+        fsync_dir_counted(&path, &n).unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 3);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn parentless_path_counts_nothing() {
+        let n = AtomicU64::new(0);
+        fsync_dir_counted(Path::new("relative-file"), &n).unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 0, "no directory was synced");
+    }
+}

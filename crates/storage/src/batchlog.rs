@@ -14,11 +14,11 @@
 //! end state after a crash mid-commit (the batch simply did not commit) and
 //! is truncated away; damage before the last valid record is corruption.
 
+use crate::barrier;
 use crate::checksum::crc32;
 use crate::error::{Result, StorageError};
 use crate::failpoint::FailPoint;
-use crate::wal::fsync_dir;
-use parking_lot::Mutex;
+use lethe_sync::{LockRank, Mutex};
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -52,8 +52,8 @@ impl BatchCommitLog {
         let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
         let log = BatchCommitLog {
             path,
-            file: Mutex::new(file),
-            ids: Mutex::new(HashSet::new()),
+            file: Mutex::new(LockRank::BatchLogFile, file),
+            ids: Mutex::new(LockRank::BatchLogIds, HashSet::new()),
             next_id: AtomicU64::new(1),
             fsyncs: AtomicU64::new(0),
             failpoint: FailPoint::new(),
@@ -81,7 +81,9 @@ impl BatchCommitLog {
         let mut max_id = 0u64;
         while data.len() - valid >= RECORD_LEN {
             let rec = &data[valid..valid + RECORD_LEN];
+            // lint:allow(no-panic): fixed-width subslice of a 12-byte record, infallible
             let id = u64::from_be_bytes(rec[..8].try_into().unwrap());
+            // lint:allow(no-panic): fixed-width subslice of a 12-byte record, infallible
             let crc = u32::from_be_bytes(rec[8..].try_into().unwrap());
             if crc != crc32(&rec[..8]) {
                 // a torn append can only damage the very tail of the file;
@@ -90,6 +92,7 @@ impl BatchCommitLog {
                 // committed ids that follow
                 let followed_by_valid =
                     data[valid + RECORD_LEN..].chunks_exact(RECORD_LEN).any(|r| {
+                        // lint:allow(no-panic): chunks_exact yields 12-byte slices, infallible
                         u32::from_be_bytes(r[8..].try_into().unwrap()) == crc32(&r[..8])
                     });
                 if followed_by_valid {
@@ -108,8 +111,7 @@ impl BatchCommitLog {
         }
         if valid < data.len() {
             guard.set_len(valid as u64)?;
-            guard.sync_all()?;
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            barrier::sync_all_counted(&guard, &self.fsyncs)?;
         }
         self.next_id.store(max_id + 1, Ordering::Relaxed);
         *self.ids.lock() = ids;
@@ -142,15 +144,14 @@ impl BatchCommitLog {
     /// Durably commits `id`: appends the record and fsyncs. Returns only
     /// once the commit point is on stable storage.
     pub fn commit(&self, id: u64) -> Result<()> {
-        self.failpoint.check()?;
+        self.failpoint.check("batchlog.append")?;
         let mut rec = [0u8; RECORD_LEN];
         rec[..8].copy_from_slice(&id.to_be_bytes());
         rec[8..].copy_from_slice(&crc32(&id.to_be_bytes()).to_be_bytes());
         let mut file = self.file.lock();
         file.write_all(&rec)?;
-        self.failpoint.check()?;
-        file.sync_data()?;
-        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.failpoint.check("batchlog.commit_fsync")?;
+        barrier::sync_data_counted(&file, &self.fsyncs)?;
         self.ids.lock().insert(id);
         Ok(())
     }
@@ -189,12 +190,10 @@ impl BatchCommitLog {
                 rec[8..].copy_from_slice(&crc32(&id.to_be_bytes()).to_be_bytes());
                 f.write_all(&rec)?;
             }
-            f.sync_all()?;
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            barrier::sync_all_counted(&f, &self.fsyncs)?;
         }
         std::fs::rename(&tmp, &self.path)?;
-        fsync_dir(&self.path)?;
-        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        barrier::fsync_dir_counted(&self.path, &self.fsyncs)?;
         *file = OpenOptions::new().read(true).append(true).open(&self.path)?;
         *ids = keep.into_iter().collect();
         Ok(())

@@ -51,7 +51,7 @@ use crate::backend::{PageId, StorageBackend};
 use crate::error::Result;
 use crate::iostats::IoStats;
 use crate::page::Page;
-use parking_lot::Mutex;
+use lethe_sync::{LockRank, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -165,6 +165,7 @@ impl CacheShard {
         self.map.remove(&slot.key);
         self.bytes -= slot.charge;
         if let Some(moved) = self.slots.get(idx) {
+            // lint:allow(no-panic): every resident slot has a map entry by construction
             *self.map.get_mut(&moved.key).expect("moved slot must be mapped") = idx;
         }
         if self.hand > self.slots.len() {
@@ -251,7 +252,9 @@ impl PageCache {
     pub fn new(capacity_bytes: usize) -> Self {
         let stripes = (capacity_bytes / MIN_STRIPE_BYTES).clamp(1, CACHE_SHARDS);
         PageCache {
-            shards: (0..stripes).map(|_| Mutex::new(CacheShard::default())).collect(),
+            shards: (0..stripes)
+                .map(|_| Mutex::new(LockRank::CacheStripe, CacheShard::default()))
+                .collect(),
             capacity_per_shard: (capacity_bytes / stripes).max(ENTRY_OVERHEAD),
             next_source: AtomicU64::new(1),
             hits: AtomicU64::new(0),

@@ -30,13 +30,19 @@
 //! * [`manifest`] — the durable, checksummed manifest recording the tree's
 //!   on-device state (levels, files, page ids) so a reopened store recovers
 //!   flushed data, not just the WAL tail.
+//! * [`barrier`] — the counted durability barriers every fsync goes
+//!   through, so [`IoSnapshot::fsyncs`](iostats::IoSnapshot::fsyncs) is
+//!   exact (enforced by the repo lint).
 //! * [`checksum`] — CRC-32 for on-disk structures.
 //! * [`failpoint`] — deterministic crash injection for recovery tests.
 //! * [`histogram`] — equi-width histograms used to estimate how many entries a
 //!   range tombstone invalidates.
 //! * [`clock`] — the logical clock that drives TTLs and tombstone ages.
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
+pub mod barrier;
 pub mod batchlog;
 pub mod bloom;
 pub mod cache;

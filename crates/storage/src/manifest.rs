@@ -27,17 +27,18 @@
 //! renamed over the old log (with a parent-directory fsync), so a crash
 //! mid-rewrite leaves either the complete old log or the complete new one.
 
+use crate::barrier;
 use crate::checksum::crc32;
 use crate::clock::Timestamp;
 use crate::entry::{DeleteKey, Entry, SeqNum};
 use crate::error::{Result, StorageError};
 use crate::failpoint::FailPoint;
-use crate::wal::fsync_dir;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Magic number opening every manifest file.
@@ -171,6 +172,9 @@ pub struct Manifest {
     state: ManifestState,
     records_since_rewrite: usize,
     torn_records_recovered: u64,
+    /// Durability barriers issued by this manifest (appends, rewrites,
+    /// directory fsyncs, torn-tail truncations).
+    fsyncs: AtomicU64,
     failpoint: FailPoint,
 }
 
@@ -187,6 +191,7 @@ impl Manifest {
             state: ManifestState::default(),
             records_since_rewrite: 0,
             torn_records_recovered: 0,
+            fsyncs: AtomicU64::new(0),
             failpoint: FailPoint::new(),
         };
         manifest.recover()?;
@@ -214,6 +219,13 @@ impl Manifest {
     /// clean shutdown, typically 1 after a crash mid-append).
     pub fn torn_records_recovered(&self) -> u64 {
         self.torn_records_recovered
+    }
+
+    /// Durability barriers (`fsync`/`fdatasync`) this manifest has issued.
+    /// Folded into the engine's [`IoSnapshot::fsyncs`](crate::iostats::IoSnapshot::fsyncs)
+    /// so manifest commits are charged like every other barrier.
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
     }
 
     fn recover(&mut self) -> Result<()> {
@@ -283,7 +295,7 @@ impl Manifest {
         if total > valid {
             let f = OpenOptions::new().write(true).open(&self.path)?;
             f.set_len(valid)?;
-            f.sync_all()?;
+            barrier::sync_all_counted(&f, &self.fsyncs)?;
             self.torn_records_recovered += 1;
         }
         Ok(())
@@ -361,15 +373,16 @@ impl Manifest {
             upserted,
             structure: new_state.structure(),
         };
-        self.failpoint.check()?;
+        self.failpoint.check("manifest.append")?;
         let body = encode_record(&record);
         let mut framed = BytesMut::with_capacity(body.len() + 8);
         framed.put_u32(body.len() as u32);
         framed.put_u32(crc32(&body));
         framed.extend_from_slice(&body);
+        // lint:allow(no-panic): the branch above rewrites (and creates the file) when None
         let file = self.file.as_mut().expect("append handle exists past the rewrite branch");
         file.write_all(&framed)?;
-        file.sync_data()?;
+        barrier::sync_data_counted(file, &self.fsyncs)?;
         self.records_since_rewrite += 1;
         self.state = new_state;
         Ok(())
@@ -377,7 +390,7 @@ impl Manifest {
 
     /// Rewrites the manifest as a single snapshot of `state`, atomically.
     pub fn rewrite(&mut self, state: ManifestState) -> Result<()> {
-        self.failpoint.check()?;
+        self.failpoint.check("manifest.rewrite.begin")?;
         let tmp = self.path.with_extension("manifest.tmp");
         {
             let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
@@ -388,11 +401,11 @@ impl Manifest {
             out.put_u32(crc32(&body));
             out.extend_from_slice(&body);
             f.write_all(&out)?;
-            f.sync_all()?;
+            barrier::sync_all_counted(&f, &self.fsyncs)?;
         }
-        self.failpoint.check()?;
+        self.failpoint.check("manifest.rewrite.rename")?;
         std::fs::rename(&tmp, &self.path)?;
-        fsync_dir(&self.path)?;
+        barrier::fsync_dir_counted(&self.path, &self.fsyncs)?;
         self.file = Some(OpenOptions::new().append(true).open(&self.path)?);
         self.records_since_rewrite = 1;
         self.state = state;

@@ -12,12 +12,13 @@
 //! records younger than `D_th` to a fresh log and discards the old one. That
 //! routine is [`Wal::purge_older_than`].
 
+use crate::barrier;
 use crate::clock::Timestamp;
 use crate::entry::{DeleteKey, SortKey};
 use crate::error::{Result, StorageError};
 use crate::failpoint::FailPoint;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
+use lethe_sync::{LockRank, Mutex, MutexGuard};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -41,18 +42,6 @@ pub enum SyncPolicy {
     /// explicitly): fastest, loses up to one buffer of acknowledged writes on
     /// a power failure.
     OnFlush,
-}
-
-/// Flushes the metadata of `path`'s parent directory (entries created by
-/// `rename`) to durable storage. A file rename is only crash-durable once
-/// its parent directory has been synced.
-pub fn fsync_dir(path: &Path) -> Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            File::open(parent)?.sync_all()?;
-        }
-    }
-    Ok(())
 }
 
 /// One operation inside a [`WalRecord::Batch`]. The batch carries the shared
@@ -367,15 +356,21 @@ pub trait Wal: Send + Sync {
 
 /// An in-memory WAL for tests and simulations (durability is out of scope for
 /// the simulated device; the record/replay semantics are identical).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemWal {
     records: Mutex<Vec<WalRecord>>,
+}
+
+impl Default for MemWal {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemWal {
     /// Creates an empty in-memory WAL.
     pub fn new() -> Self {
-        Self::default()
+        MemWal { records: Mutex::new(LockRank::Wal, Vec::new()) }
     }
 }
 
@@ -456,7 +451,7 @@ impl FileWal {
         let file = OpenOptions::new().create(true).read(true).append(true).open(path.as_ref())?;
         Ok(FileWal {
             path: path.as_ref().to_path_buf(),
-            file: Mutex::new(file),
+            file: Mutex::new(LockRank::Wal, file),
             sync_policy: SyncPolicy::Always,
             appends_since_sync: AtomicU64::new(0),
             torn_tails_recovered: AtomicU64::new(0),
@@ -502,10 +497,10 @@ impl FileWal {
         Ok(())
     }
 
-    /// `fdatasync`s the log file and counts the barrier.
+    /// `fdatasync`s the log file through the counted barrier and resets the
+    /// pending-append counter.
     fn sync_data_counted(&self, file: &File) -> Result<()> {
-        file.sync_data()?;
-        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        barrier::sync_data_counted(file, &self.fsyncs)?;
         self.appends_since_sync.store(0, Ordering::Relaxed);
         Ok(())
     }
@@ -517,7 +512,7 @@ impl FileWal {
 
     /// Reads every intact record. Requires the file lock (appends from other
     /// threads must not interleave with the scan or the torn-tail truncation).
-    fn read_all_locked(&self, guard: &mut parking_lot::MutexGuard<'_, File>) -> Result<Vec<WalRecord>> {
+    fn read_all_locked(&self, guard: &mut MutexGuard<'_, File>) -> Result<Vec<WalRecord>> {
         let mut data = Vec::new();
         {
             let mut file = OpenOptions::new().read(true).open(&self.path)?;
@@ -545,8 +540,7 @@ impl FileWal {
             // recover the valid prefix: drop the torn tail (1-3 dangling
             // header bytes, or a frame shorter than its length prefix)
             guard.set_len(valid)?;
-            guard.sync_all()?;
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            barrier::sync_all_counted(guard, &self.fsyncs)?;
             self.torn_tails_recovered.fetch_add(1, Ordering::Relaxed);
         }
         self.record_count.store(out.len() as u64, Ordering::Relaxed);
@@ -563,10 +557,10 @@ impl FileWal {
     /// rename (it would be silently discarded).
     fn rewrite_locked(
         &self,
-        guard: &mut parking_lot::MutexGuard<'_, File>,
+        guard: &mut MutexGuard<'_, File>,
         records: &[WalRecord],
     ) -> Result<()> {
-        self.failpoint.check()?;
+        self.failpoint.check("wal.rewrite.begin")?;
         let tmp = self.path.with_extension("wal.tmp");
         {
             let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
@@ -578,15 +572,13 @@ impl FileWal {
                 frame.extend_from_slice(&body);
                 f.write_all(&frame)?;
             }
-            f.sync_all()?;
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            barrier::sync_all_counted(&f, &self.fsyncs)?;
         }
-        self.failpoint.check()?;
+        self.failpoint.check("wal.rewrite.rename")?;
         std::fs::rename(&tmp, &self.path)?;
         // the rename itself must survive a power failure before the old log
         // (with records the caller considers flushed) can be considered gone
-        fsync_dir(&self.path)?;
-        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        barrier::fsync_dir_counted(&self.path, &self.fsyncs)?;
         **guard = OpenOptions::new().read(true).append(true).open(&self.path)?;
         self.record_count.store(records.len() as u64, Ordering::Relaxed);
         self.appends_since_sync.store(0, Ordering::Relaxed);
@@ -596,7 +588,7 @@ impl FileWal {
 
 impl Wal for FileWal {
     fn append(&self, record: WalRecord) -> Result<()> {
-        self.failpoint.check()?;
+        self.failpoint.check("wal.append")?;
         let mut file = self.file.lock();
         self.write_frame_locked(&mut file, &record)?;
         match self.sync_policy {
@@ -617,7 +609,7 @@ impl Wal for FileWal {
     }
 
     fn append_nosync(&self, record: WalRecord) -> Result<()> {
-        self.failpoint.check()?;
+        self.failpoint.check("wal.append_nosync")?;
         let mut file = self.file.lock();
         self.write_frame_locked(&mut file, &record)?;
         self.appends_since_sync.fetch_add(1, Ordering::Relaxed);
@@ -655,8 +647,7 @@ impl Wal for FileWal {
     }
 
     fn sync(&self) -> Result<()> {
-        self.file.lock().sync_all()?;
-        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        barrier::sync_all_counted(&self.file.lock(), &self.fsyncs)?;
         self.appends_since_sync.store(0, Ordering::Relaxed);
         Ok(())
     }

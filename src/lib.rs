@@ -31,11 +31,15 @@
 //! assert!(db.get(10).unwrap().is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lethe_core::*;
 
 /// The LSM-tree substrate (levels, compaction policies, the tree itself).
 pub use lethe_lsm as lsm;
 /// The storage substrate (pages, filters, fences, devices, WAL, clock).
 pub use lethe_storage as storage;
+/// Ranked lock primitives (deadlock-checked in debug builds).
+pub use lethe_sync as sync;
 /// Deterministic workload generation (YCSB-A variant with deletes).
 pub use lethe_workload as workload;

@@ -23,11 +23,31 @@ use lethe::storage::{FailPoint, Result, SyncPolicy};
 use lethe::{Lethe, LetheBuilder, ShardedLethe, ShardedLetheBuilder, WriteBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const KEY_SPACE: u64 = 256;
+
+/// Registry of every [`FailPoint::check`] site name in the source tree.
+/// `lethe-lint` cross-checks this list against the code in both directions
+/// (an unregistered site is untested, a registered name with no site is
+/// dead), and `kill_point_trace_covers_the_whole_registry` below proves a
+/// workload actually reaches each one at runtime.
+// lint:kill-points-registry:begin
+const KILL_POINTS: &[&str] = &[
+    "backend.write_page",
+    "batchlog.append",
+    "batchlog.commit_fsync",
+    "manifest.append",
+    "manifest.rewrite.begin",
+    "manifest.rewrite.rename",
+    "wal.append",
+    "wal.append_nosync",
+    "wal.rewrite.begin",
+    "wal.rewrite.rename",
+];
+// lint:kill-points-registry:end
 
 /// The delete key is a fixed function of the sort key (an immutable
 /// creation attribute, as in the paper's model).
@@ -372,6 +392,65 @@ fn kill_point_sweep_sharded() {
         kill += 1 + kill / 12;
     }
     assert!(crashes > 30, "sweep must cross many kill points, got {crashes}");
+}
+
+/// Proves the `KILL_POINTS` registry is *runtime-reachable*, not just
+/// statically cross-checked: a traced (disarmed) fail point records every
+/// site name a mixed sharded workload consults, and the set must equal the
+/// registry exactly. A site the workload never reaches would pass the lint
+/// (the name exists in source) but has no sweep that can kill inside it —
+/// this test catches that gap; a traced site missing from the registry is
+/// caught by the lint itself.
+#[test]
+fn kill_point_trace_covers_the_whole_registry() {
+    let dir = unique_dir("killtrace");
+    let fp = FailPoint::new();
+    fp.enable_trace();
+    {
+        let db = ShardedLetheBuilder::from_builder(builder())
+            .shards(3)
+            .crash_failpoint(fp.clone())
+            .open(&dir)
+            .unwrap();
+        // group-commit puts: staged WAL frames (wal.append_nosync)
+        for k in 0..48u64 {
+            db.put(k, delete_key_of(k), vec![7u8; 16]).unwrap();
+        }
+        // direct ops: synced appends (wal.append)
+        db.delete(3).unwrap();
+        db.delete_range(10, 14).unwrap();
+        // cross-shard batch: 2PC through the batch-commit log
+        // (batchlog.append + batchlog.commit_fsync)
+        let mut batch = WriteBatch::new();
+        for k in 100..140u64 {
+            batch.put(k, delete_key_of(k), vec![9u8; 16]);
+        }
+        db.write(batch).unwrap();
+        // first persist: flush (backend.write_page), first manifest commit
+        // (manifest.rewrite.begin/rename), WAL truncation
+        // (wal.rewrite.begin/rename)
+        db.persist().unwrap();
+        // second round so a later manifest commit takes the append path
+        // (manifest.append) instead of the first-commit rewrite
+        for k in 200..232u64 {
+            db.put(k, delete_key_of(k), vec![5u8; 16]).unwrap();
+        }
+        db.persist().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let traced: BTreeSet<&str> = fp.traced_sites().into_iter().collect();
+    let registry: BTreeSet<&str> = KILL_POINTS.iter().copied().collect();
+    let unreached: Vec<&&str> = registry.difference(&traced).collect();
+    assert!(
+        unreached.is_empty(),
+        "registered kill points never consulted by the coverage workload: {unreached:?} \
+         (traced: {traced:?})"
+    );
+    let unregistered: Vec<&&str> = traced.difference(&registry).collect();
+    assert!(
+        unregistered.is_empty(),
+        "sites consulted at runtime but missing from KILL_POINTS: {unregistered:?}"
+    );
 }
 
 // ------------------------------------------------------------ restart fuzz
