@@ -145,6 +145,11 @@ pub fn apply_operation(tree: &mut LsmTree, op: &Operation, value_size: usize) ->
             }
             tree.write_batch(batch)
         }
+        Operation::SnapshotRead { key } => {
+            // open a point-in-time view, serve the lookup through it, drop it
+            let snapshot = tree.capture_snapshot();
+            snapshot.get(*key).map(|_| ())
+        }
     }
 }
 

@@ -20,11 +20,12 @@ use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
 use lethe_lsm::sstable::SecondaryDeleteStats;
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
 use lethe_lsm::batch::WriteBatch;
-use lethe_lsm::tree::{LsmTree, MaintenanceMode, RangeIter, TreeReader};
+use lethe_lsm::snapshot::SnapshotTracker;
+use lethe_lsm::tree::{LsmTree, MaintenanceMode, RangeIter, TreeReader, TreeSnapshot};
 use lethe_storage::{
     CacheSnapshot, CachedBackend, DeleteKey, Entry, FailPoint, FileBackend, FileWal,
     InMemoryBackend, IoSnapshot, LogicalClock, Manifest, PageCache, Result, SortKey,
-    StorageBackend, SyncPolicy, Timestamp, MICROS_PER_SEC,
+    StorageBackend, StorageError, SyncPolicy, Timestamp, MICROS_PER_SEC,
 };
 use std::collections::HashSet;
 use std::path::Path;
@@ -48,6 +49,9 @@ pub struct LetheBuilder {
     /// Cross-shard batch ids the batch-commit log proves committed; WAL
     /// replay rolls back prepared slices whose id is missing here.
     committed_batches: Option<HashSet<u64>>,
+    /// A live-snapshot tracker shared with sibling shards, so one registered
+    /// snapshot fence gates tombstone GC in every shard at once.
+    snapshot_tracker: Option<Arc<SnapshotTracker>>,
 }
 
 impl Default for LetheBuilder {
@@ -74,6 +78,7 @@ impl LetheBuilder {
             shared_cache: None,
             seqnum_allocator: None,
             committed_batches: None,
+            snapshot_tracker: None,
         }
     }
 
@@ -89,6 +94,14 @@ impl LetheBuilder {
     /// a prepared-but-uncommitted batch slice in the WAL rolls back.
     pub(crate) fn committed_batches(mut self, ids: HashSet<u64>) -> Self {
         self.committed_batches = Some(ids);
+        self
+    }
+
+    /// Shares a live-snapshot tracker with this engine (the sharded
+    /// front-end hands one tracker to every shard so a snapshot's seqnum
+    /// fence gates tombstone GC store-wide).
+    pub(crate) fn snapshot_tracker(mut self, tracker: Arc<SnapshotTracker>) -> Self {
+        self.snapshot_tracker = Some(tracker);
         self
     }
 
@@ -280,6 +293,9 @@ impl LetheBuilder {
         if let Some(alloc) = self.seqnum_allocator {
             tree = tree.with_seqnum_allocator(alloc);
         }
+        if let Some(tracker) = self.snapshot_tracker {
+            tree = tree.with_snapshot_tracker(tracker);
+        }
         Ok(Lethe { tree, cache })
     }
 
@@ -331,11 +347,40 @@ impl LetheBuilder {
         if let Some(alloc) = self.seqnum_allocator {
             tree = tree.with_seqnum_allocator(alloc);
         }
+        if let Some(tracker) = self.snapshot_tracker {
+            tree = tree.with_snapshot_tracker(tracker);
+        }
         if let Some(ids) = self.committed_batches {
             tree.set_committed_batches(ids);
         }
         tree.recover(&wal)?;
         Ok(Lethe { tree: tree.with_wal(Box::new(wal)), cache })
+    }
+
+    /// Opens the online checkpoint at `dir` (written by
+    /// [`ShardedLethe::checkpoint`](crate::shard::ShardedLethe::checkpoint))
+    /// as a normal durable store.
+    ///
+    /// The checkpoint's completeness marker is verified first: a directory
+    /// whose marker is missing (the checkpoint crashed before its commit
+    /// point) or corrupt is refused outright instead of opening as a
+    /// silently short store. The restored engine resumes at the snapshot's
+    /// seqnum fence, so writes made after the restore never collide with
+    /// sequence numbers the checkpoint already used.
+    pub fn restore(self, dir: impl AsRef<Path>) -> Result<Lethe> {
+        let dir = dir.as_ref();
+        let marker = lethe_storage::read_marker(dir)?;
+        let db = self.open_named(dir, "checkpoint", LogicalClock::new())?;
+        let next = db.tree().next_seqnum();
+        if next < marker.fence {
+            return Err(StorageError::Corruption(format!(
+                "checkpoint at {} recovered to seqnum {next} but its marker \
+                 promises the snapshot fence {}: the manifest is behind the marker",
+                dir.display(),
+                marker.fence
+            )));
+        }
+        Ok(db)
     }
 }
 
@@ -452,6 +497,31 @@ impl Lethe {
     /// secondary scans proceed while this engine flushes or compacts.
     pub fn reader(&self) -> TreeReader {
         self.tree.reader()
+    }
+
+    /// Restores the checkpoint at `dir` with the reference configuration;
+    /// see [`LetheBuilder::restore`] to restore under explicit knobs.
+    pub fn restore(dir: impl AsRef<Path>) -> Result<Lethe> {
+        LetheBuilder::new().restore(dir)
+    }
+
+    /// Captures a frozen point-in-time view of this engine's tree (see
+    /// [`lethe_lsm::tree::TreeSnapshot`]). The `&mut` receiver is the write
+    /// serialisation the capture requires; the returned view reads without
+    /// any lock. Registering the covering seqnum fence with the
+    /// [`snapshot tracker`](Lethe::snapshot_tracker) — so tombstone GC is
+    /// gated while the view is alive — is the caller's responsibility, which
+    /// the sharded front-end's
+    /// [`ShardedLethe::snapshot`](crate::shard::ShardedLethe::snapshot)
+    /// discharges automatically.
+    pub fn capture_snapshot(&mut self) -> TreeSnapshot {
+        self.tree.capture_snapshot()
+    }
+
+    /// The engine's live-snapshot tracker (shared with sibling shards in a
+    /// sharded store).
+    pub fn snapshot_tracker(&self) -> &Arc<SnapshotTracker> {
+        self.tree.snapshot_tracker()
     }
 
     /// Selects who runs flushes and compactions: inline (default) or a

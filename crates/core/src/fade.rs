@@ -211,9 +211,16 @@ impl CompactionPolicy for FadePolicy {
 
         // 1. delete-driven trigger: any level holding an expired file, the
         //    smallest such level first (ties among levels go to the smallest
-        //    level, §4.1.4)
+        //    level, §4.1.4). Suspended while a live snapshot gates tombstone
+        //    GC: a DD compaction exists only to drop its expired tombstones,
+        //    which a gated job must retain — running it anyway would rewrite
+        //    the file with `oldest_tombstone_ts` intact, leave it expired,
+        //    and re-pick it forever. The engine counts the deferral
+        //    (`TreeStats::tombstone_gc_delayed`) and the expired files are
+        //    picked up on the first pick after the snapshot releases.
         let now = view.now;
-        for level in 0..level_count {
+        let skip_dd = view.tombstone_gc_gated;
+        for level in (0..level_count).filter(|_| !skip_dd) {
             if view.levels[level].is_empty() {
                 continue;
             }
@@ -326,6 +333,7 @@ mod tests {
             now,
             config: cfg,
             sort_key_histogram: hist,
+            tombstone_gc_gated: false,
         }
     }
 

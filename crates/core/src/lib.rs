@@ -55,7 +55,7 @@ pub mod tuning;
 pub use baseline::{Baseline, BaselineKind};
 pub use compactor::Compactor;
 pub use engine::{Lethe, LetheBuilder};
-pub use shard::{BackpressureStats, ShardedLethe, ShardedLetheBuilder, ShardedRangeIter};
+pub use shard::{BackpressureStats, ShardedLethe, ShardedLetheBuilder, ShardedRangeIter, Snapshot};
 pub use fade::{level_ttls, FadePolicy, SaturationSelection};
 pub use kiwi::{
     hash_cost_multiplier, metadata_overhead_bytes, plan_secondary_delete, DropPlan,

@@ -73,8 +73,14 @@
 //!   concurrent with writers may observe some shards before and some after
 //!   a given write — e.g. see a writer's second put but not its first when
 //!   the two route to different shards. Per-key operations are always
-//!   consistent; quiesce writers (or use [`ShardedLethe::with_shard`]) when
-//!   a point-in-time multi-shard view is required.
+//!   consistent; when a point-in-time multi-shard view is required, take a
+//!   [`ShardedLethe::snapshot`]: it fences every shard at one shared
+//!   seqnum (no batch straddles it) and serves `get`/`range`/`iter_range`/
+//!   `scan_by_delete_key` at that instant for as long as the handle lives.
+//! * [`ShardedLethe::checkpoint`] streams a pinned snapshot into a target
+//!   directory as a self-contained store — an online backup taken while
+//!   writers continue — which [`Lethe::restore`] reopens after verifying
+//!   the checkpoint's completeness marker.
 //!
 //! Each shard owns a full-size write buffer: an `N`-shard store has `N×` the
 //! configured buffer memory. Divide `buffer_pages` by the shard count if a
@@ -118,19 +124,21 @@ use crate::tuning::WorkloadProfile;
 use bytes::Bytes;
 use lethe_lsm::batch::WriteBatch;
 use lethe_lsm::config::{LsmConfig, MergePolicy};
-use lethe_lsm::sstable::SecondaryDeleteStats;
+use lethe_lsm::snapshot::SnapshotTracker;
+use lethe_lsm::sstable::{SecondaryDeleteStats, SsTable};
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
-use lethe_lsm::tree::{MaintenanceMode, RangeIter, TreeReader};
+use lethe_lsm::tree::{MaintenanceMode, RangeIter, TreeReader, TreeSnapshot};
 use lethe_storage::{
-    BatchCommitLog, BatchOp, CacheSnapshot, DeleteKey, Entry, IoSnapshot, LogicalClock, PageCache,
-    Result, SortKey, StorageError, Timestamp,
+    write_marker, BatchCommitLog, BatchOp, CacheSnapshot, CheckpointMarker,
+    DeleteKey, Entry, FileBackend, IoSnapshot, LogicalClock, Manifest, ManifestState, PageCache,
+    Result, SeqNum, SortKey, StorageBackend, StorageError, Timestamp,
 };
 use lethe_storage::barrier;
 use lethe_sync::{Condvar, LockRank, Mutex};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Builder for a [`ShardedLethe`] engine.
 ///
@@ -319,8 +327,14 @@ impl ShardedLetheBuilder {
         let clock = LogicalClock::new();
         let (inner, cache) = self.shared_cache_inner();
         // one seqnum space across all shards: a cross-shard batch commits
-        // under one consecutive seqnum range
-        let inner = inner.seqnum_allocator(Arc::new(AtomicU64::new(1)));
+        // under one consecutive seqnum range, and a snapshot fence is one
+        // number covering the whole store. One snapshot tracker likewise:
+        // a registered fence gates tombstone GC in every shard at once.
+        let seqnums = Arc::new(AtomicU64::new(1));
+        let snapshots = Arc::new(SnapshotTracker::new());
+        let inner = inner
+            .seqnum_allocator(Arc::clone(&seqnums))
+            .snapshot_tracker(Arc::clone(&snapshots));
         let mut shards = Vec::with_capacity(self.shards);
         for i in 0..self.shards {
             let engine = inner
@@ -336,6 +350,11 @@ impl ShardedLetheBuilder {
             manifest_fsyncs: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
             slowdowns: AtomicU64::new(0),
+            seqnums,
+            snapshots,
+            snapshot_registry: Arc::new(Mutex::new(LockRank::SnapshotRegistry, HashMap::new())),
+            snapshot_ids: AtomicU64::new(1),
+            failpoint: self.failpoint,
         })
     }
 
@@ -375,8 +394,11 @@ impl ShardedLetheBuilder {
         let batch_log = Arc::new(batch_log);
         let clock = LogicalClock::new();
         let (inner, cache) = self.shared_cache_inner();
+        let seqnums = Arc::new(AtomicU64::new(1));
+        let snapshots = Arc::new(SnapshotTracker::new());
         let inner = inner
-            .seqnum_allocator(Arc::new(AtomicU64::new(1)))
+            .seqnum_allocator(Arc::clone(&seqnums))
+            .snapshot_tracker(Arc::clone(&snapshots))
             .committed_batches(batch_log.committed());
         let mut engines = Vec::with_capacity(self.shards);
         let mut live_ids = HashSet::new();
@@ -412,6 +434,11 @@ impl ShardedLetheBuilder {
             manifest_fsyncs,
             stalls: AtomicU64::new(0),
             slowdowns: AtomicU64::new(0),
+            seqnums,
+            snapshots,
+            snapshot_registry: Arc::new(Mutex::new(LockRank::SnapshotRegistry, HashMap::new())),
+            snapshot_ids: AtomicU64::new(1),
+            failpoint: self.failpoint,
         })
     }
 }
@@ -564,6 +591,14 @@ struct PendingWrite {
     slot: Arc<Mutex<Option<Result<()>>>>,
 }
 
+/// The shard (out of `n`) owning `key`: multiply-shift hash (Fibonacci
+/// hashing), shared by the live store and its snapshot handles so both
+/// route a key to the same captured shard view.
+fn shard_of_key(key: SortKey, n: usize) -> usize {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % n
+}
+
 /// Whether `ops` contains a secondary range delete — the one batch op that
 /// restructures the tree instead of appending to the memtable.
 fn has_secondary_delete(ops: &[BatchOp]) -> bool {
@@ -642,6 +677,25 @@ pub struct ShardedLethe {
     manifest_fsyncs: AtomicU64,
     stalls: AtomicU64,
     slowdowns: AtomicU64,
+    /// The store-wide seqnum allocator every shard draws from. Its value
+    /// read while **all** engine locks are held is a consistent snapshot
+    /// fence: no write anywhere in the store can be in flight at that
+    /// instant, so every seqnum below the fence is fully applied and every
+    /// one at or above it is entirely absent.
+    seqnums: Arc<AtomicU64>,
+    /// The live-snapshot tracker shared with every shard's tree; registered
+    /// fences gate tombstone GC and page reclamation store-wide.
+    snapshots: Arc<SnapshotTracker>,
+    /// Live snapshot state by handle id. Holding the only strong `Arc` here
+    /// (handles hold `Weak`s) lets [`ShardedLethe::expire_snapshots`]
+    /// release pinned pages even when a stale handle is still around — the
+    /// handle then fails closed instead of reading reclaimed pages.
+    snapshot_registry: Arc<Mutex<HashMap<u64, Arc<SnapshotInner>>>>,
+    snapshot_ids: AtomicU64,
+    /// The crash fail point shared by every durable component (if any);
+    /// retained so [`ShardedLethe::checkpoint`] arms the checkpoint target's
+    /// backend, manifest and completeness marker with the same countdown.
+    failpoint: Option<lethe_storage::FailPoint>,
 }
 
 // Compile-time proof of the headline property: the sharded front-end can be
@@ -665,8 +719,7 @@ impl ShardedLethe {
     /// The shard owning `key`: multiply-shift hash (Fibonacci hashing), so
     /// dense sequential key ranges spread evenly across shards.
     fn shard_of(&self, key: SortKey) -> usize {
-        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((h >> 32) as usize) % self.shards.len()
+        shard_of_key(key, self.shards.len())
     }
 
     /// Parks the calling writer while `shard` reports a stall condition
@@ -1019,6 +1072,185 @@ impl ShardedLethe {
         Ok(merge_sorted_by_key(per_shard, |e: &Entry| e.sort_key))
     }
 
+    /// Captures a consistent cross-shard point-in-time view of the whole
+    /// store and returns a [`Snapshot`] handle reading at it.
+    ///
+    /// Every shard's engine lock is taken in ascending shard order (the
+    /// same deadlock-free idiom cross-shard batch commits use), the shared
+    /// seqnum allocator is read **once** under all of them as the
+    /// snapshot's fence, and each shard's tree is captured. Because the
+    /// engine locks are exactly where group-commit leaders, two-phase
+    /// cross-shard commits and worker plan/apply phases serialise, no
+    /// write — and in particular no multi-op batch — can straddle the
+    /// fence: the snapshot observes each batch entirely or not at all,
+    /// fixing the weakly-consistent fan-out contract of the live read
+    /// path. The capture itself is cheap (per shard: one bounded memtable
+    /// clone plus three `Arc` bumps), so writers stall only momentarily.
+    ///
+    /// The fence is registered with the store's [`SnapshotTracker`]:
+    /// while the handle lives, tombstone drops that would discard history
+    /// the snapshot still reads are deferred (FADE's accounting counts
+    /// them in [`TreeStats::tombstone_gc_delayed`]), and the pinned
+    /// versions defer page reclamation. Dropping the handle releases both.
+    pub fn snapshot(&self) -> Snapshot {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.engine.lock()).collect();
+        let fence = self.seqnums.load(Ordering::SeqCst);
+        self.snapshots.register(fence);
+        let shards: Vec<TreeSnapshot> = guards.iter().map(|g| g.tree().capture_snapshot()).collect();
+        drop(guards);
+        let inner = Arc::new(SnapshotInner {
+            fence,
+            shards,
+            tracker: Arc::clone(&self.snapshots),
+        });
+        let id = self.snapshot_ids.fetch_add(1, Ordering::Relaxed);
+        let handle = Snapshot {
+            id,
+            fence,
+            inner: Arc::downgrade(&inner),
+            registry: Arc::clone(&self.snapshot_registry),
+            tracker: Arc::clone(&self.snapshots),
+        };
+        self.snapshot_registry.lock().insert(id, inner);
+        handle
+    }
+
+    /// Number of snapshot handles currently pinning store state.
+    pub fn live_snapshots(&self) -> usize {
+        self.snapshot_registry.lock().len()
+    }
+
+    /// Forcibly releases every live snapshot, returning how many were
+    /// expired. Their pinned buffers and versions are dropped (so deferred
+    /// page reclamation and tombstone GC resume) and the tracker's
+    /// lowest-freed watermark advances to the highest expired fence;
+    /// outstanding [`Snapshot`] handles fail closed from now on instead of
+    /// ever reading reclaimed state. An escape hatch for operators when a
+    /// forgotten handle is pinning space — not part of normal snapshot
+    /// lifecycle (dropping the handle is).
+    pub fn expire_snapshots(&self) -> usize {
+        let drained: Vec<Arc<SnapshotInner>> = {
+            let mut registry = self.snapshot_registry.lock();
+            let ids: Vec<u64> = registry.keys().copied().collect();
+            ids.iter().filter_map(|id| registry.remove(id)).collect()
+        };
+        if let Some(max) = drained.iter().map(|inner| inner.fence).max() {
+            self.snapshots.set_lowest_freed(max);
+        }
+        // dropping the last Arcs releases the tracker registrations and the
+        // pinned versions (outside the registry lock)
+        drained.len()
+    }
+
+    /// Streams a consistent point-in-time image of the whole store into
+    /// `dir` — an **online backup** — and returns the completeness marker
+    /// it committed. Writers, flushes and compactions continue throughout:
+    /// the checkpoint pins its own [`Snapshot`] (released on return) and
+    /// reads only captured state.
+    ///
+    /// The target directory becomes a self-contained single-shard store:
+    /// the per-shard checkpoint streams (every entry at the fence, newest
+    /// version per key, tombstones and delete keys retained) are k-way
+    /// merged into fresh KiWi-laid-out tables on a fresh backend, a fresh
+    /// manifest commits the table layout with `next_seqnum` at the fence,
+    /// and **last** the checksummed `CHECKPOINT` marker is durably written
+    /// — the commit point. A crash anywhere mid-stream leaves a directory
+    /// without a valid marker, which [`Lethe::restore`] refuses: a torn
+    /// checkpoint is detectably incomplete, never silently short.
+    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<CheckpointMarker> {
+        let snapshot = self.snapshot();
+        self.checkpoint_at(&snapshot, dir)
+    }
+
+    /// Streams an already-held [`Snapshot`]'s view into `dir`; see
+    /// [`ShardedLethe::checkpoint`]. Lets a caller read through the same
+    /// snapshot it backed up (e.g. to verify the backup against the live
+    /// view it captured).
+    pub fn checkpoint_at(&self, snapshot: &Snapshot, dir: impl AsRef<Path>) -> Result<CheckpointMarker> {
+        let inner = snapshot.pinned()?;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut backend = FileBackend::open_named(dir, "checkpoint")?;
+        if let Some(fp) = &self.failpoint {
+            backend.set_failpoint(fp.clone());
+        }
+        let backend: Arc<dyn StorageBackend> = Arc::new(backend);
+        let config = self.shards[0].engine.lock().config().clone();
+        // one source stream per shard; hash partitioning puts every sort
+        // key in exactly one shard, so the pick-min merge needs no
+        // cross-shard dedup
+        let mut streams = Vec::with_capacity(inner.shards.len());
+        let mut heads: Vec<Option<Entry>> = Vec::with_capacity(inner.shards.len());
+        for shard in &inner.shards {
+            let mut stream = shard.entry_merge()?;
+            heads.push(stream.next_merged()?);
+            streams.push(stream);
+        }
+        // range tombstones live outside the page stream; carry every one
+        // visible at the fence in the first table's range-tombstone block
+        // (their shadowing was already applied to the merged entries, so
+        // re-applying it on restore is idempotent)
+        let mut rts: Vec<Entry> = inner.shards.iter().flat_map(|s| s.all_range_tombstones()).collect();
+        rts.sort_by_key(|e| (e.sort_key, e.seqnum));
+        let oldest_tombstone_ts =
+            inner.shards.iter().filter_map(|s| s.oldest_tombstone_ts()).min();
+        let entries_per_file =
+            (config.max_pages_per_file.max(1) * config.entries_per_page.max(1)).max(1);
+        let created_at = self.clock.now();
+        let mut files = Vec::new();
+        let mut next_file_id = 1u64;
+        loop {
+            let mut chunk: Vec<Entry> = Vec::with_capacity(entries_per_file.min(1024));
+            while chunk.len() < entries_per_file {
+                let best = heads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, h)| h.as_ref().map(|e| (i, e.sort_key)))
+                    .min_by_key(|&(_, k)| k);
+                let Some((i, _)) = best else { break };
+                if let Some(e) = heads[i].take() {
+                    chunk.push(e);
+                }
+                heads[i] = streams[i].next_merged()?;
+            }
+            let chunk_rts = std::mem::take(&mut rts);
+            if chunk.is_empty() && chunk_rts.is_empty() {
+                break;
+            }
+            let holds_tombstones =
+                !chunk_rts.is_empty() || chunk.iter().any(|e| e.is_point_tombstone());
+            let table = SsTable::build(
+                next_file_id,
+                chunk,
+                chunk_rts,
+                created_at,
+                if holds_tombstones { oldest_tombstone_ts } else { None },
+                &config,
+                backend.as_ref(),
+            )?;
+            files.push(table.describe());
+            next_file_id += 1;
+        }
+        // every page durable before the manifest references it, the
+        // manifest durable before the marker declares the stream complete
+        backend.sync()?;
+        let state = ManifestState {
+            next_file_id,
+            next_seqnum: inner.fence,
+            clock_micros: created_at,
+            levels: vec![vec![files]],
+        };
+        let mut manifest = Manifest::open(dir.join("checkpoint.manifest"))?;
+        if let Some(fp) = &self.failpoint {
+            manifest.set_failpoint(fp.clone());
+        }
+        manifest.commit(state)?;
+        let marker =
+            CheckpointMarker { fence: inner.fence, shards: inner.shards.len() as u32 };
+        write_marker(dir, marker, &self.manifest_fsyncs, self.failpoint.as_ref())?;
+        Ok(marker)
+    }
+
     /// Flushes every shard's write buffer and waits until every shard's
     /// worker has drained its compaction queue (including TTL-driven
     /// compactions that are due).
@@ -1216,6 +1448,132 @@ impl Iterator for ShardedRangeIter {
         let item = self.heads[i].next.take().expect("best head has an item");
         self.heads[i].pull(&mut self.pending_err);
         Some(Ok(item))
+    }
+}
+
+/// The pinned state behind one [`Snapshot`] handle: the per-shard captured
+/// views plus the tracker registration covering them. Lives in the store's
+/// snapshot registry (the only strong `Arc`); dropping it — via handle drop
+/// or [`ShardedLethe::expire_snapshots`] — releases the tracker fence, the
+/// pinned buffers and the pinned versions, letting tombstone GC and page
+/// reclamation resume.
+struct SnapshotInner {
+    fence: SeqNum,
+    shards: Vec<TreeSnapshot>,
+    tracker: Arc<SnapshotTracker>,
+}
+
+impl Drop for SnapshotInner {
+    fn drop(&mut self) {
+        self.tracker.release(self.fence);
+    }
+}
+
+/// A consistent cross-shard point-in-time view of a [`ShardedLethe`] store,
+/// obtained from [`ShardedLethe::snapshot`].
+///
+/// All reads (`get`/`range`/`iter_range`/`scan_by_delete_key`) answer as of
+/// the snapshot's seqnum fence, no matter how many writes, flushes,
+/// compactions or secondary deletes have happened since — and they take no
+/// shard locks. While the handle lives, tombstone GC that would discard
+/// history it reads is deferred and its disk pages are pinned; dropping it
+/// releases both. A handle invalidated by
+/// [`ShardedLethe::expire_snapshots`] fails every subsequent read with an
+/// explicit error (its pages may have been reclaimed — the tracker's
+/// lowest-freed watermark has moved past its fence) instead of returning
+/// partial state; iterators obtained *before* the expiry stay safe, since
+/// they hold their own pins.
+pub struct Snapshot {
+    id: u64,
+    fence: SeqNum,
+    inner: Weak<SnapshotInner>,
+    registry: Arc<Mutex<HashMap<u64, Arc<SnapshotInner>>>>,
+    tracker: Arc<SnapshotTracker>,
+}
+
+impl Snapshot {
+    /// The snapshot's seqnum fence: every write with a smaller seqnum is
+    /// visible, every one at or above it is not.
+    pub fn seqnum(&self) -> SeqNum {
+        self.fence
+    }
+
+    /// The pinned state, or the fail-closed error for an expired handle.
+    fn pinned(&self) -> Result<Arc<SnapshotInner>> {
+        self.inner.upgrade().ok_or_else(|| {
+            let reclaimed = !self.tracker.is_valid(self.fence);
+            StorageError::InvalidOperation(format!(
+                "snapshot at seqnum fence {} was expired{}; take a new snapshot",
+                self.fence,
+                if reclaimed {
+                    " and pages it pinned may already be reclaimed \
+                     (the lowest-freed watermark passed its fence)"
+                } else {
+                    ""
+                }
+            ))
+        })
+    }
+
+    /// Point lookup at the snapshot: the value of `key` as of the fence.
+    pub fn get(&self, key: SortKey) -> Result<Option<Bytes>> {
+        let inner = self.pinned()?;
+        inner.shards[shard_of_key(key, inner.shards.len())].get(key)
+    }
+
+    /// Range lookup over `[lo, hi)` at the snapshot, merged back into
+    /// global sort-key order across shards.
+    pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
+        let inner = self.pinned()?;
+        let mut per_shard = Vec::with_capacity(inner.shards.len());
+        for shard in &inner.shards {
+            per_shard.push(shard.range(lo, hi)?);
+        }
+        Ok(merge_sorted_by_key(per_shard, |kv: &(SortKey, Bytes)| kv.0))
+    }
+
+    /// Streaming range scan over `[lo, hi)` at the snapshot: the frozen
+    /// twin of [`ShardedLethe::iter_range`], k-way merging per-shard
+    /// cursors over the captured state. The returned iterator owns its own
+    /// pins, so it remains valid even if the handle is expired mid-scan.
+    pub fn iter_range(&self, lo: SortKey, hi: SortKey) -> Result<ShardedRangeIter> {
+        let inner = self.pinned()?;
+        let mut heads = Vec::with_capacity(inner.shards.len());
+        let mut pending_err = None;
+        for shard in &inner.shards {
+            match shard.iter_range(lo, hi) {
+                Ok(iter) => {
+                    let mut head = ShardHead { iter, next: None };
+                    head.pull(&mut pending_err);
+                    heads.push(head);
+                }
+                Err(e) => {
+                    pending_err.get_or_insert(e);
+                }
+            }
+        }
+        Ok(ShardedRangeIter { heads, pending_err, done: false })
+    }
+
+    /// Secondary range lookup at the snapshot: every entry live at the
+    /// fence whose delete key lies in `[lo, hi)`, across all shards, in
+    /// sort-key order.
+    pub fn scan_by_delete_key(&self, lo: DeleteKey, hi: DeleteKey) -> Result<Vec<Entry>> {
+        let inner = self.pinned()?;
+        let mut per_shard = Vec::with_capacity(inner.shards.len());
+        for shard in &inner.shards {
+            per_shard.push(shard.scan_by_delete_key(lo, hi)?);
+        }
+        Ok(merge_sorted_by_key(per_shard, |e: &Entry| e.sort_key))
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        // remove the registry's Arc (usually the last one): the inner drop
+        // runs after the registry lock is released
+        let inner = self.registry.lock().remove(&self.id);
+        drop(inner);
     }
 }
 
@@ -1538,6 +1896,128 @@ mod tests {
         assert!(db.scan_by_delete_key(0, 4).unwrap().is_empty());
         // an empty batch is a no-op
         db.write(WriteBatch::new()).unwrap();
+    }
+
+    #[test]
+    fn snapshot_is_a_frozen_cross_shard_view() {
+        let db = small().shards(3).build().unwrap();
+        for k in 0..300u64 {
+            db.put(k, k % 31, format!("v{k}")).unwrap();
+        }
+        db.persist().unwrap();
+        let snap = db.snapshot();
+        assert_eq!(db.live_snapshots(), 1);
+        // mutate heavily after the fence: overwrites, deletes, a range
+        // delete, a secondary delete, flushes and compactions
+        for k in 0..300u64 {
+            db.put(k, k % 31, format!("new{k}")).unwrap();
+        }
+        db.delete_range(50, 100).unwrap();
+        db.delete(7).unwrap();
+        db.persist().unwrap();
+        db.delete_where_delete_key_in(0, 5).unwrap();
+        db.maintain().unwrap();
+        // the snapshot still answers as of the fence
+        assert_eq!(snap.get(7).unwrap(), Some(Bytes::from("v7")));
+        assert_eq!(snap.get(60).unwrap(), Some(Bytes::from("v60")));
+        let frozen = snap.range(0, 300).unwrap();
+        assert_eq!(frozen.len(), 300);
+        for (k, v) in &frozen {
+            assert_eq!(v, &Bytes::from(format!("v{k}")));
+        }
+        // streaming scan agrees with the materialised range
+        let streamed: Vec<_> =
+            snap.iter_range(0, 300).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, frozen);
+        // secondary scan at the fence still sees delete keys [0, 5)
+        assert!(!snap.scan_by_delete_key(0, 5).unwrap().is_empty());
+        // the live view moved on
+        assert_eq!(db.get(7).unwrap(), None);
+        assert_eq!(db.get(60).unwrap(), None);
+        // key 6's delete key (6) is outside the purged [0, 5) range
+        assert_eq!(db.get(6).unwrap(), Some(Bytes::from("new6")));
+        drop(snap);
+        assert_eq!(db.live_snapshots(), 0);
+    }
+
+    #[test]
+    fn expired_snapshot_handle_fails_closed() {
+        let db = small().shards(2).build().unwrap();
+        for k in 0..100u64 {
+            db.put(k, k, format!("v{k}")).unwrap();
+        }
+        let snap = db.snapshot();
+        assert_eq!(snap.get(1).unwrap(), Some(Bytes::from("v1")));
+        // an iterator created before the expiry owns its own pins
+        let mut early_iter = snap.iter_range(0, 100).unwrap();
+        assert_eq!(db.expire_snapshots(), 1);
+        assert_eq!(db.live_snapshots(), 0);
+        let err = snap.get(1).unwrap_err();
+        assert!(err.to_string().contains("expired"), "got: {err}");
+        assert!(snap.range(0, 100).is_err());
+        assert!(snap.iter_range(0, 100).is_err());
+        assert!(snap.scan_by_delete_key(0, 100).is_err());
+        let drained: Vec<_> = early_iter.by_ref().collect::<Result<_>>().unwrap();
+        assert_eq!(drained.len(), 100);
+        // a fresh snapshot after the expiry works
+        let fresh = db.snapshot();
+        assert_eq!(fresh.get(1).unwrap(), Some(Bytes::from("v1")));
+    }
+
+    #[test]
+    fn checkpoint_restores_the_fenced_view() {
+        let dir = std::env::temp_dir().join(format!("lethe-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = small().shards(3).build().unwrap();
+        for k in 0..400u64 {
+            db.put(k, k % 53, format!("v{k}")).unwrap();
+        }
+        db.delete(13).unwrap();
+        db.delete_range(350, 400).unwrap();
+        db.persist().unwrap();
+        let snap = db.snapshot();
+        let expected = snap.range(0, 400).unwrap();
+        let marker = db.checkpoint_at(&snap, &dir).unwrap();
+        assert_eq!(marker.fence, snap.seqnum());
+        assert_eq!(marker.shards, 3);
+        // writers continue after (and conceptually during) the stream;
+        // none of this reaches the checkpoint
+        for k in 0..400u64 {
+            db.put(k, k % 53, "after").unwrap();
+        }
+        let restored = Lethe::restore(&dir).unwrap();
+        assert_eq!(restored.range(0, 400).unwrap(), expected);
+        assert_eq!(restored.get(13).unwrap(), None);
+        assert_eq!(restored.get(360).unwrap(), None);
+        assert_eq!(restored.get(12).unwrap(), Some(Bytes::from("v12")));
+        // secondary index metadata survived the stream
+        let by_delete = restored.scan_by_delete_key(5, 6).unwrap();
+        assert!(!by_delete.is_empty());
+        assert!(by_delete.iter().all(|e| e.delete_key == 5));
+        // the restored store resumes past the fence and accepts writes
+        let mut restored = restored;
+        restored.put(9999, 1, "fresh").unwrap();
+        assert_eq!(restored.get(9999).unwrap(), Some(Bytes::from("fresh")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_refuses_a_markerless_directory() {
+        let dir = std::env::temp_dir().join(format!("lethe-ckpt-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = small().shards(2).build().unwrap();
+        for k in 0..100u64 {
+            db.put(k, k, format!("v{k}")).unwrap();
+        }
+        db.checkpoint(&dir).unwrap();
+        // simulate a checkpoint torn before its commit point
+        std::fs::remove_file(dir.join("CHECKPOINT")).unwrap();
+        let err = match Lethe::restore(&dir) {
+            Ok(_) => panic!("a markerless checkpoint must be refused"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("incomplete"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct TreeView<'a> {
     /// System-wide histogram over the sort key, used to estimate how many
     /// entries a range tombstone invalidates (FADE's `b`).
     pub sort_key_histogram: &'a Histogram,
+    /// True while a live snapshot gates tombstone GC (see
+    /// `lethe_lsm::snapshot`): a compaction planned now must retain its
+    /// tombstones, so delete-persistence-driven (TTL) triggers should be
+    /// deferred — a gated TTL rewrite would make no progress and be re-picked
+    /// forever. Saturation-driven work proceeds normally.
+    pub tombstone_gc_gated: bool,
 }
 
 impl<'a> TreeView<'a> {
@@ -285,6 +291,7 @@ mod tests {
             now: 0,
             config: &cfg,
             sort_key_histogram: &hist,
+            tombstone_gc_gated: false,
         };
         let mut policy = SaturationPolicy::new(FileSelection::MinOverlap);
         assert!(policy.pick(&view).is_none());
@@ -309,6 +316,7 @@ mod tests {
             now: 0,
             config: &cfg,
             sort_key_histogram: &hist,
+            tombstone_gc_gated: false,
         };
         // min-overlap picks file 2 (no overlap below)
         let mut policy = SaturationPolicy::new(FileSelection::MinOverlap);
@@ -344,6 +352,7 @@ mod tests {
             now: 0,
             config: &cfg,
             sort_key_histogram: &hist,
+            tombstone_gc_gated: false,
         };
         let mut policy = SaturationPolicy::new(FileSelection::MinOverlap);
         assert_eq!(policy.pick(&view), Some(CompactionTask::TieredLevel { level: 0 }));
@@ -362,6 +371,7 @@ mod tests {
             now,
             config: &cfg,
             sort_key_histogram: &hist,
+            tombstone_gc_gated: false,
         };
         let mut policy = PeriodicFullCompactionPolicy::new(FileSelection::MinOverlap, 1000);
         // at t=1000 the period elapsed → full tree compaction
@@ -394,6 +404,7 @@ mod tests {
             now: 0,
             config: &cfg,
             sort_key_histogram: &hist,
+            tombstone_gc_gated: false,
         };
         let b = view.estimated_invalidation_count(&t);
         // 1 point tombstone + ~500 estimated range-invalidations

@@ -30,6 +30,9 @@
 //!   reads and deferred page reclamation.
 //! * [`reclaim`] — the page-retirement choke point every engine-path
 //!   `drop_page` funnels through (enforced by the repo lint).
+//! * [`snapshot`] — the live-snapshot tracker: registered seqnum fences
+//!   gate tombstone GC and deferred page reclamation, with a lowest-freed
+//!   watermark that fails stale handles closed.
 //! * [`stats`] — space/write amplification and tombstone-age accounting.
 //!
 //! The delete-aware pieces of the paper (the FADE compaction policy and the
@@ -46,6 +49,7 @@ pub mod cursor;
 pub mod level;
 pub mod merge;
 pub mod reclaim;
+pub mod snapshot;
 pub mod sstable;
 pub mod stats;
 pub mod tree;
@@ -60,9 +64,11 @@ pub use cursor::{EntryCursor, MergeIterator, SsTableCursor, TombstoneWindow, Vec
 pub use config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
 pub use level::{Level, Run};
 pub use merge::{merge_entries, MergeOutput};
+pub use snapshot::SnapshotTracker;
 pub use sstable::{DeleteTile, PageHandle, SecondaryDeleteStats, SsTable, SsTableMeta};
 pub use stats::{ContentSnapshot, TreeStats};
 pub use tree::{
-    BuildCtx, JobOutput, JobPlan, LsmTree, MaintenanceMode, RangeIter, RecoveryReport, TreeReader,
+    BuildCtx, JobOutput, JobPlan, LsmTree, MaintenanceMode, RangeIter, RecoveryReport,
+    TreeReader, TreeSnapshot,
 };
 pub use version::{Version, VersionSet};

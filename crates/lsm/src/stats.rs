@@ -41,6 +41,16 @@ pub struct TreeStats {
     pub blind_deletes_suppressed: u64,
     /// Secondary range delete operations executed.
     pub secondary_range_deletes: u64,
+    /// Tombstone-drop decisions suppressed because a live snapshot still
+    /// pinned pre-delete history (see `lethe_lsm::snapshot`): each count is
+    /// one planned job that would have persisted its tombstones but was
+    /// forced to retain them. While this is non-zero and rising, FADE's
+    /// `D_th` guarantee is deliberately suspended — the tombstones stay in
+    /// their files with their ages intact, so the delete-persistence
+    /// accounting (`ContentSnapshot::tombstone_file_ages`) keeps reporting
+    /// them as unpersisted rather than claiming a delete completed while a
+    /// snapshot could still read the deleted data.
+    pub tombstone_gc_delayed: u64,
     /// Aggregate page-drop outcomes of all secondary range deletes.
     pub secondary_delete: SecondaryDeleteStats,
     /// Number of point lookups served.
@@ -70,6 +80,7 @@ impl TreeStats {
         self.range_deletes_issued += other.range_deletes_issued;
         self.blind_deletes_suppressed += other.blind_deletes_suppressed;
         self.secondary_range_deletes += other.secondary_range_deletes;
+        self.tombstone_gc_delayed += other.tombstone_gc_delayed;
         self.secondary_delete.merge(&other.secondary_delete);
         self.point_lookups += other.point_lookups;
         self.range_lookups += other.range_lookups;

@@ -35,6 +35,7 @@ use crate::cursor::{
 };
 use crate::level::{Level, Run};
 use crate::merge::merge_entries;
+use crate::snapshot::SnapshotTracker;
 use crate::sstable::{SecondaryDeleteStats, SsTable};
 use crate::stats::{ContentSnapshot, TreeStats};
 use crate::version::{Version, VersionSet};
@@ -223,29 +224,7 @@ impl TreeReader {
 
     /// Newest on-device version of `sort_key` within a pinned version.
     fn disk_entry(&self, version: &Version, sort_key: SortKey) -> Result<Option<Entry>> {
-        let stats = self.backend.stats();
-        for level in &version.levels {
-            for run in &level.runs {
-                // a key normally maps to one file, but range tombstones can
-                // stretch a file's range over its neighbours
-                let mut candidate: Option<Entry> = None;
-                for table in run.tables() {
-                    if !table.key_in_range(sort_key) {
-                        continue;
-                    }
-                    if let Some(e) = table.get(sort_key, self.backend.as_ref(), &stats)? {
-                        candidate = match candidate {
-                            Some(c) if c.seqnum >= e.seqnum => Some(c),
-                            _ => Some(e),
-                        };
-                    }
-                }
-                if candidate.is_some() {
-                    return Ok(candidate);
-                }
-            }
-        }
-        Ok(None)
+        disk_point_lookup(version, self.backend.as_ref(), sort_key)
     }
 
     /// Builds the streaming merge a sort-key range scan runs on: one cursor
@@ -526,6 +505,227 @@ impl Iterator for RangeIter {
                 Some(Err(e))
             }
         }
+    }
+}
+
+/// Newest on-device version of `sort_key` within a pinned version, shared
+/// by the live reader and frozen snapshots.
+fn disk_point_lookup(
+    version: &Version,
+    backend: &dyn StorageBackend,
+    sort_key: SortKey,
+) -> Result<Option<Entry>> {
+    let stats = backend.stats();
+    for level in &version.levels {
+        for run in &level.runs {
+            // a key normally maps to one file, but range tombstones can
+            // stretch a file's range over its neighbours
+            let mut candidate: Option<Entry> = None;
+            for table in run.tables() {
+                if !table.key_in_range(sort_key) {
+                    continue;
+                }
+                if let Some(e) = table.get(sort_key, backend, &stats)? {
+                    candidate = match candidate {
+                        Some(c) if c.seqnum >= e.seqnum => Some(c),
+                        _ => Some(e),
+                    };
+                }
+            }
+            if candidate.is_some() {
+                return Ok(candidate);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// A frozen point-in-time view of one tree, produced by
+/// [`LsmTree::capture_snapshot`] while the embedding layer holds the tree's
+/// write serialisation (the sharded front-end captures all shards under
+/// their engine locks so one seqnum fence covers the whole store).
+///
+/// The capture is three pointers plus one bounded copy: the active
+/// memtable's entries are cloned (bounded by the buffer capacity), the
+/// frozen buffer — if one is pending flush — is pinned by `Arc` (the rare
+/// in-place mutation goes through `Arc::make_mut`, leaving pinned clones
+/// untouched), and the current [`Version`] is pinned, which defers page
+/// reclamation of its tables for as long as the snapshot lives. Subsequent
+/// writes, flushes, compactions and secondary deletes therefore cannot
+/// change what this view returns.
+#[derive(Clone)]
+pub struct TreeSnapshot {
+    backend: Arc<dyn StorageBackend>,
+    /// The capture-time active buffer, reusing the frozen-buffer shape so
+    /// scans stream it through the same shared-slice cursor.
+    active: Arc<FrozenBuffer>,
+    frozen: Option<Arc<FrozenBuffer>>,
+    version: Arc<Version>,
+}
+
+impl TreeSnapshot {
+    /// Point lookup at the snapshot: the value of `sort_key` as of capture
+    /// time, or `None` if it did not exist or was deleted.
+    pub fn get(&self, sort_key: SortKey) -> Result<Option<Bytes>> {
+        Ok(match self.get_entry(sort_key)? {
+            Some(e) if e.kind == EntryKind::Put => Some(e.value),
+            _ => None,
+        })
+    }
+
+    /// Newest captured version (possibly a tombstone) of `sort_key`.
+    fn get_entry(&self, sort_key: SortKey) -> Result<Option<Entry>> {
+        if let Some(e) = self.active.get(sort_key) {
+            return Ok(Some(e));
+        }
+        if let Some(f) = &self.frozen {
+            if let Some(e) = f.get(sort_key) {
+                return Ok(Some(e));
+            }
+        }
+        disk_point_lookup(&self.version, self.backend.as_ref(), sort_key)
+    }
+
+    /// Builds the k-way merge of the captured sources over `[lo, hi)`,
+    /// newest source first — the frozen twin of
+    /// [`TreeReader::build_range_merge`]. `drop_tombstones` selects between
+    /// the user-facing view (resolved, tombstones consumed) and the
+    /// checkpoint stream (full entries, tombstones retained).
+    fn build_merge(&self, lo: SortKey, hi: SortKey, drop_tombstones: bool) -> Result<MergeIterator> {
+        let mut cursors: Vec<Box<dyn EntryCursor>> = Vec::new();
+        let mut rts: Vec<Entry> = Vec::new();
+        for buf in [Some(&self.active), self.frozen.as_ref()].into_iter().flatten() {
+            let start = buf.entries.partition_point(|e| e.sort_key < lo);
+            let end = buf.entries.partition_point(|e| e.sort_key < hi);
+            rts.extend(buf.range_tombstones.iter().cloned());
+            cursors.push(Box::new(SharedSliceCursor::new(FrozenEntries(Arc::clone(buf)), start, end)));
+        }
+        for table in self.version.overlapping_tables(lo, hi) {
+            rts.extend(table.range_tombstones.iter().cloned());
+            cursors.push(Box::new(SsTableCursor::new(
+                table,
+                Arc::clone(&self.backend),
+                lo,
+                hi,
+                false,
+            )));
+        }
+        MergeIterator::new(cursors, rts, drop_tombstones)
+    }
+
+    /// Range lookup at the snapshot: live `(key, value)` pairs in `[lo, hi)`
+    /// as of capture time, newest version per key, in key order.
+    pub fn range(&self, lo: SortKey, hi: SortKey) -> Result<Vec<(SortKey, Bytes)>> {
+        if hi <= lo {
+            return Ok(Vec::new());
+        }
+        let mut merge = self.build_merge(lo, hi, true)?;
+        let mut out = Vec::new();
+        while let Some(e) = merge.next_merged()? {
+            out.push((e.sort_key, e.value));
+        }
+        Ok(out)
+    }
+
+    /// Streaming range scan over `[lo, hi)` at the snapshot: same contract
+    /// as [`TreeReader::iter_range`], but against the captured state.
+    pub fn iter_range(&self, lo: SortKey, hi: SortKey) -> Result<RangeIter> {
+        if hi <= lo {
+            return Ok(RangeIter { merge: None, _pin: None });
+        }
+        let merge = self.build_merge(lo, hi, true)?;
+        Ok(RangeIter { merge: Some(merge), _pin: Some(Arc::clone(&self.version)) })
+    }
+
+    /// The checkpoint source stream: every entry of the snapshot in sort-key
+    /// order, newest version per key, **retaining tombstones** and their
+    /// delete keys and seqnums, so a store rebuilt from it is byte-identical
+    /// to the snapshot view (including not resurrecting deleted history a
+    /// restore-side compaction has yet to persist).
+    pub fn entry_merge(&self) -> Result<MergeIterator> {
+        self.build_merge(SortKey::MIN, SortKey::MAX, false)
+    }
+
+    /// Every range tombstone visible in this snapshot, from all captured
+    /// sources (checkpoints persist them alongside the point entries).
+    pub fn all_range_tombstones(&self) -> Vec<Entry> {
+        let mut rts: Vec<Entry> = Vec::new();
+        for buf in [Some(&self.active), self.frozen.as_ref()].into_iter().flatten() {
+            rts.extend(buf.range_tombstones.iter().cloned());
+        }
+        for level in &self.version.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    rts.extend(table.range_tombstones.iter().cloned());
+                }
+            }
+        }
+        rts.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then(a.seqnum.cmp(&b.seqnum)));
+        rts.dedup_by(|a, b| a.sort_key == b.sort_key && a.seqnum == b.seqnum);
+        rts
+    }
+
+    /// Insertion time of the oldest tombstone visible in the snapshot, for
+    /// the FADE age accounting of files a checkpoint builds from it.
+    pub fn oldest_tombstone_ts(&self) -> Option<Timestamp> {
+        let mut oldest = self.active.oldest_tombstone_ts;
+        if let Some(f) = &self.frozen {
+            oldest = min_opt(oldest, f.oldest_tombstone_ts);
+        }
+        for level in &self.version.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    oldest = min_opt(oldest, table.meta.oldest_tombstone_ts);
+                }
+            }
+        }
+        oldest
+    }
+
+    /// Secondary range scan at the snapshot: every entry live at capture
+    /// time whose **delete key** lies in `[d_lo, d_hi)`.
+    pub fn scan_by_delete_key(&self, d_lo: DeleteKey, d_hi: DeleteKey) -> Result<Vec<Entry>> {
+        if d_hi <= d_lo {
+            return Ok(Vec::new());
+        }
+        let qualifies =
+            |e: &&Entry| !e.is_tombstone() && e.delete_key >= d_lo && e.delete_key < d_hi;
+        let mut hits: Vec<Entry> = self.active.entries.iter().filter(qualifies).cloned().collect();
+        if let Some(f) = &self.frozen {
+            hits.extend(f.entries.iter().filter(qualifies).cloned());
+        }
+        for level in &self.version.levels {
+            for run in &level.runs {
+                for table in run.tables() {
+                    // KiWi fence pruning at file granularity, as in the live
+                    // reader
+                    let meta = &table.meta;
+                    if meta.num_entries == 0 || meta.max_delete < d_lo || meta.min_delete >= d_hi
+                    {
+                        continue;
+                    }
+                    hits.extend(table.secondary_range_scan(d_lo, d_hi, self.backend.as_ref())?);
+                }
+            }
+        }
+        // keep only the snapshot-wide newest version of each key, and only
+        // if that version is live and still qualifies. Unlike the live
+        // reader there is no install race to re-validate against: the
+        // captured sources are immutable, so the snapshot's own point
+        // lookup is the authority.
+        hits.sort_by(|a, b| a.sort_key.cmp(&b.sort_key).then_with(|| b.seqnum.cmp(&a.seqnum)));
+        let mut out: Vec<Entry> = Vec::with_capacity(hits.len());
+        for e in hits {
+            if out.last().map(|p: &Entry| p.sort_key) == Some(e.sort_key) {
+                continue;
+            }
+            if let Some(newest) = self.get_entry(e.sort_key)? {
+                if newest.seqnum == e.seqnum && newest.kind == EntryKind::Put {
+                    out.push(e);
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -861,6 +1061,10 @@ pub struct LsmTree {
     /// compact its batch-commit log down to ids some WAL still references.
     replayed_batch_ids: HashSet<u64>,
     next_file_id: Arc<AtomicU64>,
+    /// Live-snapshot registry. Shared across every shard of a sharded store
+    /// (like the seqnum allocator) so one cross-shard snapshot gates
+    /// tombstone GC in all shards at once.
+    snapshots: Arc<SnapshotTracker>,
     stats: TreeStats,
     counters: Arc<ReadCounters>,
     reader: TreeReader,
@@ -905,6 +1109,7 @@ impl LsmTree {
             committed_batches: HashSet::new(),
             replayed_batch_ids: HashSet::new(),
             next_file_id: Arc::new(AtomicU64::new(1)),
+            snapshots: Arc::new(SnapshotTracker::new()),
             stats: TreeStats::default(),
             counters,
             reader,
@@ -940,6 +1145,56 @@ impl LsmTree {
         alloc.fetch_max(self.next_seqnum.load(Ordering::Relaxed), Ordering::Relaxed);
         self.next_seqnum = alloc;
         self
+    }
+
+    /// Shares a live-snapshot tracker with other trees (the shards of one
+    /// store): one registered snapshot fence gates tombstone GC in every
+    /// shard at once.
+    pub fn with_snapshot_tracker(mut self, tracker: Arc<SnapshotTracker>) -> Self {
+        self.snapshots = tracker;
+        self
+    }
+
+    /// The tree's live-snapshot tracker.
+    pub fn snapshot_tracker(&self) -> &Arc<SnapshotTracker> {
+        &self.snapshots
+    }
+
+    /// The next sequence number this tree will assign — every write applied
+    /// so far carries a strictly smaller one. Loaded from the (possibly
+    /// shared) allocator; read it under the tree's write serialisation when
+    /// it must fence a consistent cut, as the sharded snapshot path does.
+    pub fn next_seqnum(&self) -> SeqNum {
+        self.next_seqnum.load(Ordering::Relaxed)
+    }
+
+    /// Captures a frozen point-in-time view of this tree.
+    ///
+    /// Call while holding the tree's write serialisation (the shard's
+    /// engine lock in the sharded store): under it no write, flush commit
+    /// or version install can interleave, so the three captured sources
+    /// (active clone, pinned frozen buffer, pinned version) describe one
+    /// instant. The returned [`TreeSnapshot`] is immutable and reads
+    /// without any tree lock. The caller is responsible for registering
+    /// the covering seqnum fence with the [`SnapshotTracker`] so tombstone
+    /// GC is gated while the view is alive.
+    pub fn capture_snapshot(&self) -> TreeSnapshot {
+        let (entries, range_tombstones) = {
+            let active = self.mem.active.read();
+            (active.iter().cloned().collect::<Vec<Entry>>(), active.range_tombstones().to_vec())
+        };
+        let frozen = self.mem.frozen.read().clone();
+        TreeSnapshot {
+            backend: Arc::clone(&self.backend),
+            active: Arc::new(FrozenBuffer {
+                entries,
+                range_tombstones,
+                oldest_tombstone_ts: self.buffer_oldest_tombstone_ts,
+                wal_upto: 0,
+            }),
+            frozen,
+            version: self.versions.current(),
+        }
     }
 
     /// Provides the set of cross-shard batch ids the batch-commit log proves
@@ -1609,6 +1864,25 @@ impl LsmTree {
         self.plan_compaction()
     }
 
+    /// True while a live snapshot pins history older than the newest write.
+    /// Conservative fence: the current `next_seqnum` — any snapshot taken
+    /// before the latest write blocks drops, and a snapshot with no writes
+    /// after it (which already observes every tombstone) does not.
+    fn tombstone_gc_gated(&self) -> bool {
+        !self.snapshots.may_drop_tombstones(self.next_seqnum.load(Ordering::Relaxed))
+    }
+
+    /// Applies the snapshot gate to a planned job's tombstone-drop decision,
+    /// counting each suppression so the delete-persistence accounting can
+    /// show that `D_th` was deliberately suspended rather than violated.
+    fn gate_tombstone_drop(&mut self, want_drop: bool) -> bool {
+        if want_drop && self.tombstone_gc_gated() {
+            self.stats.tombstone_gc_delayed += 1;
+            return false;
+        }
+        want_drop
+    }
+
     fn plan_flush(&mut self) -> Option<JobPlan> {
         let buffer = Arc::clone(self.mem.frozen.read().as_ref()?);
         let tiering = self.config.merge_policy == MergePolicy::Tiering;
@@ -1624,6 +1898,7 @@ impl LsmTree {
             let drop = version.deepest_nonempty_level().is_none_or(|d| d == 0);
             (resident, drop)
         };
+        let drop_tombstones = self.gate_tombstone_drop(drop_tombstones);
         Some(JobPlan { kind: JobKind::Flush { buffer, resident, tiering }, drop_tombstones })
     }
 
@@ -1639,6 +1914,7 @@ impl LsmTree {
                 now: self.clock.now(),
                 config: &self.config,
                 sort_key_histogram: &self.sort_key_histogram,
+                tombstone_gc_gated: self.tombstone_gc_gated(),
             };
             self.policy.pick(&view)?
         };
@@ -1663,7 +1939,8 @@ impl LsmTree {
                 let deepest_other = (0..version.levels.len())
                     .rev()
                     .find(|&i| i != level && !version.levels[i].is_empty());
-                let drop_tombstones = deepest_other.is_none_or(|d| d < level + 1);
+                let drop_tombstones =
+                    self.gate_tombstone_drop(deepest_other.is_none_or(|d| d < level + 1));
                 Some(JobPlan { kind: JobKind::Tier { level, victims }, drop_tombstones })
             }
             CompactionTask::FullTree => self.plan_full(None),
@@ -1673,7 +1950,7 @@ impl LsmTree {
     /// Plans a leveling compaction of `file_ids` out of `level`, mirroring
     /// FADE's placement rules: TTL-driven jobs on an unsaturated deepest
     /// level rewrite in place, everything else spills to `level + 1`.
-    fn plan_files(&self, version: &Version, level: usize, file_ids: &[u64]) -> Option<JobPlan> {
+    fn plan_files(&mut self, version: &Version, level: usize, file_ids: &[u64]) -> Option<JobPlan> {
         let sources: Vec<Arc<SsTable>> = {
             let run = version.levels.get(level)?.runs.first()?;
             file_ids.iter().filter_map(|id| run.find_by_id(*id).map(Arc::clone)).collect()
@@ -1716,21 +1993,22 @@ impl LsmTree {
                 .unwrap_or_default()
         };
 
-        let drop_tombstones = dst_level >= deepest;
+        let drop_tombstones = self.gate_tombstone_drop(dst_level >= deepest);
         Some(JobPlan {
             kind: JobKind::Files { level, dst_level, sources, overlapping, ttl_trigger },
             drop_tombstones,
         })
     }
 
-    fn plan_full(&self, delete_key_filter: Option<(DeleteKey, DeleteKey)>) -> Option<JobPlan> {
+    fn plan_full(&mut self, delete_key_filter: Option<(DeleteKey, DeleteKey)>) -> Option<JobPlan> {
         let version = self.versions.current();
         let deepest = version.deepest_nonempty_level()?;
         let victims: Vec<Arc<SsTable>> =
             version.levels.iter().flat_map(|l| l.all_tables().cloned()).collect();
+        let drop_tombstones = self.gate_tombstone_drop(true);
         Some(JobPlan {
             kind: JobKind::Full { victims, deepest, delete_key_filter },
-            drop_tombstones: true,
+            drop_tombstones,
         })
     }
 

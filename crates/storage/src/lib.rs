@@ -33,6 +33,9 @@
 //! * [`barrier`] — the counted durability barriers every fsync goes
 //!   through, so [`IoSnapshot::fsyncs`](iostats::IoSnapshot::fsyncs) is
 //!   exact (enforced by the repo lint).
+//! * [`checkpoint`] — the checksummed completeness marker that makes an
+//!   online checkpoint's commit point explicit (a torn checkpoint is
+//!   detectably incomplete, never silently short).
 //! * [`checksum`] — CRC-32 for on-disk structures.
 //! * [`failpoint`] — deterministic crash injection for recovery tests.
 //! * [`histogram`] — equi-width histograms used to estimate how many entries a
@@ -46,6 +49,7 @@ pub mod barrier;
 pub mod batchlog;
 pub mod bloom;
 pub mod cache;
+pub mod checkpoint;
 pub mod checksum;
 pub mod clock;
 pub mod entry;
@@ -63,6 +67,7 @@ pub use backend::{FileBackend, InMemoryBackend, PageId, StorageBackend};
 pub use batchlog::BatchCommitLog;
 pub use bloom::BloomFilter;
 pub use cache::{CacheSnapshot, CachedBackend, PageCache};
+pub use checkpoint::{read_marker, write_marker, CheckpointMarker, CHECKPOINT_MARKER};
 pub use checksum::crc32;
 pub use clock::{LogicalClock, Timestamp, MICROS_PER_SEC};
 pub use entry::{DeleteKey, Entry, EntryKind, SeqNum, SortKey};

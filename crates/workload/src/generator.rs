@@ -77,6 +77,14 @@ pub enum Operation {
         /// The writes inside the batch, in application order.
         ops: Vec<BatchWriteOp>,
     },
+    /// Point lookup served through a point-in-time snapshot
+    /// (`ShardedLethe::snapshot`) instead of the live store. Drivers open a
+    /// snapshot (or reuse a recent one), read `key` through it, and drop it —
+    /// measuring the MVCC read path and the cost of pinning versions.
+    SnapshotRead {
+        /// Sort key to look up through the snapshot.
+        key: u64,
+    },
 }
 
 /// One write inside an [`Operation::WriteBatch`].
@@ -239,6 +247,7 @@ impl WorkloadGenerator {
             spec.range_lookup_fraction,
             spec.streaming_range_fraction,
             spec.batch_fraction,
+            spec.snapshot_fraction,
             spec.secondary_delete_fraction,
         ];
         let mut class = classes.len() - 1;
@@ -281,6 +290,10 @@ impl WorkloadGenerator {
                 }
             }
             7 => self.make_batch(),
+            8 => match self.pick_existing_key() {
+                Some(key) => Operation::SnapshotRead { key },
+                None => self.make_put(),
+            },
             // secondary range deletes stay the final arm: it doubles as the
             // floating-point fallback class, so adding new classes above
             // never changes what a rounding leftover generates
@@ -324,7 +337,7 @@ mod tests {
                 Operation::RangeLookup { .. } => c.5 += 1,
                 Operation::RangeStream { .. } => streams += 1,
                 Operation::SecondaryRangeDelete { .. } => c.6 += 1,
-                Operation::WriteBatch { .. } => {}
+                Operation::WriteBatch { .. } | Operation::SnapshotRead { .. } => {}
             }
         }
         let _ = streams;
@@ -401,6 +414,40 @@ mod tests {
         let ops_off = WorkloadGenerator::new(WorkloadSpec { operations: 500, ..Default::default() })
             .operations();
         assert!(ops_off.iter().all(|op| !matches!(op, Operation::WriteBatch { .. })));
+    }
+
+    #[test]
+    fn snapshot_reads_are_generated_when_requested() {
+        let spec = WorkloadSpec {
+            operations: 5_000,
+            key_space: 10_000,
+            update_fraction: 0.7,
+            point_lookup_fraction: 0.1,
+            snapshot_fraction: 0.2,
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec).operations();
+        let mut inserted = std::collections::HashSet::new();
+        let mut snapshot_reads = 0usize;
+        for op in &ops {
+            match op {
+                Operation::Put { key, .. } => {
+                    inserted.insert(*key);
+                }
+                Operation::SnapshotRead { key } => {
+                    snapshot_reads += 1;
+                    assert!(inserted.contains(key), "snapshot read targets a key never inserted");
+                }
+                _ => {}
+            }
+        }
+        let share = snapshot_reads as f64 / ops.len() as f64;
+        assert!((share - 0.2).abs() < 0.05, "snapshot-read share {share}");
+        // with the knob off the class is never generated and the stream is
+        // byte-identical to the pre-knob generator
+        let ops_off = WorkloadGenerator::new(WorkloadSpec { operations: 500, ..Default::default() })
+            .operations();
+        assert!(ops_off.iter().all(|op| !matches!(op, Operation::SnapshotRead { .. })));
     }
 
     #[test]

@@ -85,6 +85,11 @@ pub struct WorkloadSpec {
     /// Number of write operations inside each generated batch (mostly puts,
     /// with ~1 in 8 a point delete of an existing key).
     pub batch_size: u64,
+    /// Fraction of operations that are snapshot reads: the driver opens (or
+    /// reuses) a point-in-time `ShardedLethe::snapshot` view and serves a
+    /// point lookup through it instead of the live store. Defaults to 0, so
+    /// pre-existing specs keep generating identical operation streams.
+    pub snapshot_fraction: f64,
     /// Key popularity distribution.
     pub distribution: KeyDistribution,
     /// Relationship between sort and delete keys.
@@ -117,6 +122,7 @@ impl Default for WorkloadSpec {
             secondary_delete_selectivity: 0.0,
             batch_fraction: 0.0,
             batch_size: 8,
+            snapshot_fraction: 0.0,
             distribution: KeyDistribution::Uniform,
             correlation: DeleteKeyCorrelation::Uncorrelated,
         }
@@ -179,6 +185,7 @@ impl WorkloadSpec {
             + self.streaming_range_fraction
             + self.secondary_delete_fraction
             + self.batch_fraction
+            + self.snapshot_fraction
     }
 
     /// Checks that fractions are non-negative and sum to ~1, and that
@@ -194,6 +201,7 @@ impl WorkloadSpec {
             self.streaming_range_fraction,
             self.secondary_delete_fraction,
             self.batch_fraction,
+            self.snapshot_fraction,
         ];
         if fractions.iter().any(|f| *f < 0.0) {
             return Err("operation fractions must be non-negative".into());
@@ -247,6 +255,20 @@ mod tests {
         let none = WorkloadSpec::ycsb_a_with_deletes(1000, 0.0);
         assert_eq!(none.point_delete_fraction, 0.0);
         assert_eq!(none.update_fraction, 0.5);
+    }
+
+    #[test]
+    fn snapshot_fraction_participates_in_the_sum() {
+        let s = WorkloadSpec {
+            update_fraction: 0.4,
+            point_lookup_fraction: 0.5,
+            snapshot_fraction: 0.1,
+            ..Default::default()
+        };
+        assert!(s.validate().is_ok());
+        // forgetting to carve the fraction out of another class is caught
+        let bad = WorkloadSpec { snapshot_fraction: 0.1, ..Default::default() };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -101,6 +101,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                     db.write_batch(batch)?;
                 }
+                SnapshotRead { key } => {
+                    db.capture_snapshot().get(key)?;
+                }
             }
             ops_run += 1;
         }

@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 const KEY_SPACE: u64 = 256;
 
@@ -39,6 +39,8 @@ const KILL_POINTS: &[&str] = &[
     "backend.write_page",
     "batchlog.append",
     "batchlog.commit_fsync",
+    "checkpoint.marker.rename",
+    "checkpoint.marker.tmp",
     "manifest.append",
     "manifest.rewrite.begin",
     "manifest.rewrite.rename",
@@ -436,6 +438,12 @@ fn kill_point_trace_covers_the_whole_registry() {
             db.put(k, delete_key_of(k), vec![5u8; 16]).unwrap();
         }
         db.persist().unwrap();
+        // online checkpoint: streams a snapshot into a fresh directory —
+        // page writes on the checkpoint backend, its manifest commit, and
+        // the completeness marker (checkpoint.marker.tmp/rename)
+        let ckpt = unique_dir("killtrace-ckpt");
+        db.checkpoint(&ckpt).unwrap();
+        let _ = std::fs::remove_dir_all(&ckpt);
     }
     let _ = std::fs::remove_dir_all(&dir);
     let traced: BTreeSet<&str> = fp.traced_sites().into_iter().collect();
@@ -952,4 +960,176 @@ fn aborted_batch_id_is_never_reused_after_reopen() {
     // involved shard plus the commit log's append and fsync checks — the
     // sweep must at least cross the all-prepared-uncommitted window
     assert!(crashes >= 4, "sweep must cross the prepare/commit windows, got {crashes}");
+}
+
+// --------------------------------------------- checkpoint kill-point sweep
+
+/// Kill-point sweep across every durable step of an online checkpoint.
+///
+/// One store is built and a snapshot pinned once; the sweep then repeatedly
+/// streams that pinned snapshot into a fresh checkpoint directory with the
+/// fail point armed one step further each round, while the live store keeps
+/// taking writes between rounds (the pinned fence never moves, and the
+/// workers are drained before each armed window so the injected step is
+/// deterministic). A torn checkpoint must be **detectably incomplete**:
+/// [`Lethe::restore`] refuses the directory, it never opens silently short.
+/// The surviving run must restore to exactly the oracle frozen at the
+/// snapshot fence — none of the post-fence writes may leak across. The
+/// fired-site audit proves the sweep crossed *every* durable step of the
+/// checkpoint protocol: data-page writes, the manifest commit, and the
+/// completeness marker's tmp write and rename.
+#[test]
+fn checkpoint_kill_point_sweep() {
+    let dir = unique_dir("ckpt-sweep");
+    let fp = FailPoint::new();
+    let db = ShardedLetheBuilder::from_builder(builder())
+        .shards(3)
+        .crash_failpoint(fp.clone())
+        .open(&dir)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC4E7);
+    let mut oracle: Oracle = BTreeMap::new();
+    for _ in 0..150 {
+        let op = random_op(&mut rng);
+        apply_sharded(&db, &op).unwrap();
+        apply_oracle(&mut oracle, &op);
+    }
+    db.persist().unwrap();
+
+    let snapshot = db.snapshot();
+    let frozen = oracle.clone();
+
+    let mut kill = 0u64;
+    let mut crashes = 0u32;
+    let mut fired: BTreeSet<&'static str> = BTreeSet::new();
+    let mut post_key = 10_000u64;
+    loop {
+        // the store keeps moving while the pinned fence stays put; drain
+        // the workers so the armed window below is deterministic
+        for _ in 0..4 {
+            db.put(post_key, delete_key_of(post_key % KEY_SPACE), vec![0xEE; 9]).unwrap();
+            post_key += 1;
+        }
+        db.maintain().unwrap();
+
+        let ckpt = unique_dir("ckpt-out");
+        fp.arm(kill);
+        let res = db.checkpoint_at(&snapshot, &ckpt);
+        fp.disarm();
+        match res {
+            Err(_) => {
+                crashes += 1;
+                fired.insert(fp.last_fired().expect("an injected kill records its site"));
+                // torn checkpoints are detectably incomplete, never
+                // silently short
+                assert!(
+                    Lethe::restore(&ckpt).is_err(),
+                    "restore accepted a torn checkpoint (kill {kill})"
+                );
+                let _ = std::fs::remove_dir_all(&ckpt);
+            }
+            Ok(marker) => {
+                assert_eq!(marker.fence, snapshot.seqnum());
+                let restored = Lethe::restore(&ckpt).unwrap();
+                for k in 0..KEY_SPACE {
+                    assert_eq!(
+                        restored.get(k).unwrap().map(|b| b.to_vec()),
+                        frozen.get(&k).cloned(),
+                        "restored key {k} diverged from the fence oracle"
+                    );
+                }
+                // none of the post-fence writes leaked across the fence
+                let live: Vec<u64> = restored
+                    .range(0, u64::MAX)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .collect();
+                let expected: Vec<u64> = frozen.keys().copied().collect();
+                assert_eq!(live, expected, "restored scan shows post-fence writes");
+                let _ = std::fs::remove_dir_all(&ckpt);
+                break;
+            }
+        }
+        kill += 1;
+    }
+    assert!(crashes >= 5, "sweep must cross the checkpoint's durable steps, got {crashes}");
+    let expected: BTreeSet<&'static str> = [
+        "backend.write_page",
+        "manifest.rewrite.begin",
+        "manifest.rewrite.rename",
+        "checkpoint.marker.tmp",
+        "checkpoint.marker.rename",
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(fired, expected, "the sweep must kill inside every durable checkpoint step");
+    // the live store was never damaged by any of the torn checkpoints
+    for k in 0..KEY_SPACE {
+        assert_eq!(
+            db.get(k).unwrap().map(|b| b.to_vec()),
+            oracle.get(&k).cloned(),
+            "live store diverged on key {k} after the sweep"
+        );
+    }
+    assert!(db.get(10_000).unwrap().is_some(), "post-fence writes must be live");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An online checkpoint under genuinely concurrent writers: three threads
+/// overwrite and delete the snapshotted keys the whole time the checkpoint
+/// streams, and the restored store must still read exactly the oracle
+/// frozen at the snapshot fence, byte for byte.
+#[test]
+fn checkpoint_restores_the_fence_despite_concurrent_writers() {
+    let dir = unique_dir("ckpt-live");
+    let ckpt = unique_dir("ckpt-live-out");
+    let db = ShardedLetheBuilder::from_builder(builder()).shards(3).open(&dir).unwrap();
+    let mut frozen: Oracle = BTreeMap::new();
+    for k in 0..KEY_SPACE {
+        let v = vec![(k % 251) as u8; 9];
+        db.put(k, delete_key_of(k), v.clone()).unwrap();
+        frozen.insert(k, v);
+    }
+    db.persist().unwrap();
+
+    let snapshot = db.snapshot();
+    let stop = AtomicBool::new(false);
+    let marker = std::thread::scope(|s| {
+        let stop = &stop;
+        let db = &db;
+        let writers: Vec<_> = (0..3u64)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) && i < 5_000 {
+                        let k = (t * 1_000 + i) % KEY_SPACE;
+                        db.put(k, delete_key_of(k), vec![0xEE; 9]).unwrap();
+                        if i.is_multiple_of(64) {
+                            db.delete((i * 7) % KEY_SPACE).unwrap();
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let marker = db.checkpoint_at(&snapshot, &ckpt).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        marker
+    });
+    assert_eq!(marker.fence, snapshot.seqnum());
+
+    let restored = Lethe::restore(&ckpt).unwrap();
+    for k in 0..KEY_SPACE {
+        assert_eq!(
+            restored.get(k).unwrap().map(|b| b.to_vec()),
+            frozen.get(&k).cloned(),
+            "restored key {k} shows a concurrent writer's data"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ckpt);
 }

@@ -4,7 +4,7 @@
 //! delete-persistence guarantee.
 
 use lethe::workload::{BatchWriteOp, Operation, WorkloadGenerator, WorkloadSpec};
-use lethe::{Baseline, BaselineKind, Lethe, LetheBuilder, LsmConfig, WriteBatch};
+use lethe::{Baseline, BaselineKind, Lethe, LetheBuilder, LsmConfig, ShardedLetheBuilder, WriteBatch};
 use std::collections::BTreeMap;
 
 fn small_config() -> LsmConfig {
@@ -128,6 +128,16 @@ fn run_against_oracle(spec: WorkloadSpec, h: usize) {
                 lethe.write_batch(lethe_batch).unwrap();
                 baseline.tree_mut().write_batch(baseline_batch).unwrap();
             }
+            Operation::SnapshotRead { key } => {
+                // a snapshot taken now must agree with the oracle frozen now
+                let snapshot = lethe.capture_snapshot();
+                let expected = oracle.get(key).map(|(_, v)| v.clone());
+                assert_eq!(
+                    snapshot.get(*key).unwrap().map(|b| b.to_vec()),
+                    expected,
+                    "snapshot read disagrees with oracle on key {key}"
+                );
+            }
         }
     }
 
@@ -183,7 +193,8 @@ fn mixed_workload_matches_oracle_kiwi_layout() {
         update_fraction: 0.36,
         batch_fraction: 0.04,
         batch_size: 5,
-        point_lookup_fraction: 0.33,
+        point_lookup_fraction: 0.30,
+        snapshot_fraction: 0.03,
         empty_lookup_fraction: 0.05,
         point_delete_fraction: 0.10,
         range_delete_fraction: 0.02,
@@ -249,6 +260,82 @@ fn delete_persistence_is_honoured_under_continuous_ingestion() {
     // deleted keys stay deleted, surviving keys stay readable
     assert_eq!(db.get(0).unwrap(), None);
     assert_eq!(db.get(3).unwrap(), None);
+    assert!(db.get(1).unwrap().is_some());
+}
+
+/// The tension between FADE's delete-persistence promise and a held MVCC
+/// snapshot: while a snapshot can still read deleted data, expired
+/// tombstones must NOT be persistently dropped (the snapshot keeps its
+/// view), the deferral must be counted, and the delete-persistence
+/// accounting must keep reporting the tombstones as unpersisted — never
+/// claiming a delete completed under a pin. Once the snapshot releases,
+/// one maintenance pass restores the quiesce invariant: no tombstone file
+/// older than `D_th`.
+#[test]
+fn held_snapshot_defers_tombstone_gc_but_never_fakes_persistence() {
+    let dth_secs = 1.0;
+    let db = ShardedLetheBuilder::new()
+        .shards(1)
+        .buffer(8, 4, 64)
+        .size_ratio(4)
+        .delete_tile_pages(2)
+        .delete_persistence_threshold_secs(dth_secs)
+        .build()
+        .unwrap();
+    for k in 0..600u64 {
+        db.put(k, k, vec![1u8; 24]).unwrap();
+    }
+    db.persist().unwrap();
+
+    let snapshot = db.snapshot();
+    for k in (0..600u64).step_by(3) {
+        db.delete(k).unwrap();
+    }
+    // keep ingesting so compactions (which would normally drop expired
+    // tombstones at the bottom level) actually run under the pin
+    for k in 10_000..12_000u64 {
+        db.put(k, k, vec![1u8; 24]).unwrap();
+    }
+    db.persist().unwrap();
+    // logical time sails past D_th with the snapshot still held
+    db.clock().advance_secs(dth_secs * 5.0);
+    db.maintain().unwrap();
+
+    let stats = db.stats();
+    assert!(
+        stats.tombstone_gc_delayed > 0,
+        "no tombstone-GC deferral was recorded while a snapshot was pinned"
+    );
+    // the snapshot still reads the pre-delete state
+    assert!(snapshot.get(0).unwrap().is_some(), "snapshot lost key 0 to tombstone GC");
+    assert!(snapshot.get(3).unwrap().is_some(), "snapshot lost key 3 to tombstone GC");
+    // the accounting keeps reporting the expired tombstones as unpersisted
+    // (files older than D_th still hold them) instead of claiming the
+    // deletes persisted while the snapshot could read the deleted data
+    let dth = (dth_secs * 1_000_000.0) as u64;
+    let contents = db.snapshot_contents().unwrap();
+    assert!(
+        contents.tombstone_file_ages.iter().any(|(age, _)| *age > dth),
+        "pinned tombstones vanished from the delete-persistence accounting: {:?}",
+        contents.tombstone_file_ages
+    );
+    // gating GC never gates the delete itself: live reads see the deletes
+    assert_eq!(db.get(0).unwrap(), None);
+    assert!(db.get(1).unwrap().is_some());
+
+    // release the pin: the next maintenance pass restores the quiesce
+    // invariant — no file anywhere still holds a tombstone older than D_th
+    drop(snapshot);
+    db.maintain().unwrap();
+    let contents = db.snapshot_contents().unwrap();
+    for (age, count) in &contents.tombstone_file_ages {
+        assert!(
+            age <= &dth,
+            "{count} tombstones still live in a file older ({age} µs) than Dth ({dth} µs) \
+             after the snapshot released"
+        );
+    }
+    assert_eq!(db.get(0).unwrap(), None);
     assert!(db.get(1).unwrap().is_some());
 }
 

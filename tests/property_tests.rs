@@ -7,7 +7,7 @@ use lethe::lsm::{LsmConfig, LsmTree, MergePolicy, SecondaryDeleteMode, SsTable};
 use lethe::storage::{
     BloomFilter, Entry, Histogram, InMemoryBackend, LogicalClock, MemTable, Page, StorageBackend,
 };
-use lethe::{level_ttls, LetheBuilder, ShardedLetheBuilder, WriteBatch};
+use lethe::{level_ttls, LetheBuilder, ShardedLethe, ShardedLetheBuilder, WriteBatch};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -729,6 +729,160 @@ proptest! {
         steps in prop::collection::vec(batch_step_strategy(BATCH_GROUPS), 10..80),
     ) {
         check_batches_are_atomic_to_readers(&steps);
+    }
+}
+
+/// One step of the snapshot-consistency history: a plain mutation, an
+/// atomic multi-key write batch, or a full maintenance pass (flush plus
+/// FADE compaction churn).
+#[derive(Debug, Clone)]
+enum SnapOp {
+    Mutate(Mutation),
+    Batch(Vec<(u64, u8)>),
+    Maintain,
+}
+
+fn snap_op_strategy(key_space: u64) -> impl Strategy<Value = SnapOp> {
+    prop_oneof![
+        8 => mutation_strategy(key_space).prop_map(SnapOp::Mutate),
+        2 => prop::collection::vec((0..key_space, any::<u8>()), 1..6).prop_map(SnapOp::Batch),
+        1 => Just(SnapOp::Maintain),
+    ]
+}
+
+/// Applies one step to the store and a `BTreeMap` oracle in lockstep.
+fn apply_snap_op(
+    db: &ShardedLethe,
+    oracle: &mut BTreeMap<u64, (u64, Vec<u8>)>,
+    op: &SnapOp,
+    key_space: u64,
+) {
+    match op {
+        SnapOp::Mutate(Mutation::Put(k, v)) => {
+            let d = delete_key_of(*k, key_space);
+            let value = vec![*v; 9];
+            db.put(*k, d, value.clone()).unwrap();
+            oracle.insert(*k, (d, value));
+        }
+        SnapOp::Mutate(Mutation::Delete(k)) => {
+            db.delete(*k).unwrap();
+            oracle.remove(k);
+        }
+        SnapOp::Mutate(Mutation::DeleteRange(s, e)) => {
+            db.delete_range(*s, *e).unwrap();
+            let victims: Vec<u64> = oracle.range(*s..*e).map(|(k, _)| *k).collect();
+            for k in victims {
+                oracle.remove(&k);
+            }
+        }
+        SnapOp::Mutate(Mutation::SecondaryDelete(s, e)) => {
+            db.delete_where_delete_key_in(*s, *e).unwrap();
+            let victims: Vec<u64> =
+                oracle.iter().filter(|(_, (d, _))| d >= s && d < e).map(|(k, _)| *k).collect();
+            for k in victims {
+                oracle.remove(&k);
+            }
+        }
+        SnapOp::Mutate(Mutation::Flush) => db.persist().unwrap(),
+        SnapOp::Batch(writes) => {
+            let mut batch = WriteBatch::new();
+            for (k, v) in writes {
+                let d = delete_key_of(*k, key_space);
+                let value = vec![*v; 9];
+                batch.put(*k, d, value.clone());
+                oracle.insert(*k, (d, value));
+            }
+            db.write(batch).unwrap();
+        }
+        SnapOp::Maintain => db.maintain().unwrap(),
+    }
+}
+
+/// Takes a [`lethe::Snapshot`] mid-history and checks it stays
+/// byte-identical to the oracle frozen at snapshot time while the live
+/// store keeps mutating, flushing and compacting underneath it — every
+/// read surface: point gets, the materialised range scan, the streaming
+/// `iter_range` cursor and the secondary (delete-key) index scan. The live
+/// store must meanwhile agree with the *live* oracle, so the snapshot is a
+/// frozen view, not a stalled store.
+fn check_snapshot_freezes_the_view(shards: usize, pre: &[SnapOp], post: &[SnapOp], key_space: u64) {
+    let db = ShardedLetheBuilder::new()
+        .shards(shards)
+        .buffer(8, 4, 64)
+        .size_ratio(4)
+        .delete_tile_pages(2)
+        .delete_persistence_threshold_secs(1.0)
+        .build()
+        .unwrap();
+    let mut oracle: BTreeMap<u64, (u64, Vec<u8>)> = BTreeMap::new();
+    for op in pre {
+        apply_snap_op(&db, &mut oracle, op, key_space);
+    }
+    let snapshot = db.snapshot();
+    let frozen = oracle.clone();
+    for op in post {
+        apply_snap_op(&db, &mut oracle, op, key_space);
+    }
+    db.persist().unwrap();
+
+    // point reads at the snapshot: byte-identical to the frozen oracle
+    for k in 0..key_space {
+        let expected = frozen.get(&k).map(|(_, v)| v.clone());
+        let got = snapshot.get(k).unwrap().map(|b| b.to_vec());
+        assert_eq!(got, expected, "snapshot get({k}) diverged from the frozen oracle");
+    }
+    // materialised and streamed range scans agree with the frozen oracle
+    let expected: Vec<(u64, Vec<u8>)> = frozen.iter().map(|(k, (_, v))| (*k, v.clone())).collect();
+    let ranged: Vec<(u64, Vec<u8>)> =
+        snapshot.range(0, key_space).unwrap().into_iter().map(|(k, v)| (k, v.to_vec())).collect();
+    assert_eq!(ranged, expected, "snapshot range scan diverged from the frozen oracle");
+    let streamed: Vec<(u64, Vec<u8>)> = snapshot
+        .iter_range(0, key_space)
+        .unwrap()
+        .map(|item| item.map(|(k, v)| (k, v.to_vec())).unwrap())
+        .collect();
+    assert_eq!(streamed, expected, "snapshot streamed scan diverged from the materialised one");
+    // the secondary (delete-key) index view is frozen too
+    let span = (key_space / 2).max(1);
+    let expected_secondary: Vec<u64> =
+        frozen.iter().filter(|(_, (d, _))| *d < span).map(|(k, _)| *k).collect();
+    let got_secondary: Vec<u64> = snapshot
+        .scan_by_delete_key(0, span)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.sort_key)
+        .collect();
+    assert_eq!(got_secondary, expected_secondary, "snapshot secondary scan diverged");
+    // the live store moved on with the live oracle
+    for k in 0..key_space {
+        let expected = oracle.get(&k).map(|(_, v)| v.clone());
+        assert_eq!(db.get(k).unwrap().map(|b| b.to_vec()), expected, "live get({k}) diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Reads through a held snapshot stay byte-identical to an oracle frozen
+    /// at snapshot time under random interleavings of puts, batches, point
+    /// and range deletes, secondary range deletes, flushes and compactions
+    /// applied to the live store afterwards — single-shard…
+    #[test]
+    fn snapshot_reads_are_frozen_single_shard(
+        pre in prop::collection::vec(snap_op_strategy(128), 1..120),
+        post in prop::collection::vec(snap_op_strategy(128), 1..120),
+    ) {
+        check_snapshot_freezes_the_view(1, &pre, &post, 128);
+    }
+
+    /// …and across a 3-shard store, where the seqnum fence must cut every
+    /// shard at the same instant.
+    #[test]
+    fn snapshot_reads_are_frozen_three_shards(
+        pre in prop::collection::vec(snap_op_strategy(128), 1..120),
+        post in prop::collection::vec(snap_op_strategy(128), 1..120),
+    ) {
+        check_snapshot_freezes_the_view(3, &pre, &post, 128);
     }
 }
 

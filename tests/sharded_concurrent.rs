@@ -162,9 +162,10 @@ fn concurrent_workload_driver_smoke() {
         key_space: 50_000,
         value_size: 32,
         preload_keys: 1_000,
-        update_fraction: 0.46,
+        update_fraction: 0.43,
         batch_fraction: 0.04,
         batch_size: 6,
+        snapshot_fraction: 0.03,
         point_lookup_fraction: 0.28,
         empty_lookup_fraction: 0.05,
         point_delete_fraction: 0.05,
@@ -209,6 +210,10 @@ fn concurrent_workload_driver_smoke() {
                 }
             }
             db.write(batch).unwrap();
+        }
+        Operation::SnapshotRead { key } => {
+            let snapshot = db.snapshot();
+            snapshot.get(*key).unwrap();
         }
     });
     assert_eq!(report.operations, 4_000);
