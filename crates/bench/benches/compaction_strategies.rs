@@ -1,0 +1,271 @@
+//! Benchmark: pluggable compaction strategies on the same time-series history.
+//!
+//! One seeded append-only time-series stream (monotone ticks, gorilla-encoded
+//! blocks, interleaved windowed scans) is replayed into three engines that
+//! differ only in their compaction strategy:
+//!
+//! * **leveled** — the default Lethe layout, one run per level;
+//! * **size-tiered** — runs accumulate per level and merge `fan_in` at a time;
+//! * **date-tiered** — runs merge only within aligned time windows, and
+//!   wholly-expired windows are retired as whole files (zero pages read).
+//!
+//! Reported per engine: write amplification (from the deterministic
+//! `TreeStats` byte counters), whole-file drops, ingest rate, and windowed
+//! scan throughput over the recent (universally retained) region.
+//!
+//! Asserted gates (set `LETHE_BENCH_NO_ASSERT=1` to demote to warnings):
+//!
+//! * always: tiered and date-tiered write amplification strictly below the
+//!   leveled baseline on this append-heavy history; the date-tiered engine
+//!   retires at least one expired window by whole-file drop while the other
+//!   two drop nothing; the expired prefix is unreadable on the date-tiered
+//!   engine but intact on the baseline; and all three engines return
+//!   byte-identical results for the same recent scan window. These are
+//!   counted outcomes, stable on shared runners.
+//! * with `LETHE_BENCH_STRICT=1` (reference hardware): each tiered engine's
+//!   windowed-scan throughput stays within 5x of the leveled baseline —
+//!   extra runs per level must not cost an extra I/O tier. Wall-clock ratios
+//!   flake on shared runners, so this only gates strict runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lethe_core::{CompactionStrategy, Lethe, LetheBuilder};
+use lethe_workload::timeseries::{encode_block, encode_key, TimeSeriesGenerator, TimeSeriesSpec};
+use lethe_workload::Operation;
+use std::time::Instant;
+
+/// Appends in the shared history; ticks span `APPENDS * SAMPLES` µs.
+const APPENDS: u64 = 3_000;
+const SAMPLES: u64 = 32;
+/// Aligned window width for the date-tiered ladder, in µs of delete key.
+const BASE_WINDOW: u64 = 8_192;
+/// Retention horizon for the date-tiered engine. With the logical clock kept
+/// in lock-step with the data timeline, every window ending before
+/// `MAX_TICK - TTL` is wholly expired by the end of the run.
+const TTL: u64 = 32_768;
+const MAX_TICK: u64 = APPENDS * SAMPLES;
+/// Timed windowed scans over the recent region after ingest.
+const SCAN_ROUNDS: u64 = 400;
+const SCAN_WINDOW: u64 = 1_024;
+
+fn history() -> Vec<Operation> {
+    TimeSeriesGenerator::new(TimeSeriesSpec {
+        appends: APPENDS,
+        samples_per_append: SAMPLES,
+        scan_every: 16,
+        window_ticks: SCAN_WINDOW,
+        // retention is the engine's job in this bench: the date-tiered
+        // strategy retires old windows itself, without workload deletes
+        ttl_ticks: None,
+        ..TimeSeriesSpec::default()
+    })
+    .operations()
+}
+
+struct Outcome {
+    tag: &'static str,
+    db: Lethe,
+    write_amp: f64,
+    whole_file_drops: u64,
+    appends_per_sec: f64,
+    scans_per_sec: f64,
+    /// Full result of one canonical recent-window scan, for the
+    /// observational-equivalence gate.
+    recent: Vec<(u64, Vec<u8>)>,
+}
+
+fn build(strategy: Option<CompactionStrategy>) -> Lethe {
+    let mut builder = LetheBuilder::new()
+        .buffer(32, 8, 64)
+        .size_ratio(4)
+        // 1 µs of auto-advanced logical time per ingest: the bench drives
+        // the clock itself, in lock-step with the data's tick timeline
+        .ingestion_rate(1_000_000)
+        .delete_persistence_threshold_secs(1.0);
+    if let Some(strategy) = strategy {
+        builder = builder.compaction_strategy(strategy);
+    }
+    builder.build().unwrap()
+}
+
+fn run(tag: &'static str, strategy: Option<CompactionStrategy>, history: &[Operation]) -> Outcome {
+    let mut db = build(strategy);
+    let t0 = Instant::now();
+    let mut appends = 0u64;
+    for op in history {
+        match op {
+            Operation::TimeSeriesAppend { series, start_tick, samples } => {
+                let block = encode_block(*start_tick, samples);
+                db.put(encode_key(*start_tick, *series), *start_tick, block).unwrap();
+                // keep logical time in lock-step with the data's timeline so
+                // the date-tiered TTL sees windows age out *during* the run
+                db.clock().advance_to(start_tick + samples.len() as u64);
+                appends += 1;
+                if appends.is_multiple_of(64) {
+                    db.persist().unwrap();
+                }
+                if appends.is_multiple_of(256) {
+                    db.maintain().unwrap();
+                }
+            }
+            Operation::RangeLookup { start, end } => {
+                db.range(*start, *end).unwrap();
+            }
+            other => unreachable!("the bench history is appends + scans only, got {other:?}"),
+        }
+    }
+    db.persist().unwrap();
+    db.maintain().unwrap();
+    let appends_per_sec = APPENDS as f64 / t0.elapsed().as_secs_f64();
+
+    // timed windowed scans, sliding over the last ~8.7k ticks — comfortably
+    // inside the date-tiered retention horizon, so all engines serve them
+    let t0 = Instant::now();
+    let mut entries = 0usize;
+    for i in 0..SCAN_ROUNDS {
+        let end = MAX_TICK - (i % 16) * 512;
+        let start = end - SCAN_WINDOW;
+        entries += db.range(encode_key(start, 0), encode_key(end, 0)).unwrap().len();
+    }
+    let scans_per_sec = SCAN_ROUNDS as f64 / t0.elapsed().as_secs_f64();
+    assert!(entries > 0, "{tag}: windowed scans returned nothing");
+
+    let recent = db
+        .range(encode_key(MAX_TICK - 12_288, 0), encode_key(MAX_TICK, 0))
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k, v.to_vec()))
+        .collect();
+    let stats = db.stats();
+    Outcome {
+        tag,
+        db,
+        write_amp: stats.write_amp(),
+        whole_file_drops: stats.whole_file_drops,
+        appends_per_sec,
+        scans_per_sec,
+        recent,
+    }
+}
+
+fn bench_compaction_strategies(c: &mut Criterion) {
+    let no_assert = std::env::var_os("LETHE_BENCH_NO_ASSERT").is_some();
+    let strict = std::env::var_os("LETHE_BENCH_STRICT").is_some();
+    let history = history();
+
+    let leveled = run("leveled", None, &history);
+    let tiered =
+        run("size-tiered", Some(CompactionStrategy::SizeTiered { fan_in: 4 }), &history);
+    let dated = run(
+        "date-tiered",
+        Some(CompactionStrategy::DateTiered {
+            base_window_micros: BASE_WINDOW,
+            fan_in: 4,
+            ttl_micros: Some(TTL),
+        }),
+        &history,
+    );
+
+    for o in [&leveled, &tiered, &dated] {
+        println!(
+            "compaction_strategies: {:<11} write amp {:>5.2}, {:>2} whole-file drops, \
+             ingest {:>7.0} appends/s, windowed scans {:>6.0}/s",
+            o.tag, o.write_amp, o.whole_file_drops, o.appends_per_sec, o.scans_per_sec
+        );
+    }
+
+    // ---------------------------------------------- deterministic gates
+    let gate = |ok: bool, msg: String| {
+        if no_assert {
+            if !ok {
+                println!("WARN: {msg}");
+            }
+        } else {
+            assert!(ok, "{msg}");
+        }
+    };
+    gate(
+        tiered.write_amp < leveled.write_amp,
+        format!(
+            "size-tiered write amp must be strictly below leveled on an append-heavy \
+             history: {:.2} vs {:.2}",
+            tiered.write_amp, leveled.write_amp
+        ),
+    );
+    gate(
+        dated.write_amp < leveled.write_amp,
+        format!(
+            "date-tiered write amp must be strictly below leveled: {:.2} vs {:.2}",
+            dated.write_amp, leveled.write_amp
+        ),
+    );
+    gate(
+        dated.whole_file_drops >= 1,
+        format!("date-tiered must retire >= 1 expired window, got {}", dated.whole_file_drops),
+    );
+    gate(
+        leveled.whole_file_drops == 0 && tiered.whole_file_drops == 0,
+        format!(
+            "only the date-tiered engine has a TTL, yet leveled dropped {} and \
+             size-tiered {}",
+            leveled.whole_file_drops, tiered.whole_file_drops
+        ),
+    );
+    // the expired prefix is gone on the date-tiered engine, intact on the
+    // baseline: retention by retirement, not by deletes
+    let expired = dated.db.range(encode_key(0, 0), encode_key(BASE_WINDOW / 2, 0)).unwrap();
+    gate(
+        expired.is_empty(),
+        format!("date-tiered must have retired the first window, found {} entries", expired.len()),
+    );
+    let kept = leveled.db.range(encode_key(0, 0), encode_key(BASE_WINDOW / 2, 0)).unwrap();
+    gate(!kept.is_empty(), "the leveled baseline must still hold the whole history".into());
+    // same recent window, byte-identical answers on all three engines
+    gate(
+        leveled.recent == tiered.recent && leveled.recent == dated.recent,
+        format!(
+            "recent-window scans diverged: leveled {} entries, size-tiered {}, \
+             date-tiered {}",
+            leveled.recent.len(),
+            tiered.recent.len(),
+            dated.recent.len()
+        ),
+    );
+
+    // -------------------------------- wall-clock bars, strict runs only
+    for o in [&tiered, &dated] {
+        let ratio = leveled.scans_per_sec / o.scans_per_sec;
+        if strict && !no_assert {
+            assert!(
+                ratio <= 5.0,
+                "{} windowed scans must stay within 5x of leveled, got {ratio:.2}x \
+                 ({:.0} vs {:.0} scans/s)",
+                o.tag,
+                o.scans_per_sec,
+                leveled.scans_per_sec
+            );
+        } else if ratio > 5.0 {
+            println!(
+                "WARN: {} windowed-scan throughput {ratio:.2}x below leveled \
+                 (gated only under LETHE_BENCH_STRICT=1)",
+                o.tag
+            );
+        }
+    }
+
+    // criterion smoke: one recent windowed scan per strategy
+    let mut group = c.benchmark_group("compaction_strategies");
+    group.sample_size(20);
+    let mut dbs = [("leveled", leveled.db), ("size_tiered", tiered.db)];
+    for (name, db) in &mut dbs {
+        group.bench_function(format!("windowed_scan_{name}"), |b| {
+            b.iter(|| db.range(encode_key(MAX_TICK - SCAN_WINDOW, 0), encode_key(MAX_TICK, 0)))
+        });
+    }
+    group.bench_function("windowed_scan_date_tiered", |b| {
+        b.iter(|| dated.db.range(encode_key(MAX_TICK - SCAN_WINDOW, 0), encode_key(MAX_TICK, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compaction_strategies);
+criterion_main!(benches);

@@ -16,8 +16,10 @@
 use crate::fade::{FadePolicy, SaturationSelection};
 use crate::tuning::{optimal_delete_tile_pages, TreeShape, WorkloadProfile};
 use bytes::Bytes;
-use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
+use lethe_lsm::compaction::CompactionPolicy;
+use lethe_lsm::config::{CompactionStrategy, LsmConfig, MergePolicy, SecondaryDeleteMode};
 use lethe_lsm::sstable::SecondaryDeleteStats;
+use lethe_lsm::strategy::{DateTieredPolicy, SizeTieredPolicy};
 use lethe_lsm::stats::{ContentSnapshot, TreeStats};
 use lethe_lsm::batch::WriteBatch;
 use lethe_lsm::snapshot::SnapshotTracker;
@@ -227,6 +229,35 @@ impl LetheBuilder {
         self
     }
 
+    /// Selects the compaction strategy driving background maintenance.
+    /// [`CompactionStrategy::Default`] (the default) installs FADE, the
+    /// paper's delete-aware policy; the tiered strategies replace it with
+    /// [`SizeTieredPolicy`] or [`DateTieredPolicy`] — under those, tombstone
+    /// persistence rides along with window/class merges and TTL whole-file
+    /// drops instead of `D_th`-driven triggers. The tiered strategies need
+    /// tiering flushes, so this also switches the merge policy to
+    /// [`MergePolicy::Tiering`].
+    pub fn compaction_strategy(mut self, strategy: CompactionStrategy) -> Self {
+        self.config.compaction_strategy = strategy;
+        if !matches!(strategy, CompactionStrategy::Default) {
+            self.config.merge_policy = MergePolicy::Tiering;
+        }
+        self
+    }
+
+    /// Constructs the compaction policy the configured strategy calls for.
+    fn make_policy(&self) -> Box<dyn CompactionPolicy> {
+        match self.config.compaction_strategy {
+            CompactionStrategy::Default => {
+                Box::new(FadePolicy::with_selection(self.dth, self.selection))
+            }
+            CompactionStrategy::SizeTiered { fan_in } => Box::new(SizeTieredPolicy::new(fan_in)),
+            CompactionStrategy::DateTiered { base_window_micros, fan_in, ttl_micros } => {
+                Box::new(DateTieredPolicy::new(base_window_micros, fan_in, ttl_micros))
+            }
+        }
+    }
+
     /// Sets the ingestion rate `I` (entries per second of logical time).
     pub fn ingestion_rate(mut self, entries_per_sec: u64) -> Self {
         self.config.ingestion_rate = entries_per_sec.max(1);
@@ -288,8 +319,8 @@ impl LetheBuilder {
     /// layer above (tables, tree, readers) transparently reads through it.
     pub fn build_on(self, backend: Arc<dyn StorageBackend>, clock: LogicalClock) -> Result<Lethe> {
         let (backend, cache) = self.wrap_backend(backend);
-        let policy = FadePolicy::with_selection(self.dth, self.selection);
-        let mut tree = LsmTree::new(self.config, backend, clock, Box::new(policy))?;
+        let policy = self.make_policy();
+        let mut tree = LsmTree::new(self.config, backend, clock, policy)?;
         if let Some(alloc) = self.seqnum_allocator {
             tree = tree.with_seqnum_allocator(alloc);
         }
@@ -341,9 +372,12 @@ impl LetheBuilder {
         // the cache wraps the device before the tree ever sees it, so
         // recovery's unreferenced-page GC already invalidates through it
         let (backend, cache) = self.wrap_backend(Arc::new(backend));
-        let policy = FadePolicy::with_selection(self.dth, self.selection);
+        let policy = self.make_policy();
         let mut tree =
-            LsmTree::new(self.config, backend, clock, Box::new(policy))?.with_manifest(manifest);
+            LsmTree::new(self.config, backend, clock, policy)?.with_manifest(manifest);
+        if let Some(fp) = self.failpoint {
+            tree = tree.with_failpoint(fp);
+        }
         if let Some(alloc) = self.seqnum_allocator {
             tree = tree.with_seqnum_allocator(alloc);
         }

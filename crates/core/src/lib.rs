@@ -68,7 +68,8 @@ pub use tuning::{
 
 // Re-export the substrate types a user of the public API touches directly.
 pub use lethe_lsm::batch::WriteBatch;
-pub use lethe_lsm::config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
+pub use lethe_lsm::config::{CompactionStrategy, LsmConfig, MergePolicy, SecondaryDeleteMode};
+pub use lethe_lsm::strategy::{DateTieredPolicy, SizeTieredPolicy};
 pub use lethe_lsm::tree::RangeIter;
 pub use lethe_lsm::sstable::SecondaryDeleteStats;
 pub use lethe_lsm::stats::{ContentSnapshot, TreeStats};

@@ -250,6 +250,17 @@ impl ShardedLetheBuilder {
         self
     }
 
+    /// Selects the compaction strategy every shard runs; see
+    /// [`LetheBuilder::compaction_strategy`]. The tiered strategies switch
+    /// the merge policy to tiering, and under date-tiered each shard retires
+    /// its own wholly-expired windows via whole-file drops (the combined
+    /// [`TreeStats::whole_file_drops`](lethe_lsm::stats::TreeStats) counter
+    /// sums them across shards).
+    pub fn compaction_strategy(mut self, strategy: lethe_lsm::CompactionStrategy) -> Self {
+        self.inner = self.inner.compaction_strategy(strategy);
+        self
+    }
+
     /// Sets the ingestion rate `I` (entries per second of logical time).
     pub fn ingestion_rate(mut self, entries_per_sec: u64) -> Self {
         self.inner = self.inner.ingestion_rate(entries_per_sec);

@@ -16,7 +16,8 @@
 //!   persistence: force a full-tree compaction every `period` time units.
 //!
 //! The FADE policy of the paper lives in the `lethe-core` crate and
-//! implements the same trait.
+//! implements the same trait; the size-tiered and date-tiered strategies
+//! live in [`crate::strategy`].
 //!
 //! Policies only *choose* work. Executing a chosen job
 //! ([`crate::tree::JobPlan::execute`]) streams the input files through the
@@ -121,6 +122,32 @@ pub enum CompactionTask {
     TieredLevel {
         /// Source level index.
         level: usize,
+    },
+    /// Merge a *subset* of `level`'s runs — identified by the ids of every
+    /// file they contain — into one run that **replaces them in place**. The
+    /// tiered strategies (see [`crate::strategy`]) use this to merge exactly
+    /// one size class or one time window without touching the level's other
+    /// runs. The planner only accepts whole runs that are **contiguous** in
+    /// the level's run list: the merged run takes the segment's position, so
+    /// the global recency order of runs (shallower level first, then newer
+    /// run first) is preserved and reads stay correct.
+    MergeRuns {
+        /// Source level index.
+        level: usize,
+        /// Ids of every file of the runs to merge (whole adjacent runs only).
+        file_ids: Vec<u64>,
+    },
+    /// Retire whole files without reading them: the files vanish from every
+    /// level in one atomic version install, their manifest entries are
+    /// removed, and their pages are reclaimed — zero pages read or written.
+    /// This is how a date-tiered TTL expiry drops a wholly-expired time
+    /// window. The planner routes the task through the snapshot gate: while
+    /// a live snapshot pins history the drop is deferred (counted in
+    /// `TreeStats::tombstone_gc_delayed`) and the expired files stay
+    /// readable.
+    DropFiles {
+        /// Ids of the files to retire, across all levels.
+        file_ids: Vec<u64>,
     },
     /// Read, merge and rewrite the entire tree into its last level.
     FullTree,

@@ -15,6 +15,44 @@ pub enum MergePolicy {
     Tiering,
 }
 
+/// Which compaction strategy drives background maintenance.
+///
+/// The strategy selects the [`crate::compaction::CompactionPolicy`] the
+/// embedding layer constructs; the tiered strategies additionally require
+/// [`MergePolicy::Tiering`] so flushes append fresh runs instead of
+/// sort-merging into the resident first level (the source of leveling's
+/// write amplification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionStrategy {
+    /// Whatever policy the embedding layer installs by default: FADE in
+    /// `lethe-core`, plain saturation-driven compaction elsewhere. The
+    /// default — selecting it changes nothing.
+    Default,
+    /// Size-tiered ([`crate::strategy::SizeTieredPolicy`]): bucket each
+    /// level's runs by size class and merge a class once it accumulates
+    /// `fan_in` runs.
+    SizeTiered {
+        /// Runs of one size class merged together (≥ 2).
+        fan_in: usize,
+    },
+    /// Date-tiered ([`crate::strategy::DateTieredPolicy`]): bucket runs into
+    /// aligned time windows over the delete key (the creation-timestamp
+    /// attribute), windows growing by the ladder factor with age; windows
+    /// never merge across boundaries, and a window wholly past `ttl_micros`
+    /// is dropped as whole files without reading them.
+    DateTiered {
+        /// Width of the newest (base) time window in logical microseconds.
+        base_window_micros: Timestamp,
+        /// Runs of one window merged together (≥ 2); also the factor by
+        /// which window widths grow per ladder rung.
+        fan_in: usize,
+        /// Retention TTL in logical microseconds: base windows wholly older
+        /// than `now − ttl` are retired via whole-file drops. `None`
+        /// disables drops (pure window-bucketed merging).
+        ttl_micros: Option<Timestamp>,
+    },
+}
+
 /// How a secondary range delete (on the delete key) is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SecondaryDeleteMode {
@@ -98,6 +136,11 @@ pub struct LsmConfig {
     /// competes with genuinely hot read pages for cache space and adds one
     /// page copy per written page on the flush/compaction path.
     pub block_cache_warm_writes: bool,
+    /// Which compaction strategy drives background maintenance.
+    /// [`CompactionStrategy::Default`] keeps the embedding layer's policy
+    /// (FADE for `lethe-core` engines) — existing configurations behave
+    /// exactly as before.
+    pub compaction_strategy: CompactionStrategy,
 }
 
 impl Default for LsmConfig {
@@ -125,6 +168,7 @@ impl Default for LsmConfig {
             l0_stall_runs: 24,
             block_cache_bytes: 0,
             block_cache_warm_writes: false,
+            compaction_strategy: CompactionStrategy::Default,
         }
     }
 }
@@ -215,6 +259,36 @@ impl LsmConfig {
                 self.l0_slowdown_runs, self.l0_stall_runs
             ));
         }
+        match self.compaction_strategy {
+            CompactionStrategy::Default => {}
+            CompactionStrategy::SizeTiered { fan_in } => {
+                if fan_in < 2 {
+                    return Err("size-tiered fan_in must be at least 2".into());
+                }
+                if self.merge_policy != MergePolicy::Tiering {
+                    return Err(
+                        "size-tiered compaction requires MergePolicy::Tiering (flushes must \
+                         append runs, not merge into the resident level)"
+                            .into(),
+                    );
+                }
+            }
+            CompactionStrategy::DateTiered { base_window_micros, fan_in, .. } => {
+                if base_window_micros == 0 {
+                    return Err("date-tiered base_window_micros must be positive".into());
+                }
+                if fan_in < 2 {
+                    return Err("date-tiered fan_in must be at least 2".into());
+                }
+                if self.merge_policy != MergePolicy::Tiering {
+                    return Err(
+                        "date-tiered compaction requires MergePolicy::Tiering (flushes must \
+                         append runs, not merge into the resident level)"
+                            .into(),
+                    );
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -284,6 +358,34 @@ mod tests {
 
         let mut c = LsmConfig::default();
         c.entries_per_page = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn strategy_validation() {
+        // tiered strategies need tiering flushes
+        let mut c = LsmConfig {
+            compaction_strategy: CompactionStrategy::SizeTiered { fan_in: 4 },
+            ..LsmConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.merge_policy = MergePolicy::Tiering;
+        assert!(c.validate().is_ok());
+        c.compaction_strategy = CompactionStrategy::SizeTiered { fan_in: 1 };
+        assert!(c.validate().is_err());
+
+        let mut c = LsmConfig {
+            merge_policy: MergePolicy::Tiering,
+            compaction_strategy: CompactionStrategy::DateTiered {
+                base_window_micros: 1_000_000,
+                fan_in: 4,
+                ttl_micros: Some(60_000_000),
+            },
+            ..LsmConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        c.compaction_strategy =
+            CompactionStrategy::DateTiered { base_window_micros: 0, fan_in: 4, ttl_micros: None };
         assert!(c.validate().is_err());
     }
 }

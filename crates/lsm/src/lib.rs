@@ -34,6 +34,9 @@
 //!   gate tombstone GC and deferred page reclamation, with a lowest-freed
 //!   watermark that fails stale handles closed.
 //! * [`stats`] — space/write amplification and tombstone-age accounting.
+//! * [`strategy`] — pluggable compaction strategies: size-tiered run
+//!   bucketing and date-tiered time windows whose wholly-expired windows are
+//!   retired as whole files without reading a page.
 //!
 //! The delete-aware pieces of the paper (the FADE compaction policy and the
 //! Lethe engine wrapper) live in the `lethe-core` crate and plug into this
@@ -52,6 +55,7 @@ pub mod reclaim;
 pub mod snapshot;
 pub mod sstable;
 pub mod stats;
+pub mod strategy;
 pub mod tree;
 pub mod version;
 
@@ -61,12 +65,13 @@ pub use compaction::{
     SaturationPolicy, TreeView,
 };
 pub use cursor::{EntryCursor, MergeIterator, SsTableCursor, TombstoneWindow, VecCursor};
-pub use config::{LsmConfig, MergePolicy, SecondaryDeleteMode};
+pub use config::{CompactionStrategy, LsmConfig, MergePolicy, SecondaryDeleteMode};
 pub use level::{Level, Run};
 pub use merge::{merge_entries, MergeOutput};
 pub use snapshot::SnapshotTracker;
 pub use sstable::{DeleteTile, PageHandle, SecondaryDeleteStats, SsTable, SsTableMeta};
 pub use stats::{ContentSnapshot, TreeStats};
+pub use strategy::{DateTieredPolicy, SizeTieredPolicy};
 pub use tree::{
     BuildCtx, JobOutput, JobPlan, LsmTree, MaintenanceMode, RangeIter, RecoveryReport,
     TreeReader, TreeSnapshot,

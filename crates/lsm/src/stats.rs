@@ -57,6 +57,16 @@ pub struct TreeStats {
     pub point_lookups: u64,
     /// Number of range lookups served.
     pub range_lookups: u64,
+    /// Bytes of table data written by memtable flushes (the unavoidable
+    /// first copy of every ingested byte).
+    pub bytes_flushed: u64,
+    /// Bytes of table data rewritten by compactions of any kind — the
+    /// numerator of [`TreeStats::write_amp`] beyond the flush copy. Whole-file
+    /// drops add nothing here: retiring a file writes no data.
+    pub bytes_compacted: u64,
+    /// Files retired by whole-file drops (a date-tiered TTL expiry retires a
+    /// wholly-expired time window without reading a single page).
+    pub whole_file_drops: u64,
 }
 
 impl TreeStats {
@@ -84,6 +94,9 @@ impl TreeStats {
         self.secondary_delete.merge(&other.secondary_delete);
         self.point_lookups += other.point_lookups;
         self.range_lookups += other.range_lookups;
+        self.bytes_flushed += other.bytes_flushed;
+        self.bytes_compacted += other.bytes_compacted;
+        self.whole_file_drops += other.whole_file_drops;
     }
 
     /// Write amplification given the total bytes the device has absorbed.
@@ -92,6 +105,18 @@ impl TreeStats {
             return 0.0;
         }
         device_bytes_written.saturating_sub(self.bytes_ingested) as f64 / self.bytes_ingested as f64
+    }
+
+    /// Write amplification from the tree's own counters: table bytes written
+    /// by flushes and compactions per byte of ingested data. Unlike
+    /// [`TreeStats::write_amplification`] this needs no device snapshot, so
+    /// it compares compaction strategies without WAL/manifest noise and
+    /// absorbs cleanly across shards.
+    pub fn write_amp(&self) -> f64 {
+        if self.bytes_ingested == 0 {
+            return 0.0;
+        }
+        (self.bytes_flushed + self.bytes_compacted) as f64 / self.bytes_ingested as f64
     }
 }
 
@@ -185,6 +210,25 @@ mod tests {
         // device wrote less than ingested (still buffered) → 0, not negative
         assert_eq!(s.write_amplification(500), 0.0);
         assert_eq!(s.entries_ingested, 1);
+    }
+
+    #[test]
+    fn counter_based_write_amp() {
+        let mut s = TreeStats::default();
+        assert_eq!(s.write_amp(), 0.0);
+        s.record_ingest(1000);
+        s.bytes_flushed = 1000;
+        s.bytes_compacted = 3000;
+        assert!((s.write_amp() - 4.0).abs() < 1e-9);
+        let mut other = TreeStats::default();
+        other.record_ingest(1000);
+        other.bytes_flushed = 1000;
+        other.whole_file_drops = 2;
+        s.absorb(&other);
+        assert_eq!(s.bytes_flushed, 2000);
+        assert_eq!(s.bytes_compacted, 3000);
+        assert_eq!(s.whole_file_drops, 2);
+        assert!((s.write_amp() - 2.5).abs() < 1e-9);
     }
 
     #[test]

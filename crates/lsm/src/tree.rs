@@ -42,9 +42,9 @@ use crate::version::{Version, VersionSet};
 use bytes::Bytes;
 use crate::batch::WriteBatch;
 use lethe_storage::{
-    BatchOp, DeleteKey, Entry, EntryKind, Histogram, IoSnapshot, LogicalClock, Manifest,
-    ManifestState, MemTable, PageId, Result, SeqNum, SortKey, StorageBackend, StorageError,
-    Timestamp, Wal, WalRecord,
+    BatchOp, DeleteKey, Entry, EntryKind, FailPoint, Histogram, IoSnapshot, LogicalClock,
+    Manifest, ManifestState, MemTable, PageId, Result, SeqNum, SortKey, StorageBackend,
+    StorageError, Timestamp, Wal, WalRecord,
 };
 use lethe_sync::{LockRank, RwLock};
 use std::collections::HashSet;
@@ -772,6 +772,14 @@ enum JobKind {
     },
     /// Merge every run of `level` into one run of `level + 1` (tiering).
     Tier { level: usize, victims: Vec<Arc<SsTable>> },
+    /// Merge the `run_count` adjacent runs of `level` starting at run index
+    /// `start` (pinned as `victims`) into one run that replaces them in
+    /// place (the tiered strategies' subset merge).
+    MergeRuns { level: usize, victims: Vec<Arc<SsTable>>, start: usize, run_count: usize },
+    /// Retire `victims` from every level without reading them (a date-tiered
+    /// whole-window TTL expiry). Executes as a no-op — zero pages read or
+    /// written — and commits as one atomic version install.
+    Drop { victims: Vec<Arc<SsTable>> },
     /// Read, merge and rewrite the entire tree into its last level.
     Full {
         victims: Vec<Arc<SsTable>>,
@@ -787,6 +795,8 @@ impl JobPlan {
             JobKind::Flush { .. } => "flush",
             JobKind::Files { .. } => "compact-files",
             JobKind::Tier { .. } => "compact-tier",
+            JobKind::MergeRuns { .. } => "merge-runs",
+            JobKind::Drop { .. } => "drop-files",
             JobKind::Full { .. } => "full-tree",
         }
     }
@@ -868,6 +878,15 @@ impl JobPlan {
                 self.drop_tombstones,
                 None,
             ),
+            JobKind::MergeRuns { victims, .. } => merge_and_build(
+                ctx,
+                &victims.iter().collect::<Vec<_>>(),
+                self.drop_tombstones,
+                None,
+            ),
+            // a whole-file drop reads and writes nothing: the entire effect
+            // is the apply phase's version/manifest edit
+            JobKind::Drop { .. } => Ok(JobOutput { tables: Vec::new(), input_entries: 0 }),
             JobKind::Full { victims, delete_key_filter, .. } => merge_and_build(
                 ctx,
                 &victims.iter().collect::<Vec<_>>(),
@@ -1073,6 +1092,9 @@ pub struct LsmTree {
     wal: Option<Box<dyn Wal>>,
     manifest: Option<Manifest>,
     mode: MaintenanceMode,
+    /// Crash-injection hook for the tree's own commit steps (currently the
+    /// whole-file-drop commit); disarmed in production.
+    failpoint: Option<FailPoint>,
 }
 
 impl LsmTree {
@@ -1116,7 +1138,17 @@ impl LsmTree {
             wal: None,
             manifest: None,
             mode: MaintenanceMode::Inline,
+            failpoint: None,
         })
+    }
+
+    /// Attaches a crash-injection failpoint checked at the tree's own commit
+    /// sites (`drop.commit`, `drop.retire` — the whole-file-drop steps).
+    /// Share the same [`FailPoint`] with the backend, WAL and manifest so one
+    /// armed site crashes whichever layer reaches it first.
+    pub fn with_failpoint(mut self, fp: FailPoint) -> Self {
+        self.failpoint = Some(fp);
+        self
     }
 
     /// Attaches a write-ahead log; every subsequent mutation is logged before
@@ -1943,8 +1975,92 @@ impl LsmTree {
                     self.gate_tombstone_drop(deepest_other.is_none_or(|d| d < level + 1));
                 Some(JobPlan { kind: JobKind::Tier { level, victims }, drop_tombstones })
             }
+            CompactionTask::MergeRuns { level, file_ids } => {
+                self.plan_merge_runs(&version, level, &file_ids)
+            }
+            CompactionTask::DropFiles { file_ids } => self.plan_drop_files(&version, &file_ids),
             CompactionTask::FullTree => self.plan_full(None),
         }
+    }
+
+    /// Plans a tiered subset merge: whole runs of `level`, contiguous in its
+    /// run list and jointly holding exactly `file_ids`, merged into one run
+    /// that replaces them in place. Rejects partial runs and non-adjacent
+    /// selections — merging around a surviving run of intermediate recency
+    /// would invert the version order reads depend on.
+    fn plan_merge_runs(
+        &mut self,
+        version: &Version,
+        level: usize,
+        file_ids: &[u64],
+    ) -> Option<JobPlan> {
+        if file_ids.is_empty() {
+            return None;
+        }
+        let l = version.levels.get(level)?;
+        let want: HashSet<u64> = file_ids.iter().copied().collect();
+        let mut picked: Vec<usize> = Vec::new();
+        for (i, run) in l.runs.iter().enumerate() {
+            let selected = run.tables().iter().filter(|t| want.contains(&t.meta.id)).count();
+            if selected == 0 {
+                continue;
+            }
+            if selected != run.len() {
+                return None; // partial run selected
+            }
+            picked.push(i);
+        }
+        let (start, end) = (*picked.first()?, *picked.last()? + 1);
+        if picked.len() != end - start {
+            return None; // non-adjacent runs selected
+        }
+        let covered: usize = picked.iter().map(|&i| l.runs[i].len()).sum();
+        if covered != want.len() {
+            return None; // some wanted id is not in this level
+        }
+        let run_count = end - start;
+        let victims: Vec<Arc<SsTable>> =
+            l.runs[start..end].iter().flat_map(|r| r.tables().iter().cloned()).collect();
+        // The merge may persist tombstones only when it covers the oldest
+        // data of the tree: the segment reaches the level's oldest run and
+        // every deeper level is empty.
+        let oldest = end == l.runs.len()
+            && version.levels.iter().skip(level + 1).all(|deeper| deeper.is_empty());
+        let drop_tombstones = self.gate_tombstone_drop(oldest);
+        Some(JobPlan {
+            kind: JobKind::MergeRuns { level, victims, start, run_count },
+            drop_tombstones,
+        })
+    }
+
+    /// Plans a whole-file drop of `file_ids`, resolved across all levels.
+    /// Routed through the snapshot gate: while a live snapshot pins history
+    /// the plan is refused and the delay is counted in
+    /// `TreeStats::tombstone_gc_delayed` — the expired files stay in place
+    /// (and readable) until the snapshot is released.
+    fn plan_drop_files(&mut self, version: &Version, file_ids: &[u64]) -> Option<JobPlan> {
+        if file_ids.is_empty() {
+            return None;
+        }
+        let victims: Vec<Arc<SsTable>> = file_ids
+            .iter()
+            .filter_map(|id| {
+                version
+                    .levels
+                    .iter()
+                    .find_map(|l| l.runs.iter().find_map(|r| r.find_by_id(*id).map(Arc::clone)))
+            })
+            .collect();
+        if victims.len() != file_ids.len() {
+            return None;
+        }
+        // A drop erases data versions outright, which is only invisible to
+        // readers because the TTL already expired them; a held snapshot must
+        // still see the expired window, so the gate defers the whole job.
+        if !self.gate_tombstone_drop(true) {
+            return None;
+        }
+        Some(JobPlan { kind: JobKind::Drop { victims }, drop_tombstones: false })
     }
 
     /// Plans a leveling compaction of `file_ids` out of `level`, mirroring
@@ -2059,9 +2175,11 @@ impl LsmTree {
                         levels[0].runs.push(Run::new(out.tables));
                     }
                 }
+                let flushed_bytes: u64 = new_tables.iter().map(|t| t.meta.data_bytes).sum();
                 self.commit_version(levels, &new_tables, resident)?;
                 *self.mem.frozen.write() = None;
                 self.stats.flushes += 1;
+                self.stats.bytes_flushed += flushed_bytes;
                 if let Some(wal) = &self.wal {
                     wal.truncate_prefix(wal_upto)?;
                 }
@@ -2101,12 +2219,14 @@ impl LsmTree {
                 }
                 let retired: Vec<Arc<SsTable>> =
                     sources.into_iter().chain(overlapping).collect();
+                let written: u64 = new_tables.iter().map(|t| t.meta.data_bytes).sum();
                 self.commit_version(levels, &new_tables, retired)?;
                 self.stats.compactions += 1;
                 if ttl_trigger {
                     self.stats.ttl_triggered_compactions += 1;
                 }
                 self.stats.entries_compacted += out.input_entries;
+                self.stats.bytes_compacted += written;
                 Ok(true)
             }
             JobKind::Tier { level, victims } => {
@@ -2125,9 +2245,78 @@ impl LsmTree {
                 if !out.tables.is_empty() {
                     levels[level + 1].runs.insert(0, Run::new(out.tables));
                 }
+                let written: u64 = new_tables.iter().map(|t| t.meta.data_bytes).sum();
                 self.commit_version(levels, &new_tables, victims)?;
                 self.stats.compactions += 1;
                 self.stats.entries_compacted += out.input_entries;
+                self.stats.bytes_compacted += written;
+                Ok(true)
+            }
+            JobKind::MergeRuns { level, victims, start, run_count } => {
+                // runs `start..start + run_count` of `level` must still be
+                // exactly the runs the plan pinned
+                let planned: Vec<u64> = victims.iter().map(|t| t.meta.id).collect();
+                let have: Vec<u64> = levels
+                    .get(level)
+                    .filter(|l| l.runs.len() >= start + run_count)
+                    .map(|l| {
+                        l.runs[start..start + run_count]
+                            .iter()
+                            .flat_map(|r| r.tables().iter().map(|t| t.meta.id))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if have != planned {
+                    self.abort_output(out);
+                    return Ok(false);
+                }
+                let new_tables = out.tables.clone();
+                // the merged run takes the segment's position, preserving
+                // the level's recency order around it
+                let replacement =
+                    if out.tables.is_empty() { None } else { Some(Run::new(out.tables)) };
+                levels[level].runs.splice(start..start + run_count, replacement);
+                let written: u64 = new_tables.iter().map(|t| t.meta.data_bytes).sum();
+                self.commit_version(levels, &new_tables, victims)?;
+                self.stats.compactions += 1;
+                self.stats.entries_compacted += out.input_entries;
+                self.stats.bytes_compacted += written;
+                Ok(true)
+            }
+            JobKind::Drop { victims } => {
+                let ids: Vec<u64> = victims.iter().map(|t| t.meta.id).collect();
+                let all_present = ids.iter().all(|id| {
+                    levels.iter().any(|l| l.runs.iter().any(|r| r.find_by_id(*id).is_some()))
+                });
+                if !all_present {
+                    self.abort_output(out);
+                    return Ok(false);
+                }
+                for l in &mut levels {
+                    for run in &mut l.runs {
+                        run.remove_ids(&ids);
+                    }
+                    l.prune_empty_runs();
+                }
+                // Inlined commit tail (instead of `commit_version`) so crash
+                // injection can land between the two durability steps of a
+                // drop: the manifest edit that forgets the files must be
+                // committed *before* their pages are retired — the reverse
+                // order could reclaim pages a recovered manifest still
+                // references.
+                if let Some(fp) = &self.failpoint {
+                    fp.check("drop.commit")?;
+                }
+                self.commit_or_release(&levels, &[])?;
+                if let Some(fp) = &self.failpoint {
+                    fp.check("drop.retire")?;
+                }
+                self.versions.install(levels);
+                for t in &victims {
+                    self.versions.retire_table(Arc::clone(t));
+                }
+                self.versions.collect_garbage(self.backend.as_ref());
+                self.stats.whole_file_drops += victims.len() as u64;
                 Ok(true)
             }
             JobKind::Full { victims, deepest, .. } => {
@@ -2146,10 +2335,12 @@ impl LsmTree {
                 if !out.tables.is_empty() {
                     levels[deepest].runs.push(Run::new(out.tables));
                 }
+                let written: u64 = new_tables.iter().map(|t| t.meta.data_bytes).sum();
                 self.commit_version(levels, &new_tables, victims)?;
                 self.stats.compactions += 1;
                 self.stats.full_tree_compactions += 1;
                 self.stats.entries_compacted += out.input_entries;
+                self.stats.bytes_compacted += written;
                 Ok(true)
             }
         }

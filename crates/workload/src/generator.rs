@@ -85,6 +85,21 @@ pub enum Operation {
         /// Sort key to look up through the snapshot.
         key: u64,
     },
+    /// A time-series append: `samples` consecutive values (f64 bit
+    /// patterns, so the op stays `Eq`) for one series starting at
+    /// `start_tick`. Drivers Gorilla-compress the block with
+    /// [`crate::timeseries::encode_block`] and store it under the
+    /// time-major sort key [`crate::timeseries::encode_key`]`(start_tick,
+    /// series)` with delete key `start_tick`, so TTL retention is a
+    /// secondary range delete on the tick domain.
+    TimeSeriesAppend {
+        /// Series the samples belong to.
+        series: u64,
+        /// Tick of the first sample; sample `i` is at `start_tick + i`.
+        start_tick: u64,
+        /// Sample values as `f64::to_bits` patterns.
+        samples: Vec<u64>,
+    },
 }
 
 /// One write inside an [`Operation::WriteBatch`].
@@ -115,7 +130,15 @@ pub struct WorkloadGenerator {
     /// Monotonically increasing counter used as the "arrival time" delete key
     /// for uncorrelated workloads.
     arrival: u64,
+    /// Next free tick of the time-series timeline; advances by the block
+    /// size per append so timestamps stay strictly monotone.
+    ts_tick: u64,
+    /// Per-series random-walk state for time-series values.
+    ts_walk: Vec<f64>,
 }
+
+/// Distinct series the mixed generator spreads time-series appends over.
+const TIMESERIES_SERIES: u64 = 16;
 
 impl WorkloadGenerator {
     /// Creates a generator for `spec`.
@@ -131,7 +154,8 @@ impl WorkloadGenerator {
             }
         };
         let rng = StdRng::seed_from_u64(spec.seed);
-        WorkloadGenerator { spec, rng, zipf, inserted: Vec::new(), arrival: 0 }
+        let ts_walk = (0..TIMESERIES_SERIES).map(|s| 100.0 + s as f64).collect();
+        WorkloadGenerator { spec, rng, zipf, inserted: Vec::new(), arrival: 0, ts_tick: 0, ts_walk }
     }
 
     /// The spec this generator was built from.
@@ -216,6 +240,22 @@ impl WorkloadGenerator {
         Operation::WriteBatch { ops }
     }
 
+    /// Builds one time-series append: the next block of the global monotone
+    /// timeline, assigned to a random series whose value random-walks.
+    fn make_timeseries(&mut self) -> Operation {
+        let n = self.spec.timeseries_samples.max(1);
+        let series = self.rng.gen_range(0..TIMESERIES_SERIES);
+        let v = &mut self.ts_walk[series as usize];
+        let mut samples = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            *v += self.rng.gen::<f64>() * 2.0 - 1.0;
+            samples.push(v.to_bits());
+        }
+        let start_tick = self.ts_tick;
+        self.ts_tick += n;
+        Operation::TimeSeriesAppend { series, start_tick, samples }
+    }
+
     /// Generates the preload phase: `preload_keys` distinct puts covering the
     /// key space evenly (so later range deletes behave predictably).
     pub fn preload(&mut self) -> Vec<Operation> {
@@ -248,6 +288,7 @@ impl WorkloadGenerator {
             spec.streaming_range_fraction,
             spec.batch_fraction,
             spec.snapshot_fraction,
+            spec.timeseries_fraction,
             spec.secondary_delete_fraction,
         ];
         let mut class = classes.len() - 1;
@@ -294,6 +335,7 @@ impl WorkloadGenerator {
                 Some(key) => Operation::SnapshotRead { key },
                 None => self.make_put(),
             },
+            9 => self.make_timeseries(),
             // secondary range deletes stay the final arm: it doubles as the
             // floating-point fallback class, so adding new classes above
             // never changes what a rounding leftover generates
@@ -337,7 +379,9 @@ mod tests {
                 Operation::RangeLookup { .. } => c.5 += 1,
                 Operation::RangeStream { .. } => streams += 1,
                 Operation::SecondaryRangeDelete { .. } => c.6 += 1,
-                Operation::WriteBatch { .. } | Operation::SnapshotRead { .. } => {}
+                Operation::WriteBatch { .. }
+                | Operation::SnapshotRead { .. }
+                | Operation::TimeSeriesAppend { .. } => {}
             }
         }
         let _ = streams;
@@ -448,6 +492,41 @@ mod tests {
         let ops_off = WorkloadGenerator::new(WorkloadSpec { operations: 500, ..Default::default() })
             .operations();
         assert!(ops_off.iter().all(|op| !matches!(op, Operation::SnapshotRead { .. })));
+    }
+
+    #[test]
+    fn timeseries_appends_are_generated_when_requested() {
+        let spec = WorkloadSpec {
+            operations: 5_000,
+            key_space: 10_000,
+            update_fraction: 0.7,
+            point_lookup_fraction: 0.1,
+            timeseries_fraction: 0.2,
+            timeseries_samples: 24,
+            ..Default::default()
+        };
+        let ops = WorkloadGenerator::new(spec).operations();
+        let mut appends = 0usize;
+        let mut last_tick: Option<u64> = None;
+        for op in &ops {
+            if let Operation::TimeSeriesAppend { series, start_tick, samples } = op {
+                appends += 1;
+                assert!(*series < super::TIMESERIES_SERIES);
+                assert_eq!(samples.len(), 24);
+                assert!(last_tick.is_none_or(|t| *start_tick == t), "timeline must be gapless");
+                last_tick = Some(start_tick + samples.len() as u64);
+                // blocks round-trip through the gorilla codec
+                let block = crate::timeseries::encode_block(*start_tick, samples);
+                assert_eq!(crate::timeseries::decode_block(&block).unwrap(), *samples);
+            }
+        }
+        let share = appends as f64 / ops.len() as f64;
+        assert!((share - 0.2).abs() < 0.05, "append share {share}");
+        // with the knob off the class is never generated and the stream is
+        // byte-identical to the pre-knob generator
+        let ops_off = WorkloadGenerator::new(WorkloadSpec { operations: 500, ..Default::default() })
+            .operations();
+        assert!(ops_off.iter().all(|op| !matches!(op, Operation::TimeSeriesAppend { .. })));
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Gorilla-style delta/XOR bitstream compression for time-series blocks.
+//!
+//! Time-series appends carry a block of `(timestamp, value)` samples per
+//! operation. Stored raw, a block of `n` samples costs `16 n` bytes; the
+//! Gorilla codec (Facebook's in-memory TSDB, VLDB'15) exploits the two
+//! regularities of monitoring data instead:
+//!
+//! * **Timestamps** arrive at a near-constant cadence, so the
+//!   *delta-of-delta* between consecutive timestamps is almost always zero.
+//!   A zero delta-of-delta costs a single `0` bit; small jitter costs 9–14
+//!   bits; only a genuine gap pays the full 4 + 64 bits.
+//! * **Values** drift slowly, so the XOR of consecutive IEEE-754 bit
+//!   patterns has long runs of leading and trailing zeros. An unchanged
+//!   value costs one bit; a changed one stores only the "meaningful" middle
+//!   bits, reusing the previous leading/trailing window when it still fits.
+//!
+//! Values travel as raw `u64` bit patterns (`f64::to_bits`) so the codec —
+//! and every [`Operation`](crate::Operation) that embeds samples — stays
+//! `Eq`-comparable and byte-exact across engines; NaN payloads round-trip
+//! unchanged. All timestamp arithmetic is wrapping, so *any* `(u64, u64)`
+//! sequence round-trips, not just monotone ones — the property tests rely
+//! on that.
+//!
+//! The wire format is self-delimiting: a 32-bit sample count, then the
+//! first sample raw (64 + 64 bits), then per-sample {delta-of-delta code,
+//! XOR code} pairs, zero-padded to a byte boundary.
+
+use std::fmt;
+
+/// Decoding failed: the byte stream is truncated or malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GorillaError {
+    /// Which part of the stream was being read when the bits ran out.
+    context: &'static str,
+}
+
+impl fmt::Display for GorillaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gorilla stream truncated while reading {}", self.context)
+    }
+}
+
+impl std::error::Error for GorillaError {}
+
+/// MSB-first bit accumulator backing the encoder.
+#[derive(Debug, Default)]
+struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the last byte of `buf` (0 means "full/none").
+    used: u8,
+}
+
+impl BitWriter {
+    fn push_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.buf.push(0);
+            self.used = 8;
+        }
+        self.used -= 1;
+        if bit {
+            *self.buf.last_mut().unwrap() |= 1 << self.used;
+        }
+    }
+
+    /// Writes the low `n` bits of `value`, most significant first.
+    fn push_bits(&mut self, value: u64, n: u8) {
+        for i in (0..n).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// MSB-first bit cursor backing the decoder.
+#[derive(Debug)]
+struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit position of the next unread bit.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    fn read_bit(&mut self, context: &'static str) -> Result<bool, GorillaError> {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            return Err(GorillaError { context });
+        }
+        let bit = self.buf[byte] >> (7 - self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    fn read_bits(&mut self, n: u8, context: &'static str) -> Result<u64, GorillaError> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit(context)? as u64;
+        }
+        Ok(v)
+    }
+}
+
+/// Compresses `(timestamp, value_bits)` samples into a Gorilla bitstream.
+///
+/// Values are IEEE-754 bit patterns (`f64::to_bits`); see [`encode_f64`]
+/// for the convenience wrapper. The output decodes back to exactly the
+/// input via [`decode`] for *any* input, monotone or not.
+pub fn encode(samples: &[(u64, u64)]) -> Vec<u8> {
+    let mut w = BitWriter::default();
+    w.push_bits(samples.len() as u64, 32);
+    let Some(&(first_ts, first_val)) = samples.first() else {
+        return w.into_bytes();
+    };
+    w.push_bits(first_ts, 64);
+    w.push_bits(first_val, 64);
+
+    let mut prev_ts = first_ts;
+    let mut prev_delta: i64 = 0;
+    let mut prev_val = first_val;
+    // leading/trailing-zero window of the last explicitly-sized XOR; `None`
+    // until one has been written, forcing the first changed value to size
+    // its own window
+    let mut window: Option<(u32, u32)> = None;
+
+    for &(ts, val) in &samples[1..] {
+        // timestamps: delta-of-delta, bucketed by magnitude as in the paper
+        let delta = ts.wrapping_sub(prev_ts) as i64;
+        let dod = delta.wrapping_sub(prev_delta);
+        if dod == 0 {
+            w.push_bit(false);
+        } else if (-63..=64).contains(&dod) {
+            w.push_bits(0b10, 2);
+            w.push_bits((dod + 63) as u64, 7);
+        } else if (-255..=256).contains(&dod) {
+            w.push_bits(0b110, 3);
+            w.push_bits((dod + 255) as u64, 9);
+        } else if (-2047..=2048).contains(&dod) {
+            w.push_bits(0b1110, 4);
+            w.push_bits((dod + 2047) as u64, 12);
+        } else {
+            w.push_bits(0b1111, 4);
+            w.push_bits(dod as u64, 64);
+        }
+        prev_ts = ts;
+        prev_delta = delta;
+
+        // values: XOR against the previous sample
+        let xor = val ^ prev_val;
+        prev_val = val;
+        if xor == 0 {
+            w.push_bit(false);
+            continue;
+        }
+        w.push_bit(true);
+        let lead = xor.leading_zeros();
+        let trail = xor.trailing_zeros();
+        match window {
+            Some((wl, wt)) if lead >= wl && trail >= wt => {
+                // the meaningful bits fit inside the previous window: reuse
+                // it and skip re-encoding the window bounds
+                w.push_bit(false);
+                w.push_bits(xor >> wt, (64 - wl - wt) as u8);
+            }
+            _ => {
+                let len = 64 - lead - trail;
+                w.push_bit(true);
+                w.push_bits(lead as u64, 6);
+                // len is 1..=64, stored biased so 64 fits in 6 bits
+                w.push_bits((len - 1) as u64, 6);
+                w.push_bits(xor >> trail, len as u8);
+                window = Some((lead, trail));
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decompresses a bitstream produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<(u64, u64)>, GorillaError> {
+    let mut r = BitReader::new(bytes);
+    let count = r.read_bits(32, "sample count")? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    if count == 0 {
+        return Ok(out);
+    }
+    let first_ts = r.read_bits(64, "first timestamp")?;
+    let first_val = r.read_bits(64, "first value")?;
+    out.push((first_ts, first_val));
+
+    let mut prev_ts = first_ts;
+    let mut prev_delta: i64 = 0;
+    let mut prev_val = first_val;
+    let mut window: Option<(u32, u32)> = None;
+
+    while out.len() < count {
+        let dod: i64 = if !r.read_bit("timestamp code")? {
+            0
+        } else if !r.read_bit("timestamp code")? {
+            r.read_bits(7, "7-bit delta-of-delta")? as i64 - 63
+        } else if !r.read_bit("timestamp code")? {
+            r.read_bits(9, "9-bit delta-of-delta")? as i64 - 255
+        } else if !r.read_bit("timestamp code")? {
+            r.read_bits(12, "12-bit delta-of-delta")? as i64 - 2047
+        } else {
+            r.read_bits(64, "64-bit delta-of-delta")? as i64
+        };
+        let delta = prev_delta.wrapping_add(dod);
+        let ts = prev_ts.wrapping_add(delta as u64);
+        prev_ts = ts;
+        prev_delta = delta;
+
+        let val = if !r.read_bit("value code")? {
+            prev_val
+        } else if !r.read_bit("value code")? {
+            let (wl, wt) = window.ok_or(GorillaError { context: "reused window before any window" })?;
+            let xor = r.read_bits((64 - wl - wt) as u8, "windowed xor bits")? << wt;
+            prev_val ^ xor
+        } else {
+            let lead = r.read_bits(6, "xor leading zeros")? as u32;
+            let len = r.read_bits(6, "xor length")? as u32 + 1;
+            if lead + len > 64 {
+                return Err(GorillaError { context: "xor window wider than 64 bits" });
+            }
+            let trail = 64 - lead - len;
+            let xor = r.read_bits(len as u8, "xor bits")? << trail;
+            window = Some((lead, trail));
+            prev_val ^ xor
+        };
+        prev_val = val;
+        out.push((ts, val));
+    }
+    Ok(out)
+}
+
+/// [`encode`] for `f64` values: converts through `f64::to_bits`.
+pub fn encode_f64(samples: &[(u64, f64)]) -> Vec<u8> {
+    let bits: Vec<(u64, u64)> = samples.iter().map(|&(t, v)| (t, v.to_bits())).collect();
+    encode(&bits)
+}
+
+/// [`decode`] for `f64` values: converts through `f64::from_bits`.
+pub fn decode_f64(bytes: &[u8]) -> Result<Vec<(u64, f64)>, GorillaError> {
+    Ok(decode(bytes)?.into_iter().map(|(t, v)| (t, f64::from_bits(v))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_and_single_sample_round_trip() {
+        assert_eq!(decode(&encode(&[])).unwrap(), vec![]);
+        let one = [(1_000_000u64, 42.5f64.to_bits())];
+        assert_eq!(decode(&encode(&one)).unwrap(), one);
+    }
+
+    #[test]
+    fn regular_cadence_round_trips_and_compresses() {
+        // a constant-rate gauge: the codec's sweet spot
+        let samples: Vec<(u64, u64)> = (0..1_000u64)
+            .map(|i| (1_600_000_000 + i * 60, (20.0 + (i % 5) as f64 * 0.25).to_bits()))
+            .collect();
+        let bytes = encode(&samples);
+        assert_eq!(decode(&bytes).unwrap(), samples);
+        let raw = samples.len() * 16;
+        assert!(
+            bytes.len() * 4 < raw,
+            "expected >4x compression on regular data, got {} vs {raw}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn constant_values_cost_one_bit_each() {
+        let samples: Vec<(u64, u64)> = (0..512u64).map(|i| (i * 10, 7.0f64.to_bits())).collect();
+        let bytes = encode(&samples);
+        assert_eq!(decode(&bytes).unwrap(), samples);
+        // header (4 + 16 bytes) plus ~2 bits per sample
+        assert!(bytes.len() < 20 + samples.len() / 2, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn irregular_timestamps_and_nan_payloads_round_trip() {
+        let samples = [
+            (u64::MAX, f64::NAN.to_bits() | 0xDEAD),
+            (0, f64::INFINITY.to_bits()),
+            (1 << 63, (-0.0f64).to_bits()),
+            (3, 0),
+            (u64::MAX - 1, u64::MAX),
+        ];
+        assert_eq!(decode(&encode(&samples)).unwrap(), samples);
+    }
+
+    #[test]
+    fn random_walks_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..20 {
+            let mut ts = rng.gen_range(0..1u64 << 40);
+            let mut v = rng.gen::<f64>() * 2e6 - 1e6;
+            let samples: Vec<(u64, u64)> = (0..rng.gen_range(1u32..300))
+                .map(|_| {
+                    ts += rng.gen_range(1u64..100);
+                    v += rng.gen::<f64>() * 20.0 - 10.0;
+                    (ts, v.to_bits())
+                })
+                .collect();
+            assert_eq!(decode(&encode(&samples)).unwrap(), samples);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error_instead_of_panicking() {
+        let samples: Vec<(u64, u64)> =
+            (0..64u64).map(|i| (i * 60, (i as f64).sin().to_bits())).collect();
+        let bytes = encode(&samples);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn f64_wrappers_round_trip() {
+        let samples = [(100u64, 1.5f64), (160, 1.5), (220, -3.25), (280, 0.0)];
+        let got = decode_f64(&encode_f64(&samples)).unwrap();
+        assert_eq!(got, samples);
+    }
+}

@@ -14,10 +14,13 @@
 
 pub mod concurrent;
 pub mod generator;
+pub mod gorilla;
 pub mod spec;
+pub mod timeseries;
 pub mod zipf;
 
 pub use concurrent::{run_concurrent, thread_spec, ConcurrentReport};
 pub use generator::{BatchWriteOp, Operation, WorkloadGenerator};
 pub use spec::{DeleteKeyCorrelation, KeyDistribution, WorkloadSpec};
+pub use timeseries::{TimeSeriesGenerator, TimeSeriesSpec};
 pub use zipf::Zipf;

@@ -90,6 +90,14 @@ pub struct WorkloadSpec {
     /// point lookup through it instead of the live store. Defaults to 0, so
     /// pre-existing specs keep generating identical operation streams.
     pub snapshot_fraction: f64,
+    /// Fraction of operations that are time-series appends: a block of
+    /// [`timeseries_samples`](Self::timeseries_samples) Gorilla-compressed
+    /// samples written under a monotone time-major key (see
+    /// [`crate::timeseries`]). Defaults to 0, so pre-existing specs keep
+    /// generating identical operation streams.
+    pub timeseries_fraction: f64,
+    /// Number of samples packed into each time-series append block.
+    pub timeseries_samples: u64,
     /// Key popularity distribution.
     pub distribution: KeyDistribution,
     /// Relationship between sort and delete keys.
@@ -123,6 +131,8 @@ impl Default for WorkloadSpec {
             batch_fraction: 0.0,
             batch_size: 8,
             snapshot_fraction: 0.0,
+            timeseries_fraction: 0.0,
+            timeseries_samples: 32,
             distribution: KeyDistribution::Uniform,
             correlation: DeleteKeyCorrelation::Uncorrelated,
         }
@@ -186,6 +196,7 @@ impl WorkloadSpec {
             + self.secondary_delete_fraction
             + self.batch_fraction
             + self.snapshot_fraction
+            + self.timeseries_fraction
     }
 
     /// Checks that fractions are non-negative and sum to ~1, and that
@@ -202,12 +213,16 @@ impl WorkloadSpec {
             self.secondary_delete_fraction,
             self.batch_fraction,
             self.snapshot_fraction,
+            self.timeseries_fraction,
         ];
         if fractions.iter().any(|f| *f < 0.0) {
             return Err("operation fractions must be non-negative".into());
         }
         if self.batch_fraction > 0.0 && self.batch_size == 0 {
             return Err("batch_size must be at least 1 when batches are generated".into());
+        }
+        if self.timeseries_fraction > 0.0 && self.timeseries_samples == 0 {
+            return Err("timeseries_samples must be at least 1 when appends are generated".into());
         }
         if (self.total_fraction() - 1.0).abs() > 1e-6 {
             return Err(format!("operation fractions sum to {}, expected 1", self.total_fraction()));
@@ -268,6 +283,27 @@ mod tests {
         assert!(s.validate().is_ok());
         // forgetting to carve the fraction out of another class is caught
         let bad = WorkloadSpec { snapshot_fraction: 0.1, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn timeseries_fraction_participates_in_the_sum() {
+        let s = WorkloadSpec {
+            update_fraction: 0.4,
+            point_lookup_fraction: 0.5,
+            timeseries_fraction: 0.1,
+            ..Default::default()
+        };
+        assert!(s.validate().is_ok());
+        let bad = WorkloadSpec { timeseries_fraction: 0.1, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = WorkloadSpec {
+            update_fraction: 0.4,
+            point_lookup_fraction: 0.5,
+            timeseries_fraction: 0.1,
+            timeseries_samples: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
     }
 

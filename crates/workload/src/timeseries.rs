@@ -1,0 +1,305 @@
+//! Time-series workload: monotone appends, windowed scans, TTL retention.
+//!
+//! This is the workload the date-tiered compaction strategy
+//! (`lethe_lsm::strategy::DateTieredPolicy`) is built for, and the one the
+//! paper's FADE machinery is in tension with: data arrives in timestamp
+//! order, reads target recent time windows, and deletes are pure
+//! *retention* — "drop everything older than the TTL" — expressed as
+//! secondary range deletes on the delete key, exactly the §5.2 use case.
+//!
+//! ## Key layout
+//!
+//! Sort keys are **time-major**: the append tick occupies the high bits and
+//! the series id the low [`SERIES_BITS`] bits, so one time window is one
+//! contiguous sort-key range covering every series. That is what makes
+//! windowed scans cheap and lets a date-tiered policy retire a whole
+//! expired window as whole files. The top bit is always set, placing
+//! time-series keys in a region disjoint from both the mixed workload's
+//! `key_space` and its never-inserted empty-lookup keys, so the two
+//! workloads compose inside one store without colliding.
+//!
+//! ## Delete keys
+//!
+//! An append's delete key is its `start_tick` — the creation-timestamp
+//! attribute of the paper — so a retention delete is
+//! `SecondaryRangeDelete { start: 0, end: now - ttl }`.
+//!
+//! Values are blocks of samples compressed with the [`crate::gorilla`]
+//! codec; [`encode_block`] is the single source of truth every applier uses
+//! so that stores driven by different engines stay byte-identical.
+
+use crate::generator::Operation;
+use crate::gorilla;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Low bits of a sort key holding the series id; the rest (below the tag
+/// bit) hold the append tick.
+pub const SERIES_BITS: u32 = 16;
+
+/// High tag bit keeping time-series keys disjoint from mixed-workload keys.
+const KEY_TAG: u64 = 1 << 63;
+
+/// Builds the time-major sort key for a sample block: tag bit, then tick,
+/// then series.
+///
+/// # Panics
+/// Panics if `series` needs more than [`SERIES_BITS`] bits or `tick` would
+/// overflow into the tag bit.
+pub fn encode_key(tick: u64, series: u64) -> u64 {
+    assert!(series < 1 << SERIES_BITS, "series {series} out of range");
+    assert!(tick < 1 << (63 - SERIES_BITS), "tick {tick} out of range");
+    KEY_TAG | (tick << SERIES_BITS) | series
+}
+
+/// Inverse of [`encode_key`]: `(tick, series)`.
+pub fn decode_key(key: u64) -> (u64, u64) {
+    ((key & !KEY_TAG) >> SERIES_BITS, key & ((1 << SERIES_BITS) - 1))
+}
+
+/// Encodes one append's samples (at ticks `start_tick..start_tick + n`)
+/// into the Gorilla-compressed value every applier stores.
+pub fn encode_block(start_tick: u64, samples: &[u64]) -> Vec<u8> {
+    let points: Vec<(u64, u64)> =
+        samples.iter().enumerate().map(|(i, &v)| (start_tick + i as u64, v)).collect();
+    gorilla::encode(&points)
+}
+
+/// Decodes a value produced by [`encode_block`] back into sample bits.
+pub fn decode_block(bytes: &[u8]) -> Result<Vec<u64>, gorilla::GorillaError> {
+    Ok(gorilla::decode(bytes)?.into_iter().map(|(_, v)| v).collect())
+}
+
+/// Knobs for a pure time-series phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesSpec {
+    /// Random seed; same seed, same stream.
+    pub seed: u64,
+    /// Number of distinct series written round-robin.
+    pub series: u64,
+    /// Samples packed into each append block.
+    pub samples_per_append: u64,
+    /// Number of append operations in the phase.
+    pub appends: u64,
+    /// Emit a windowed range scan after every this many appends (0 = never).
+    pub scan_every: u64,
+    /// Width (in ticks) of each windowed scan, ending at the current tick.
+    pub window_ticks: u64,
+    /// Retention TTL in ticks; `None` disables retention deletes.
+    pub ttl_ticks: Option<u64>,
+    /// Emit a retention delete after every this many appends (0 = never).
+    pub retention_every: u64,
+}
+
+impl Default for TimeSeriesSpec {
+    fn default() -> Self {
+        TimeSeriesSpec {
+            seed: 0xC0FFEE,
+            series: 8,
+            samples_per_append: 32,
+            appends: 1_000,
+            scan_every: 16,
+            window_ticks: 1_024,
+            ttl_ticks: None,
+            retention_every: 64,
+        }
+    }
+}
+
+/// A seeded generator of pure time-series operation streams.
+///
+/// Appends rotate round-robin over the series so every series grows at the
+/// same rate; the global tick advances by `samples_per_append` per append,
+/// so timestamps are strictly monotone across the whole stream — the
+/// monotone-ingest shape date-tiered compaction assumes.
+#[derive(Debug)]
+pub struct TimeSeriesGenerator {
+    spec: TimeSeriesSpec,
+    rng: StdRng,
+    tick: u64,
+    next_series: u64,
+    /// Per-series random-walk state, as f64 bits.
+    walk: Vec<f64>,
+}
+
+impl TimeSeriesGenerator {
+    /// Creates a generator for `spec`.
+    ///
+    /// # Panics
+    /// Panics if `spec.series` is zero, doesn't fit [`SERIES_BITS`], or
+    /// `samples_per_append` is zero.
+    pub fn new(spec: TimeSeriesSpec) -> Self {
+        assert!(spec.series > 0 && spec.series < 1 << SERIES_BITS, "bad series count");
+        assert!(spec.samples_per_append > 0, "samples_per_append must be >= 1");
+        let rng = StdRng::seed_from_u64(spec.seed);
+        let walk = (0..spec.series).map(|s| 100.0 + s as f64).collect();
+        TimeSeriesGenerator { spec, rng, tick: 0, next_series: 0, walk }
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &TimeSeriesSpec {
+        &self.spec
+    }
+
+    /// The tick the next append will start at.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    fn make_append(&mut self) -> Operation {
+        let series = self.next_series;
+        self.next_series = (self.next_series + 1) % self.spec.series;
+        let n = self.spec.samples_per_append;
+        let mut samples = Vec::with_capacity(n as usize);
+        let v = &mut self.walk[series as usize];
+        for _ in 0..n {
+            *v += self.rng.gen::<f64>() * 2.0 - 1.0;
+            samples.push(v.to_bits());
+        }
+        let start_tick = self.tick;
+        self.tick += n;
+        Operation::TimeSeriesAppend { series, start_tick, samples }
+    }
+
+    /// Generates the whole phase: appends interleaved with windowed scans
+    /// and retention deletes at the spec's cadences.
+    pub fn operations(&mut self) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        for i in 1..=self.spec.appends {
+            ops.push(self.make_append());
+            if self.spec.scan_every > 0 && i % self.spec.scan_every == 0 {
+                let end = self.tick;
+                let start = end.saturating_sub(self.spec.window_ticks);
+                ops.push(Operation::RangeLookup {
+                    start: encode_key(start, 0),
+                    end: encode_key(end, 0),
+                });
+            }
+            if let Some(ttl) = self.spec.ttl_ticks {
+                if self.spec.retention_every > 0
+                    && i % self.spec.retention_every == 0
+                    && self.tick > ttl
+                {
+                    // "delete everything older than the TTL": start_tick is
+                    // the delete key, so this is a secondary range delete
+                    ops.push(Operation::SecondaryRangeDelete { start: 0, end: self.tick - ttl });
+                }
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_codec_is_time_major_and_invertible() {
+        for (tick, series) in [(0u64, 0u64), (1, 7), (1 << 30, (1 << SERIES_BITS) - 1)] {
+            assert_eq!(decode_key(encode_key(tick, series)), (tick, series));
+        }
+        // a whole window is one contiguous key range: any series at tick t
+        // sorts below series 0 at tick t+1
+        assert!(encode_key(5, (1 << SERIES_BITS) - 1) < encode_key(6, 0));
+        // and the region is disjoint from mixed-workload keys (< 2^63)
+        assert!(encode_key(0, 0) >= 1 << 63);
+    }
+
+    #[test]
+    fn block_codec_round_trips() {
+        let samples: Vec<u64> = (0..64u64).map(|i| (i as f64).cos().to_bits()).collect();
+        let bytes = encode_block(7_000, &samples);
+        assert_eq!(decode_block(&bytes).unwrap(), samples);
+    }
+
+    #[test]
+    fn appends_are_monotone_and_cover_all_series() {
+        let spec = TimeSeriesSpec { appends: 100, series: 8, ..Default::default() };
+        let ops = TimeSeriesGenerator::new(spec.clone()).operations();
+        let mut last_tick = None;
+        let mut seen = std::collections::HashSet::new();
+        for op in &ops {
+            if let Operation::TimeSeriesAppend { series, start_tick, samples } = op {
+                assert!(last_tick.is_none_or(|t| *start_tick > t), "ticks must be monotone");
+                last_tick = Some(*start_tick);
+                assert_eq!(samples.len() as u64, spec.samples_per_append);
+                seen.insert(*series);
+            }
+        }
+        assert_eq!(seen.len() as u64, spec.series);
+    }
+
+    #[test]
+    fn scans_cover_the_trailing_window() {
+        let spec = TimeSeriesSpec {
+            appends: 64,
+            scan_every: 8,
+            window_ticks: 100,
+            samples_per_append: 10,
+            ..Default::default()
+        };
+        let ops = TimeSeriesGenerator::new(spec).operations();
+        let mut tick = 0u64;
+        let mut scans = 0;
+        for op in &ops {
+            match op {
+                Operation::TimeSeriesAppend { start_tick, samples, .. } => {
+                    tick = start_tick + samples.len() as u64;
+                }
+                Operation::RangeLookup { start, end } => {
+                    scans += 1;
+                    assert_eq!(*end, encode_key(tick, 0));
+                    assert_eq!(*start, encode_key(tick.saturating_sub(100), 0));
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        assert_eq!(scans, 8);
+    }
+
+    #[test]
+    fn retention_deletes_trail_the_ttl() {
+        let spec = TimeSeriesSpec {
+            appends: 200,
+            samples_per_append: 10,
+            scan_every: 0,
+            ttl_ticks: Some(500),
+            retention_every: 50,
+            ..Default::default()
+        };
+        let ops = TimeSeriesGenerator::new(spec).operations();
+        let mut tick = 0u64;
+        let mut purges = 0;
+        for op in &ops {
+            match op {
+                Operation::TimeSeriesAppend { start_tick, samples, .. } => {
+                    tick = start_tick + samples.len() as u64;
+                }
+                Operation::SecondaryRangeDelete { start, end } => {
+                    purges += 1;
+                    assert_eq!(*start, 0);
+                    assert_eq!(*end, tick - 500, "purge must end exactly TTL behind now");
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        assert!(purges > 0, "TTL retention must fire");
+        // no retention fires with the TTL off
+        let off = TimeSeriesSpec { appends: 200, ttl_ticks: None, scan_every: 0, ..Default::default() };
+        assert!(TimeSeriesGenerator::new(off)
+            .operations()
+            .iter()
+            .all(|op| !matches!(op, Operation::SecondaryRangeDelete { .. })));
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let spec = TimeSeriesSpec { appends: 50, ..Default::default() };
+        let a = TimeSeriesGenerator::new(spec.clone()).operations();
+        let b = TimeSeriesGenerator::new(spec.clone()).operations();
+        assert_eq!(a, b);
+        let c = TimeSeriesGenerator::new(TimeSeriesSpec { seed: 1, ..spec }).operations();
+        assert_ne!(a, c);
+    }
+}

@@ -18,7 +18,7 @@
 //!   earlier acknowledgement must hold exactly.
 
 use bytes::Bytes;
-use lethe::lsm::{LsmConfig, SecondaryDeleteMode};
+use lethe::lsm::{CompactionStrategy, LsmConfig, SecondaryDeleteMode};
 use lethe::storage::{FailPoint, Result, SyncPolicy};
 use lethe::{Lethe, LetheBuilder, ShardedLethe, ShardedLetheBuilder, WriteBatch};
 use rand::rngs::StdRng;
@@ -41,6 +41,8 @@ const KILL_POINTS: &[&str] = &[
     "batchlog.commit_fsync",
     "checkpoint.marker.rename",
     "checkpoint.marker.tmp",
+    "drop.commit",
+    "drop.retire",
     "manifest.append",
     "manifest.rewrite.begin",
     "manifest.rewrite.rename",
@@ -396,6 +398,74 @@ fn kill_point_sweep_sharded() {
     assert!(crashes > 30, "sweep must cross many kill points, got {crashes}");
 }
 
+/// One iteration of the whole-file-drop sweep: ingest an expired timeline
+/// into a date-tiered durable store, then crash at the `kill`-th durable
+/// step *of the drop commit* (manifest edit before page retirement).
+/// Because one `DropFiles` task retires every expired file through a single
+/// manifest edit, recovery must see the window either entirely present
+/// (crash before the edit landed) or entirely gone — never partially
+/// retired, and a re-driven maintenance pass must finish the retirement.
+/// Returns `false` once `kill` is past every durable step of the drop.
+fn run_drop_sweep_iteration(kill: u64) -> bool {
+    const TIMELINE: u64 = 96;
+    let dir = unique_dir("dropsweep");
+    let fp = FailPoint::new();
+    let date_tiered = || {
+        builder().compaction_strategy(CompactionStrategy::DateTiered {
+            base_window_micros: 1_000,
+            fan_in: 2,
+            ttl_micros: Some(500_000),
+        })
+    };
+    let crashed = {
+        let mut db = date_tiered().crash_failpoint(fp.clone()).open(&dir).unwrap();
+        for i in 0..TIMELINE {
+            db.put(i, i * 100, vec![4u8; 16]).unwrap();
+            if (i + 1) % 32 == 0 {
+                db.persist().unwrap();
+            }
+        }
+        db.persist().unwrap();
+        db.clock().advance_secs(10.0);
+        // arm only around the maintenance pass, so the kill lands inside
+        // the drop protocol rather than the ingest
+        fp.arm(kill);
+        let crashed = db.maintain().is_err();
+        fp.disarm();
+        crashed
+    };
+    {
+        let mut db = date_tiered().open(&dir).unwrap();
+        let present = (0..TIMELINE).filter(|&k| db.get(k).unwrap().is_some()).count() as u64;
+        assert!(
+            present == 0 || present == TIMELINE,
+            "partial window after drop crash at step {kill}: {present}/{TIMELINE} keys survive"
+        );
+        // recovery must be able to finish the job: the logical clock restarts
+        // at zero on reopen, so re-expire the window, then retire it
+        db.clock().advance_secs(10.0);
+        db.maintain().unwrap();
+        for k in 0..TIMELINE {
+            assert_eq!(db.get(k).unwrap(), None, "expired key {k} survives re-driven maintenance");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    crashed
+}
+
+#[test]
+fn kill_point_sweep_whole_file_drop() {
+    let mut kill = 0u64;
+    let mut crashes = 0u32;
+    while run_drop_sweep_iteration(kill) {
+        crashes += 1;
+        kill += 1;
+    }
+    // the drop commit consults at least drop.commit, manifest.append and
+    // drop.retire — the sweep must have crashed inside each window
+    assert!(crashes >= 3, "drop sweep must cross the commit protocol, got {crashes}");
+}
+
 /// Proves the `KILL_POINTS` registry is *runtime-reachable*, not just
 /// statically cross-checked: a traced (disarmed) fail point records every
 /// site name a mixed sharded workload consults, and the set must equal the
@@ -445,6 +515,28 @@ fn kill_point_trace_covers_the_whole_registry() {
         db.checkpoint(&ckpt).unwrap();
         let _ = std::fs::remove_dir_all(&ckpt);
     }
+    // whole-file drop: a date-tiered store whose wholly-expired windows are
+    // retired through the drop commit steps (drop.commit / drop.retire)
+    let dropdir = unique_dir("killtrace-drop");
+    {
+        let mut db = builder()
+            .compaction_strategy(CompactionStrategy::DateTiered {
+                base_window_micros: 1_000,
+                fan_in: 2,
+                ttl_micros: Some(500_000),
+            })
+            .crash_failpoint(fp.clone())
+            .open(&dropdir)
+            .unwrap();
+        for i in 0..64u64 {
+            db.put(i, i * 100, vec![6u8; 16]).unwrap();
+        }
+        db.persist().unwrap();
+        db.clock().advance_secs(10.0);
+        db.maintain().unwrap();
+        assert!(db.stats().whole_file_drops >= 1, "coverage workload must drive a drop");
+    }
+    let _ = std::fs::remove_dir_all(&dropdir);
     let _ = std::fs::remove_dir_all(&dir);
     let traced: BTreeSet<&str> = fp.traced_sites().into_iter().collect();
     let registry: BTreeSet<&str> = KILL_POINTS.iter().copied().collect();

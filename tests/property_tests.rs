@@ -197,6 +197,151 @@ fn check_cached_matches_uncached(ops: &[Mutation], key_space: u64, cache_bytes: 
     );
 }
 
+/// Drives a tiered-strategy engine and a default-policy one through the same
+/// mutation history and checks they are **observationally identical**: every
+/// point lookup (spot-checked while the history is still being applied, and
+/// exhaustively at the end), the full range scan and the secondary
+/// (delete-key) scan must agree byte for byte. Compaction strategies
+/// reorganise files differently — size classes for size-tiered, aligned
+/// time windows for date-tiered — but must never change what a reader sees.
+/// Date-tiered runs with its TTL off here: whole-file drops are
+/// *intentional* data loss, so they are exercised separately
+/// (`tests/compaction_strategies.rs`), not in an equivalence harness.
+fn check_strategy_matches_default(
+    strategy: lethe::CompactionStrategy,
+    ops: &[Mutation],
+    key_space: u64,
+) {
+    let build = |strategy: lethe::CompactionStrategy| {
+        LetheBuilder::new()
+            .with_config(tiny_config(MergePolicy::Leveling, 2))
+            .delete_persistence_threshold_secs(1.0)
+            .compaction_strategy(strategy)
+            .build()
+            .unwrap()
+    };
+    let mut tiered = build(strategy);
+    let mut plain = build(lethe::CompactionStrategy::Default);
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Mutation::Put(k, v) => {
+                let d = delete_key_of(*k, key_space);
+                tiered.put(*k, d, vec![*v; 9]).unwrap();
+                plain.put(*k, d, vec![*v; 9]).unwrap();
+            }
+            Mutation::Delete(k) => {
+                tiered.delete(*k).unwrap();
+                plain.delete(*k).unwrap();
+            }
+            Mutation::DeleteRange(s, e) => {
+                tiered.delete_range(*s, *e).unwrap();
+                plain.delete_range(*s, *e).unwrap();
+            }
+            Mutation::SecondaryDelete(s, e) => {
+                tiered.delete_where_delete_key_in(*s, *e).unwrap();
+                plain.delete_where_delete_key_in(*s, *e).unwrap();
+            }
+            Mutation::Flush => {
+                tiered.persist().unwrap();
+                plain.persist().unwrap();
+            }
+        }
+        // spot-check mid-history so a divergence is caught near the
+        // compaction that introduced it, not at the very end
+        if i % 16 == 0 {
+            for probe in 0..8u64 {
+                let k = (i as u64).wrapping_mul(13).wrapping_add(probe * 29) % key_space;
+                assert_eq!(tiered.get(k).unwrap(), plain.get(k).unwrap(), "key {k} after op {i}");
+            }
+        }
+    }
+    tiered.persist().unwrap();
+    plain.persist().unwrap();
+    for k in 0..key_space {
+        assert_eq!(tiered.get(k).unwrap(), plain.get(k).unwrap(), "key {k} diverged");
+    }
+    assert_eq!(
+        tiered.range(0, key_space).unwrap(),
+        plain.range(0, key_space).unwrap(),
+        "range scans diverged"
+    );
+    assert_eq!(
+        tiered.scan_by_delete_key(0, key_space).unwrap(),
+        plain.scan_by_delete_key(0, key_space).unwrap(),
+        "secondary scans diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// A size-tiered store answers every query exactly like the default
+    /// FADE-policy store across random put/delete/secondary-delete/flush
+    /// histories — the strategy changes the file layout, never the data.
+    #[test]
+    fn size_tiered_store_is_observationally_identical(
+        ops in prop::collection::vec(mutation_strategy(256), 1..400),
+        fan_in in 2usize..5,
+    ) {
+        check_strategy_matches_default(
+            lethe::CompactionStrategy::SizeTiered { fan_in },
+            &ops,
+            256,
+        );
+    }
+
+    /// Same for a date-tiered store with retention disabled: window-bucketed
+    /// merging must be invisible to readers.
+    #[test]
+    fn date_tiered_store_is_observationally_identical(
+        ops in prop::collection::vec(mutation_strategy(256), 1..400),
+        fan_in in 2usize..5,
+        base_window in 1u64..1_000_000,
+    ) {
+        check_strategy_matches_default(
+            lethe::CompactionStrategy::DateTiered {
+                base_window_micros: base_window,
+                fan_in,
+                ttl_micros: None,
+            },
+            &ops,
+            256,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The Gorilla codec round-trips *any* `(timestamp, value_bits)`
+    /// sequence — monotone or not, NaN bit patterns included — byte for
+    /// byte.
+    #[test]
+    fn gorilla_codec_roundtrips_any_samples(
+        samples in prop::collection::vec((any::<u64>(), any::<u64>()), 0..300),
+    ) {
+        let bytes = lethe::workload::gorilla::encode(&samples);
+        prop_assert_eq!(lethe::workload::gorilla::decode(&bytes).unwrap(), samples);
+    }
+
+    /// Regular-cadence random walks (the generated time-series shape)
+    /// round-trip and never expand the raw encoding by more than the
+    /// per-sample code overhead allows.
+    #[test]
+    fn gorilla_codec_roundtrips_generated_blocks(
+        start_tick in 0u64..(1 << 40),
+        walk in prop::collection::vec(any::<i32>(), 1..200),
+    ) {
+        let mut v = 0.0f64;
+        let samples: Vec<u64> = walk.iter().map(|step| {
+            v += *step as f64 * 1e-3;
+            v.to_bits()
+        }).collect();
+        let bytes = lethe::workload::timeseries::encode_block(start_tick, &samples);
+        prop_assert_eq!(lethe::workload::timeseries::decode_block(&bytes).unwrap(), samples);
+    }
+}
+
 /// A durable-engine step: a regular mutation or a restart point (drop the
 /// engine mid-history and reopen it from its directory).
 #[derive(Debug, Clone)]

@@ -162,7 +162,8 @@ fn concurrent_workload_driver_smoke() {
         key_space: 50_000,
         value_size: 32,
         preload_keys: 1_000,
-        update_fraction: 0.43,
+        update_fraction: 0.40,
+        timeseries_fraction: 0.03,
         batch_fraction: 0.04,
         batch_size: 6,
         snapshot_fraction: 0.03,
@@ -214,6 +215,11 @@ fn concurrent_workload_driver_smoke() {
         Operation::SnapshotRead { key } => {
             let snapshot = db.snapshot();
             snapshot.get(*key).unwrap();
+        }
+        Operation::TimeSeriesAppend { series, start_tick, samples } => {
+            let block = lethe::workload::timeseries::encode_block(*start_tick, samples);
+            let key = lethe::workload::timeseries::encode_key(*start_tick, *series);
+            db.put(key, *start_tick, block).unwrap();
         }
     });
     assert_eq!(report.operations, 4_000);
