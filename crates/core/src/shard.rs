@@ -958,6 +958,10 @@ impl ShardedLethe {
         let mut stamps = Vec::with_capacity(involved.len());
         for (guard, &i) in guards.iter_mut().zip(&involved) {
             let tree = guard.tree_mut();
+            // an abort between stage and commit is the designed 2PC failure path:
+            // `id` never reaches the batch-commit log, so on the next recovery the
+            // prepared slices roll back on every shard (see rollback_batch)
+            // lint:allow(leak-paths): aborted ids are rolled back by recovery, not leaked
             let ts = tree.stage_batch(&slices[i], Some(id))?;
             tree.wal_commit()?;
             stamps.push(ts);

@@ -1,0 +1,90 @@
+//! Seeded durability-protocol ordering violations. Never compiled —
+//! parsed by the `durability-order` analysis in the lint's tests.
+//! Expected: exactly five `durability-order` findings.
+
+use std::path::Path;
+
+type Result<T> = std::io::Result<T>;
+
+pub struct Wal;
+pub struct Manifest;
+pub struct FailPoint;
+
+pub struct Store {
+    wal: Wal,
+    manifest: Manifest,
+    failpoint: FailPoint,
+}
+
+impl Store {
+    /// Violation 1 — publish before the content barrier: the rename is
+    /// not dominated by any counted barrier, so a crash can publish a
+    /// name whose bytes never reached the platter.
+    pub fn publish_unflushed(&self, tmp: &Path, dst: &Path, dir: &Path) -> Result<()> {
+        std::fs::rename(tmp, dst)?;
+        barrier::fsync_dir_counted(dir)?;
+        Ok(())
+    }
+
+    /// Violation 2 — publish whose directory entry is never made
+    /// durable: the content barrier ran, but no `fsync_dir_counted`
+    /// follows the rename.
+    pub fn publish_no_dir_fsync(&self, file: &std::fs::File, tmp: &Path, dst: &Path) -> Result<()> {
+        barrier::sync_all_counted(file)?;
+        std::fs::rename(tmp, dst)?;
+        Ok(())
+    }
+
+    /// Violation 3 — WAL truncation with no manifest commit anywhere
+    /// before it: the recovery prefix is gone before the flush result
+    /// is durable.
+    pub fn truncate_first(&mut self, upto: u64, version: u32) -> Result<()> {
+        self.wal.truncate_prefix(upto)?;
+        self.manifest.commit_version(version)?;
+        Ok(())
+    }
+
+    /// Violation 4 — the commit only happens on one branch, but the
+    /// truncation is unconditional, so the commit does not dominate it.
+    pub fn branchy_commit(&mut self, upto: u64, version: Option<u32>) -> Result<()> {
+        if let Some(v) = version {
+            self.manifest.commit_version(v)?;
+        }
+        self.wal.truncate_prefix(upto)?;
+        Ok(())
+    }
+
+    /// Violation 5 — a kill point parked nowhere near a durable
+    /// operation: whatever it was meant to guard, it no longer cuts
+    /// the schedule right before it.
+    pub fn detached_kill_point(&self, input: &[u8]) -> Result<usize> {
+        self.failpoint.check("fixture.detached")?;
+        let mut acc = 0usize;
+        let mut parity = 0usize;
+        let mut high = 0usize;
+        let mut low = usize::MAX;
+        for byte in input {
+            acc += *byte as usize;
+        }
+        for byte in input {
+            parity ^= *byte as usize;
+        }
+        if acc > high {
+            high = acc;
+        }
+        if parity < low {
+            low = parity;
+        }
+        Ok(acc + parity + high + low)
+    }
+}
+
+mod barrier {
+    pub fn sync_all_counted(_file: &std::fs::File) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    pub fn fsync_dir_counted(_dir: &std::path::Path) -> std::io::Result<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,92 @@
+//! Correctly ordered durability protocols the `durability-order`
+//! analysis must accept. Never compiled — parsed by the lint's tests.
+//! Expected: zero `durability-order` findings.
+
+use std::path::Path;
+
+type Result<T> = std::io::Result<T>;
+
+pub struct Wal;
+pub struct Manifest;
+pub struct FailPoint;
+
+pub struct Store {
+    wal: Wal,
+    manifest: Manifest,
+    failpoint: FailPoint,
+}
+
+impl Store {
+    /// Barriers established inside an unconditional scope block still
+    /// dominate the publish that follows it.
+    pub fn rewrite_publish(&self, tmp: &Path, dst: &Path, dir: &Path, data: &[u8]) -> Result<()> {
+        {
+            let mut file = open_file(tmp)?;
+            file.write_all(data)?;
+            barrier::sync_all_counted(&file)?;
+        }
+        std::fs::rename(tmp, dst)?;
+        barrier::fsync_dir_counted(dir)?;
+        Ok(())
+    }
+
+    /// `let … = { … }` expression blocks propagate dominators the same
+    /// way a bare scope block does.
+    pub fn publish_via_expr_block(&self, tmp: &Path, dst: &Path, dir: &Path, data: &[u8]) -> Result<()> {
+        let written = {
+            let mut file = open_file(tmp)?;
+            file.write_all(data)?;
+            barrier::sync_data_counted(&file)?;
+            data.len()
+        };
+        let _ = written;
+        std::fs::rename(tmp, dst)?;
+        barrier::fsync_dir_counted(dir)?;
+        Ok(())
+    }
+
+    /// An unconditional manifest commit dominates a truncation that only
+    /// happens on one branch: dominators flow *into* branches.
+    pub fn commit_then_truncate(&mut self, upto: u64, version: u32, have_wal: bool) -> Result<()> {
+        self.manifest.commit_version(version)?;
+        if have_wal {
+            self.wal.truncate_prefix(upto)?;
+        }
+        Ok(())
+    }
+
+    /// A kill point sitting right next to the durable operation it
+    /// guards — frame construction in between is within the adjacency
+    /// window.
+    pub fn guarded_append(&self, file: &std::fs::File, record: &[u8]) -> Result<()> {
+        self.failpoint.check("fixture.append")?;
+        let mut framed = Vec::with_capacity(record.len() + 8);
+        framed.extend_from_slice(&(record.len() as u64).to_le_bytes());
+        framed.extend_from_slice(record);
+        write_frame(file, &framed)?;
+        file.write_all(&framed)?;
+        Ok(())
+    }
+}
+
+fn open_file(path: &Path) -> Result<std::fs::File> {
+    std::fs::File::open(path)
+}
+
+fn write_frame(_file: &std::fs::File, _framed: &[u8]) -> Result<()> {
+    Ok(())
+}
+
+mod barrier {
+    pub fn sync_all_counted(_file: &std::fs::File) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    pub fn sync_data_counted(_file: &std::fs::File) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    pub fn fsync_dir_counted(_dir: &std::path::Path) -> std::io::Result<()> {
+        Ok(())
+    }
+}

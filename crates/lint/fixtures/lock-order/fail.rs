@@ -1,0 +1,85 @@
+//! Deliberate lock-order inversions, transplanted from the runtime
+//! detector's suite (`tests/lock_rank.rs`) into statically-caught form.
+//! Never compiled — parsed by the `lock-order` analysis in the lint's
+//! tests. Expected: exactly three `lock-order` findings.
+
+/// Mirror of the workspace's `LockRank` (subset, same relative order).
+pub enum LockRank {
+    OracleState,
+    WorkerState,
+    Engine,
+    CommitQueueState,
+    CommitSlot,
+    Wal,
+}
+
+pub struct QueueInner;
+pub struct EngineInner;
+pub struct WorkerInner;
+
+pub struct CommitQueue {
+    state: Mutex<QueueInner>,
+}
+
+impl CommitQueue {
+    pub fn new() -> CommitQueue {
+        CommitQueue { state: Mutex::new(LockRank::CommitQueueState, QueueInner) }
+    }
+}
+
+pub struct Shard {
+    engine: Mutex<EngineInner>,
+    worker_state: Mutex<WorkerInner>,
+}
+
+impl Shard {
+    pub fn new(index: usize) -> Shard {
+        Shard {
+            engine: Mutex::with_order(LockRank::Engine, index, EngineInner),
+            worker_state: Mutex::new(LockRank::WorkerState, WorkerInner),
+        }
+    }
+
+    /// Violation 1 — the leader protocol locks the engine and then drains
+    /// the commit queue state; nesting the other way around deadlocks
+    /// against it. (`engine_lock_under_commit_queue_state_is_an_inversion`)
+    pub fn engine_under_queue_state(&self, queue: &CommitQueue) {
+        let _state = queue.state.lock();
+        let _engine = self.engine.lock();
+    }
+
+    /// Violation 2 — worker wakeup under the engine lock, one call deep:
+    /// the inversion is only visible through the call graph.
+    /// (`worker_state_under_engine_lock_is_an_inversion`)
+    pub fn wake_under_engine(&self) {
+        let _engine = self.engine.lock();
+        self.wake_worker();
+    }
+
+    fn wake_worker(&self) {
+        let _guard = self.worker_state.lock();
+    }
+
+    /// Violation 3 — the `with_shard` tail-temporary hazard: the tail
+    /// expression's engine guard outlives the block local `_parked`, so
+    /// `PauseGuard::drop` locks the worker state while the engine is
+    /// still held.
+    pub fn with_shard_buggy<R>(&self, f: impl FnOnce(&mut EngineInner) -> R) -> R {
+        let _parked = self.pause();
+        f(&mut self.engine.lock())
+    }
+
+    fn pause(&self) -> PauseGuard<'_> {
+        PauseGuard { shard: self }
+    }
+}
+
+pub struct PauseGuard<'a> {
+    shard: &'a Shard,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        let _guard = self.shard.worker_state.lock();
+    }
+}

@@ -1,0 +1,111 @@
+//! Legal lock nestings the `lock-order` analysis must accept. Never
+//! compiled — parsed by the lint's tests. Expected: zero findings.
+
+/// Mirror of the workspace's `LockRank` (subset, same relative order).
+pub enum LockRank {
+    OracleState,
+    WorkerState,
+    Engine,
+    CommitQueueState,
+    CommitSlot,
+    Wal,
+}
+
+pub struct QueueInner;
+pub struct EngineInner;
+pub struct WorkerInner;
+
+pub struct CommitQueue {
+    state: Mutex<QueueInner>,
+}
+
+impl CommitQueue {
+    pub fn new() -> CommitQueue {
+        CommitQueue { state: Mutex::new(LockRank::CommitQueueState, QueueInner) }
+    }
+}
+
+pub struct CommitSlotCell {
+    slot: Mutex<Option<u64>>,
+}
+
+impl CommitSlotCell {
+    pub fn new() -> CommitSlotCell {
+        CommitSlotCell { slot: Mutex::new(LockRank::CommitSlot, None) }
+    }
+}
+
+pub struct WalCell {
+    wal: Mutex<Vec<u8>>,
+}
+
+impl WalCell {
+    pub fn new() -> WalCell {
+        WalCell { wal: Mutex::new(LockRank::Wal, Vec::new()) }
+    }
+}
+
+pub struct Shard {
+    engine: Mutex<EngineInner>,
+    worker_state: Mutex<WorkerInner>,
+}
+
+impl Shard {
+    pub fn new(index: usize) -> Shard {
+        Shard {
+            engine: Mutex::with_order(LockRank::Engine, index, EngineInner),
+            worker_state: Mutex::new(LockRank::WorkerState, WorkerInner),
+        }
+    }
+
+    /// The fixed `with_shard` form: the guard is a *named* block local, so
+    /// it drops before `_parked` (locals drop in reverse declaration
+    /// order) and `PauseGuard::drop` runs with nothing held.
+    pub fn with_shard_fixed<R>(&self, f: impl FnOnce(&mut EngineInner) -> R) -> R {
+        let _parked = self.pause();
+        let mut engine = self.engine.lock();
+        let out = f(&mut engine);
+        drop(engine);
+        out
+    }
+
+    /// Same shape without the explicit `drop`: reverse declaration order
+    /// already releases the engine guard first.
+    pub fn with_shard_fixed_implicit<R>(&self, f: impl FnOnce(&mut EngineInner) -> R) -> R {
+        let _parked = self.pause();
+        let mut engine = self.engine.lock();
+        f(&mut engine)
+    }
+
+    /// The deepest real nesting on the write path, strictly ascending:
+    /// engine → commit queue drain → outcome slot → WAL.
+    /// (`full_write_path_nesting_is_legal`)
+    pub fn write_path(&self, queue: &CommitQueue, slot: &CommitSlotCell, wal: &WalCell) {
+        let _engine = self.engine.lock();
+        let _state = queue.state.lock();
+        let _slot = slot.slot.lock();
+        let _wal = wal.wal.lock();
+    }
+
+    /// Cross-shard 2PC: engine locks are `with_order`, so same-rank
+    /// nesting is legal (ascending index order is the runtime's check).
+    /// (`ascending_cross_shard_locks_are_legal`)
+    pub fn lock_pair(&self, other: &Shard) {
+        let _lo = self.engine.lock();
+        let _hi = other.engine.lock();
+    }
+
+    fn pause(&self) -> PauseGuard<'_> {
+        PauseGuard { shard: self }
+    }
+}
+
+pub struct PauseGuard<'a> {
+    shard: &'a Shard,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        let _guard = self.shard.worker_state.lock();
+    }
+}

@@ -1,0 +1,20 @@
+//! Violations that naive comment/string blanking used to mask: each
+//! real violation sits right after a construct (raw string, nested
+//! block comment) that a regex-based scrubber mis-tracks.
+//! Expected: exactly two `uncounted-barrier` findings.
+
+/// The raw string contains quotes and a barrier-shaped token; the
+/// `sync_all` on the next line is the real violation.
+pub fn flush_after_banner(file: &std::fs::File) -> std::io::Result<()> {
+    let _banner = r#"say "hello" and mention .sync_all() freely"#;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Nested block comments: a scrubber that closes at the first `*/`
+/// treats the rest of the file as comment and misses the violation.
+pub fn flush_after_nested_comment(file: &std::fs::File) -> std::io::Result<()> {
+    /* nested /* comment mentioning sync_data() */ still closed here */
+    file.sync_data()?;
+    Ok(())
+}

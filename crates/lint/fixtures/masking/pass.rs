@@ -1,0 +1,18 @@
+//! Rule-shaped text inside raw strings and nested block comments must
+//! never fire: the lexer tracks these structurally, not by regex.
+//! Expected: zero findings for every rule.
+
+/* outer /* inner mentions .sync_all() and .unwrap() */ and the outer
+   level mentions backend.drop_page(id) before closing */
+
+/// Raw strings with hash fences, embedded quotes, and embedded
+/// `"#`-lookalikes; none of the rule patterns inside may fire.
+pub fn banner() -> &'static str {
+    r##"fenced "#raw"# text: backend.drop_page(id); panic!("boom");
+        std::sync::Mutex::new(()); file.sync_all(); x.unwrap()"##
+}
+
+/// A byte string and an escaped quote for good measure.
+pub fn bytes() -> &'static [u8] {
+    b"drop_page \" sync_data() unreachable!()"
+}

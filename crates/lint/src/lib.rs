@@ -1,7 +1,9 @@
 //! Repo-specific static invariant checks for the Lethe workspace.
 //!
-//! `lethe-lint` is a lightweight, dependency-free Rust source scanner — not a
-//! compiler plugin — that enforces the conventions the type system cannot:
+//! `lethe-lint` is a dependency-free source-level analyser — a hand-rolled
+//! lexer + token-tree parser (the clippy/rust-analyzer idiom, minus the
+//! compiler) with item and statement models on top, not a line scanner.
+//! It enforces the conventions the type system cannot:
 //!
 //! | rule id               | invariant                                                            |
 //! |-----------------------|----------------------------------------------------------------------|
@@ -11,27 +13,45 @@
 //! | `raw-lock`            | no `std::sync`/`parking_lot` lock types outside `crates/sync`        |
 //! | `no-panic`            | no `unwrap`/`expect`/`panic!` in non-test storage/lsm code           |
 //! | `unsafe-hygiene`      | every crate root carries `#![forbid(unsafe_code)]` (or `deny`)       |
+//! | `lock-order`          | static may-hold-while-acquiring graph respects the `LockRank` order  |
+//! | `durability-order`    | commit dominates WAL truncate; barrier dominates rename publish;     |
+//! |                       | kill points sit adjacent to the durable op they guard                |
+//! | `leak-paths`          | page ids / staged batch ids reach register-or-release on every       |
+//! |                       | `?`/early-return path                                                |
+//! | `stale-allow`         | every `lint:allow` marker names a rule that still exists             |
 //!
 //! A violation is silenced by a marker on the same line or the line above:
 //! `// lint:allow(<rule-id>): <reason>` — the reason is mandatory.
 //!
-//! The scanner strips comments and string literals before matching (so this
-//! file's own rule table does not trip the rules), tracks `#[cfg(test)]`
-//! module bodies brace-by-brace (test code is exempt from every rule except
-//! the registry cross-check), and extracts string literals that feed
-//! `FailPoint::check` for the kill-point registry.
+//! Because rules match token patterns rather than text, content inside
+//! string literals (raw or not) and comments (nested or not) can neither
+//! trigger nor mask a rule. `#[cfg(test)]` regions are tracked
+//! structurally from the attribute's brace group, and test functions are
+//! exempt from every rule except the registry cross-check.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod durability;
+mod leaks;
+mod lexer;
+mod lockgraph;
+mod model;
+mod rules;
+mod syntax;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::Path;
 
+use lexer::{Kind, Tok};
+use model::{Block, LockCtor};
+use syntax::{FileItems, Tree};
+
 /// One rule violation: where it is and what convention it breaks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`raw-drop-page`, `no-panic`, …).
+    /// Rule identifier (`raw-drop-page`, `lock-order`, …).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub file: String,
@@ -47,42 +67,22 @@ impl fmt::Display for Finding {
     }
 }
 
-/// A source file reduced to scannable form: comments and string-literal
-/// bodies blanked out, `lint:allow` markers and `#[cfg(test)]` regions
-/// resolved, string literals extracted with their call context.
-pub struct Scanned {
-    /// The source with comment text and string-literal contents replaced by
-    /// spaces (quotes and newlines preserved, so offsets and line numbers
-    /// still correspond to the original).
-    pub code: String,
-    /// For every 1-based line, whether it lies inside a `#[cfg(test)]`
-    /// module body.
-    test_line: Vec<bool>,
-    /// `lint:allow` markers: line → rule ids allowed on that line and the
-    /// next.
+/// Line-keyed metadata for one file: `#[cfg(test)]` spans (structural)
+/// and `lint:allow` markers.
+pub(crate) struct SourceMaps {
+    test_spans: Vec<(u32, u32)>,
     allows: BTreeMap<usize, Vec<String>>,
-    /// Extracted string literals: (content, 1-based line, byte offset of the
-    /// opening quote in `code`).
-    strings: Vec<(String, usize, usize)>,
 }
 
-impl Scanned {
-    /// Strips `source` into scannable form.
-    pub fn new(source: &str) -> Scanned {
-        let (code, strings) = blank_comments_and_strings(source);
-        let test_line = mark_test_lines(&code);
-        let allows = collect_allows(source);
-        Scanned { code, test_line, allows, strings }
+impl SourceMaps {
+    /// Whether a 1-based line is inside a `#[cfg(test)]` item.
+    pub(crate) fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
     }
 
-    /// Whether 1-based `line` is inside a `#[cfg(test)]` module body.
-    pub fn is_test_line(&self, line: usize) -> bool {
-        self.test_line.get(line.saturating_sub(1)).copied().unwrap_or(false)
-    }
-
-    /// Whether `rule` is allowed at `line` by a marker on the same line or
-    /// the line above.
-    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+    /// Whether `rule` is allowed at `line` by a marker on the same line
+    /// or the line above.
+    pub(crate) fn allowed(&self, rule: &str, line: usize) -> bool {
         for probe in [line, line.saturating_sub(1)] {
             if let Some(rules) = self.allows.get(&probe) {
                 if rules.iter().any(|r| r == rule) {
@@ -93,236 +93,33 @@ impl Scanned {
         false
     }
 
-    /// 1-based line number of byte `offset` in `code`.
-    fn line_of(&self, offset: usize) -> usize {
-        self.code.as_bytes()[..offset].iter().filter(|&&b| b == b'\n').count() + 1
-    }
-
-    /// String literals whose opening quote is directly preceded (modulo
-    /// whitespace) by `prefix` — e.g. `".check("` to find fail-point sites.
-    pub fn strings_after(&self, prefix: &str) -> Vec<(String, usize)> {
-        let bytes = self.code.as_bytes();
-        let mut out = Vec::new();
-        for (content, line, offset) in &self.strings {
-            let mut end = *offset;
-            while end > 0 && (bytes[end - 1] as char).is_whitespace() {
-                end -= 1;
-            }
-            if end >= prefix.len() && &self.code[end - prefix.len()..end] == prefix {
-                out.push((content.clone(), *line));
-            }
-        }
-        out
+    /// All allow markers: (line, rule ids).
+    pub(crate) fn allow_entries(&self) -> impl Iterator<Item = (usize, &Vec<String>)> {
+        self.allows.iter().map(|(l, r)| (*l, r))
     }
 }
 
-/// Replaces comment text and string-literal bodies with spaces, preserving
-/// line structure, and collects the string literals. Handles nested block
-/// comments, raw strings with hashes, and char literals vs. lifetimes.
-fn blank_comments_and_strings(source: &str) -> (String, Vec<(String, usize, usize)>) {
-    let bytes = source.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut strings = Vec::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-
-    fn push_blank(out: &mut Vec<u8>, b: u8) {
-        out.push(if b == b'\n' { b'\n' } else { b' ' });
-    }
-
-    while i < bytes.len() {
-        let b = bytes[i];
-        if b == b'\n' {
-            line += 1;
-        }
-        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-            // blank the whole line comment (markers are collected from the
-            // raw source separately)
-            while i < bytes.len() && bytes[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-            continue;
-        }
-        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-            let mut depth = 1usize;
-            out.extend_from_slice(b"  ");
-            i += 2;
-            while i < bytes.len() && depth > 0 {
-                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                    depth += 1;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                    depth -= 1;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else {
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                    }
-                    push_blank(&mut out, bytes[i]);
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        if b == b'r' && i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') {
-            // possible raw string r"..." / r#"..."#
-            let mut j = i + 1;
-            let mut hashes = 0usize;
-            while j < bytes.len() && bytes[j] == b'#' {
-                hashes += 1;
-                j += 1;
-            }
-            if j < bytes.len() && bytes[j] == b'"' {
-                let quote_off = out.len() + (j - i);
-                out.push(b'r');
-                out.extend(std::iter::repeat_n(b'#', hashes));
-                out.push(b'"');
-                let start_line = line;
-                let mut k = j + 1;
-                let mut content = String::new();
-                while k < bytes.len() {
-                    if bytes[k] == b'"'
-                        && bytes[k + 1..].iter().take(hashes).filter(|&&c| c == b'#').count()
-                            == hashes
-                    {
-                        out.push(b'"');
-                        out.extend(std::iter::repeat_n(b'#', hashes));
-                        k += 1 + hashes;
-                        break;
-                    }
-                    if bytes[k] == b'\n' {
-                        line += 1;
-                    }
-                    content.push(bytes[k] as char);
-                    push_blank(&mut out, bytes[k]);
-                    k += 1;
-                }
-                strings.push((content, start_line, quote_off));
-                i = k;
-                continue;
-            }
-        }
-        if b == b'"' {
-            let quote_off = out.len();
-            out.push(b'"');
-            let start_line = line;
-            let mut content = String::new();
-            let mut j = i + 1;
-            while j < bytes.len() {
-                if bytes[j] == b'\\' && j + 1 < bytes.len() {
-                    content.push(bytes[j] as char);
-                    content.push(bytes[j + 1] as char);
-                    push_blank(&mut out, bytes[j]);
-                    push_blank(&mut out, bytes[j + 1]);
-                    line += bytes[j..j + 2].iter().filter(|&&c| c == b'\n').count();
-                    j += 2;
-                    continue;
-                }
-                if bytes[j] == b'"' {
-                    out.push(b'"');
-                    j += 1;
-                    break;
-                }
-                if bytes[j] == b'\n' {
-                    line += 1;
-                }
-                content.push(bytes[j] as char);
-                push_blank(&mut out, bytes[j]);
-                j += 1;
-            }
-            strings.push((content, start_line, quote_off));
-            i = j;
-            continue;
-        }
-        if b == b'\'' {
-            // char literal vs. lifetime: a literal closes within a couple of
-            // bytes (`'a'`, `'\n'`); a lifetime is never followed by `'`
-            let lookahead = &bytes[i + 1..bytes.len().min(i + 4)];
-            let is_char = match lookahead.first() {
-                Some(b'\\') => true,
-                Some(_) => lookahead.get(1) == Some(&b'\''),
-                None => false,
-            };
-            if is_char {
-                out.push(b'\'');
-                let mut j = i + 1;
-                if j < bytes.len() && bytes[j] == b'\\' {
-                    push_blank(&mut out, bytes[j]);
-                    j += 1;
-                    // skip the escaped char so `'\''` terminates correctly
-                    if j < bytes.len() {
-                        push_blank(&mut out, bytes[j]);
-                        j += 1;
-                    }
-                }
-                while j < bytes.len() && bytes[j] != b'\'' {
-                    push_blank(&mut out, bytes[j]);
-                    j += 1;
-                }
-                if j < bytes.len() {
-                    out.push(b'\'');
-                    j += 1;
-                }
-                i = j;
-                continue;
-            }
-        }
-        out.push(b);
-        i += 1;
-    }
-    (String::from_utf8_lossy(&out).into_owned(), strings)
+/// One fully-parsed source file, shared by every analysis.
+pub(crate) struct ParsedFile {
+    pub(crate) rel: String,
+    pub(crate) toks: Vec<Tok>,
+    pub(crate) items: FileItems,
+    /// Parsed bodies, aligned with `items.functions`.
+    pub(crate) bodies: Vec<Block>,
+    pub(crate) ctors: Vec<LockCtor>,
+    pub(crate) maps: SourceMaps,
 }
 
-/// Marks the lines covered by `#[cfg(test)]`-attributed items (modules or
-/// functions) by matching the brace group that follows the attribute.
-fn mark_test_lines(code: &str) -> Vec<bool> {
-    let lines = code.lines().count().max(1);
-    let mut test = vec![false; lines];
-    let bytes = code.as_bytes();
-    let needle = b"#[cfg(test)]";
-    let mut i = 0usize;
-    while let Some(pos) = find_from(bytes, needle, i) {
-        i = pos + needle.len();
-        let Some(open) = bytes[i..].iter().position(|&b| b == b'{') else {
-            break;
-        };
-        let open = i + open;
-        let mut depth = 0usize;
-        let mut end = open;
-        for (j, &b) in bytes[open..].iter().enumerate() {
-            match b {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = open + j;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        let first = line_at(bytes, pos);
-        let last = line_at(bytes, end);
-        for entry in test.iter_mut().take(last.min(lines)).skip(first.saturating_sub(1)) {
-            *entry = true;
-        }
-    }
-    test
-}
-
-fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    if needle.len() > haystack.len() {
-        return None;
-    }
-    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
-}
-
-fn line_at(bytes: &[u8], offset: usize) -> usize {
-    bytes[..offset].iter().filter(|&&b| b == b'\n').count() + 1
+fn parse_file(rel: &str, source: &str) -> ParsedFile {
+    let toks = lexer::lex(source);
+    let trees = syntax::build_trees(toks.clone());
+    let items = syntax::collect_items(&trees);
+    let bodies =
+        items.functions.iter().map(|f| model::parse_block(&f.body.trees)).collect::<Vec<_>>();
+    let ctors = model::collect_lock_ctors(&trees);
+    let maps =
+        SourceMaps { test_spans: items.test_spans.clone(), allows: collect_allows(source) };
+    ParsedFile { rel: rel.to_string(), toks, items, bodies, ctors, maps }
 }
 
 /// Collects `// lint:allow(rule): reason` markers (reason mandatory) from
@@ -350,156 +147,102 @@ fn collect_allows(source: &str) -> BTreeMap<usize, Vec<String>> {
     out
 }
 
-/// Files exempt from `raw-drop-page`: the retirement choke point and the
-/// cache's invalidating wrapper.
-const DROP_PAGE_EXEMPT: &[&str] = &["crates/lsm/src/reclaim.rs", "crates/storage/src/cache.rs"];
-
-/// The only module allowed to call `sync_all`/`sync_data` directly.
-const BARRIER_MODULE: &str = "crates/storage/src/barrier.rs";
-
-/// Crates whose non-test code must be panic-free.
-const NO_PANIC_ROOTS: &[&str] = &["crates/storage/src/", "crates/lsm/src/"];
-
 /// Runs every single-file rule against one workspace-relative file.
 pub fn check_file(rel: &str, source: &str) -> Vec<Finding> {
-    let scanned = Scanned::new(source);
+    let parsed = parse_file(rel, source);
+    check_file_parsed(&parsed)
+}
+
+fn check_file_parsed(parsed: &ParsedFile) -> Vec<Finding> {
     let mut findings = Vec::new();
-    rule_raw_drop_page(rel, &scanned, &mut findings);
-    rule_uncounted_barrier(rel, &scanned, &mut findings);
-    rule_raw_lock(rel, &scanned, &mut findings);
-    rule_no_panic(rel, &scanned, &mut findings);
+    rules::raw_drop_page(&parsed.rel, &parsed.toks, &parsed.maps, &mut findings);
+    rules::uncounted_barrier(&parsed.rel, &parsed.toks, &parsed.maps, &mut findings);
+    rules::raw_lock(&parsed.rel, &parsed.toks, &parsed.maps, &mut findings);
+    rules::no_panic(&parsed.rel, &parsed.toks, &parsed.maps, &mut findings);
+    rules::stale_allow(&parsed.rel, &parsed.maps, &mut findings);
     findings
 }
 
-/// Reports `pattern` occurrences in non-test, non-allowed lines of `code`.
-fn scan_pattern(
-    rel: &str,
-    scanned: &Scanned,
-    rule: &'static str,
-    pattern: &str,
-    message: &str,
-    findings: &mut Vec<Finding>,
-) {
-    let bytes = scanned.code.as_bytes();
-    let mut i = 0usize;
-    while let Some(pos) = find_from(bytes, pattern.as_bytes(), i) {
-        i = pos + pattern.len();
-        let line = scanned.line_of(pos);
-        if scanned.is_test_line(line) || scanned.allowed(rule, line) {
-            continue;
+/// Crate roots whose source directories take part in the cross-file
+/// analyses (the protocol-bearing crates).
+const ANALYSIS_ROOTS: &[&str] = &["crates/core/src/", "crates/lsm/src/", "crates/storage/src/"];
+
+/// Runs the cross-file analyses (`lock-order`, `durability-order`,
+/// `leak-paths`) over a set of `(workspace-relative path, source)` pairs.
+///
+/// The `LockRank` order is parsed from whichever input file declares
+/// `enum LockRank` (in the real tree, `crates/sync/src/lib.rs`); without
+/// one, the lock-order analysis has no rank table and reports nothing.
+/// Only files under the protocol-bearing crates (`crates/core`,
+/// `crates/lsm`, `crates/storage`) are analysed.
+pub fn check_workspace(files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<ParsedFile> =
+        files.iter().map(|(rel, src)| parse_file(rel, src)).collect();
+    check_workspace_parsed(&parsed)
+}
+
+fn check_workspace_parsed(parsed: &[ParsedFile]) -> Vec<Finding> {
+    // rank order from the LockRank enum, wherever it is declared
+    let mut variants = Vec::new();
+    for file in parsed {
+        let trees = syntax::build_trees(file.toks.clone());
+        if let Some(v) = find_rank_enum(&trees) {
+            variants = v;
+            break;
         }
-        findings.push(Finding { rule, file: rel.to_string(), line, message: message.to_string() });
     }
-}
-
-fn rule_raw_drop_page(rel: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
-    if DROP_PAGE_EXEMPT.contains(&rel) {
-        return;
-    }
-    scan_pattern(
-        rel,
-        scanned,
-        "raw-drop-page",
-        ".drop_page(",
-        "raw drop_page call: route page retirement through lethe_lsm::reclaim::retire_page \
-         (cache invalidation and the retirement policy live there)",
-        findings,
-    );
-}
-
-fn rule_uncounted_barrier(rel: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
-    if rel == BARRIER_MODULE {
-        return;
-    }
-    for pattern in [".sync_all(", ".sync_data("] {
-        scan_pattern(
-            rel,
-            scanned,
-            "uncounted-barrier",
-            pattern,
-            "uncounted durability barrier: use lethe_storage::barrier::sync_*_counted so \
-             IoSnapshot.fsyncs stays exact",
-            findings,
-        );
-    }
-}
-
-fn rule_raw_lock(rel: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
-    if rel.starts_with("crates/sync/") || rel.starts_with("crates/lint/") {
-        return;
-    }
-    // any parking_lot mention at all
-    scan_pattern(
-        rel,
-        scanned,
-        "raw-lock",
-        "parking_lot",
-        "raw lock: use the ranked primitives in lethe_sync instead of parking_lot",
-        findings,
-    );
-    // std::sync lock types, both `std::sync::Mutex::new` paths and
-    // `use std::sync::{.., Mutex, ..}` imports
-    let bytes = scanned.code.as_bytes();
-    let mut i = 0usize;
-    while let Some(pos) = find_from(bytes, b"std::sync::", i) {
-        i = pos + "std::sync::".len();
-        let flagged = leading_ident_group_matches(&scanned.code[i..], |ident| {
-            matches!(ident, "Mutex" | "RwLock" | "Condvar")
-        });
-        if flagged {
-            let line = scanned.line_of(pos);
-            if scanned.is_test_line(line) || scanned.allowed("raw-lock", line) {
-                continue;
+    let mut ordered = BTreeSet::new();
+    for file in parsed {
+        for ctor in &file.ctors {
+            if ctor.ordered {
+                ordered.insert(ctor.rank.clone());
             }
-            findings.push(Finding {
-                rule: "raw-lock",
-                file: rel.to_string(),
-                line,
-                message: "raw lock: use the ranked lethe_sync::{Mutex, RwLock, Condvar} \
-                          (deadlock-checked in debug builds) instead of std::sync"
-                    .to_string(),
-            });
         }
     }
+    let ranks = lockgraph::RankTable::new(variants, ordered);
+
+    let scope: Vec<&ParsedFile> = parsed
+        .iter()
+        .filter(|f| ANALYSIS_ROOTS.iter().any(|root| f.rel.starts_with(root)))
+        .collect();
+    let mut findings = Vec::new();
+    findings.extend(lockgraph::check(&scope, &ranks));
+    findings.extend(durability::check(&scope));
+    findings.extend(leaks::check(&scope));
+
+    // apply allow markers per file
+    let maps: BTreeMap<&str, &SourceMaps> =
+        parsed.iter().map(|f| (f.rel.as_str(), &f.maps)).collect();
+    findings.retain(|f| {
+        maps.get(f.file.as_str()).is_none_or(|m| !m.allowed(f.rule, f.line))
+    });
+    findings
 }
 
-/// Applies `pred` to the identifier(s) that begin `rest`: either one bare
-/// path segment (`Mutex::new`) or every top-level identifier of a brace
-/// group (`{Arc, Mutex as StdMutex}`). Returns true if any matches.
-fn leading_ident_group_matches(rest: &str, pred: impl Fn(&str) -> bool) -> bool {
-    let rest = rest.trim_start();
-    if let Some(group) = rest.strip_prefix('{') {
-        let Some(close) = group.find('}') else {
-            return false;
-        };
-        group[..close]
-            .split(',')
-            .map(|part| part.split_whitespace().next().unwrap_or(""))
-            .any(pred)
-    } else {
-        let ident: String =
-            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
-        pred(&ident)
+/// Finds `enum LockRank { … }` anywhere in a file and returns the
+/// variant names in declaration order.
+fn find_rank_enum(trees: &[Tree]) -> Option<Vec<String>> {
+    for (i, t) in trees.iter().enumerate() {
+        if t.is_ident("enum")
+            && trees.get(i + 1).is_some_and(|n| n.is_ident("LockRank"))
+        {
+            let body = trees.get(i + 2)?.group(Some(lexer::Delim::Brace))?;
+            let variants = body
+                .trees
+                .iter()
+                .filter_map(|v| v.leaf())
+                .filter(|tok| tok.kind == Kind::Ident)
+                .map(|tok| tok.text.clone())
+                .collect();
+            return Some(variants);
+        }
+        if let Tree::Group(g) = t {
+            if let Some(v) = find_rank_enum(&g.trees) {
+                return Some(v);
+            }
+        }
     }
-}
-
-fn rule_no_panic(rel: &str, scanned: &Scanned, findings: &mut Vec<Finding>) {
-    if !NO_PANIC_ROOTS.iter().any(|root| rel.starts_with(root)) {
-        return;
-    }
-    for pattern in
-        [".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("]
-    {
-        scan_pattern(
-            rel,
-            scanned,
-            "no-panic",
-            pattern,
-            "panic path in storage/lsm code: return a StorageError, or justify with \
-             a `lint:allow(no-panic): reason` marker",
-            findings,
-        );
-    }
+    None
 }
 
 /// Cross-checks the fail-point site names found in source (`sites`: name →
@@ -580,8 +323,16 @@ pub fn rule_unsafe_hygiene(rel: &str, source: &str) -> Option<Finding> {
     if !is_root {
         return None;
     }
-    if source.contains("#![forbid(unsafe_code)]") || source.contains("#![deny(unsafe_code)]") {
-        return None;
+    // token-level: `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]`
+    let toks = lexer::lex(source);
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("#")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("forbid") || n.is_ident("deny"))
+            && toks.get(i + 5).is_some_and(|n| n.is_ident("unsafe_code"))
+        {
+            return None;
+        }
     }
     Some(Finding {
         rule: "unsafe-hygiene",
@@ -630,6 +381,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
     collect_rs(root, &root.join("src"), &mut files);
 
     let mut findings = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
     let mut sites: BTreeMap<String, (String, usize)> = BTreeMap::new();
     for rel in &files {
         let source = match std::fs::read_to_string(root.join(rel)) {
@@ -644,17 +396,17 @@ pub fn run(root: &Path) -> Vec<Finding> {
                 continue;
             }
         };
-        findings.extend(check_file(rel, &source));
         if let Some(f) = rule_unsafe_hygiene(rel, &source) {
             findings.push(f);
         }
-        let scanned = Scanned::new(&source);
-        for (name, line) in scanned.strings_after(".check(") {
-            if !scanned.is_test_line(line) {
-                sites.entry(name).or_insert((rel.clone(), line));
-            }
+        let file = parse_file(rel, &source);
+        findings.extend(check_file_parsed(&file));
+        for (name, line) in rules::kill_point_sites(&file.toks, &file.maps) {
+            sites.entry(name).or_insert((rel.clone(), line as usize));
         }
+        parsed.push(file);
     }
+    findings.extend(check_workspace_parsed(&parsed));
 
     let registry_file = "tests/crash_recovery.rs";
     match std::fs::read_to_string(root.join(registry_file)) {
@@ -688,4 +440,41 @@ pub fn run(root: &Path) -> Vec<Finding> {
     set.into_iter()
         .map(|(file, line, rule, message)| Finding { rule, file, line, message })
         .collect()
+}
+
+/// Serialises findings as JSON (hand-rolled; the lint stays
+/// dependency-free): `{"count": N, "findings": [{…}]}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("{\"count\":");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            esc(f.rule),
+            esc(&f.file),
+            f.line,
+            esc(&f.message)
+        ));
+    }
+    out.push_str("]}");
+    out
 }

@@ -44,3 +44,46 @@ pub fn retire_pages<I: IntoIterator<Item = PageId>>(backend: &dyn StorageBackend
     }
     released
 }
+
+/// RAII cover for freshly written pages that are not yet reachable from any
+/// table or manifest record.
+///
+/// Between `backend.write_page(…)` and the moment the resulting id is
+/// registered in a durable structure, the only reference to the page is a
+/// local variable — any `?`/early return in that window would leak the page
+/// until the next full reclamation sweep. Builders therefore route such
+/// windows through a reservation: [`add`](Self::add) each id right after
+/// the write, and [`defuse`](Self::defuse) once ownership has transferred.
+/// If the function unwinds out through an error path instead, `Drop`
+/// retires every still-covered page. (The repo lint's `leak-paths` rule
+/// checks that every fallible page-writing function does this.)
+pub struct PageReservation<'a> {
+    backend: &'a dyn StorageBackend,
+    ids: Vec<PageId>,
+}
+
+impl<'a> PageReservation<'a> {
+    /// Opens an empty reservation against the device the pages live on.
+    pub fn new(backend: &'a dyn StorageBackend) -> PageReservation<'a> {
+        PageReservation { backend, ids: Vec::new() }
+    }
+
+    /// Covers one freshly written page.
+    pub fn add(&mut self, id: PageId) {
+        self.ids.push(id);
+    }
+
+    /// Releases the cover without retiring anything: the ids are now owned
+    /// by a table / version / manifest record.
+    pub fn defuse(mut self) {
+        self.ids.clear();
+    }
+}
+
+impl Drop for PageReservation<'_> {
+    fn drop(&mut self) {
+        for id in self.ids.drain(..) {
+            retire_page(self.backend, id);
+        }
+    }
+}

@@ -227,6 +227,9 @@ impl SsTable {
         // Key weaving: chunk the S-sorted stream into tiles of h·B entries;
         // inside each tile order by D, cut pages of B entries, and let the
         // page itself re-sort its contents on S.
+        // Until the table below takes ownership, a failed later write would
+        // strand every page already on disk — keep them covered.
+        let mut reservation = crate::reclaim::PageReservation::new(backend);
         let mut tiles = Vec::new();
         let mut tile_mins = Vec::new();
         let mut idx = 0usize;
@@ -239,12 +242,14 @@ impl SsTable {
             for chunk in tile_entries.chunks(entries_per_page) {
                 let page = Page::new(chunk.to_vec());
                 let pid = backend.write_page(&page)?;
+                reservation.add(pid);
                 pages.push(PageHandle::from_page(pid, &page, config.bits_per_key));
             }
             tiles.push(DeleteTile::from_pages(pages));
             tile_mins.push(tile_min_sort);
             idx = end;
         }
+        reservation.defuse();
 
         Ok(SsTable {
             meta: SsTableMeta {
@@ -570,6 +575,9 @@ impl SsTable {
         let mut obsolete_pages: Vec<PageId> = Vec::new();
         let mut new_tiles: Vec<DeleteTile> = Vec::with_capacity(self.tiles.len());
         let mut tile_mins: Vec<SortKey> = Vec::with_capacity(self.tiles.len());
+        // rewritten pages belong to nothing until the surviving file below
+        // exists; a failed later read/write must not strand them on disk
+        let mut reservation = crate::reclaim::PageReservation::new(backend);
 
         for tile in &self.tiles {
             let (full, partial) = tile.delete_fences.classify_range(d_lo, d_hi);
@@ -589,6 +597,7 @@ impl SsTable {
                             stats.partial_page_drops += 1;
                             let new_page = Page::new(kept);
                             let pid = backend.write_page(&new_page)?;
+                            reservation.add(pid);
                             surviving.push(PageHandle::from_page(pid, &new_page, config.bits_per_key));
                         }
                     } else {
@@ -614,6 +623,7 @@ impl SsTable {
                             stats.partial_page_drops += 1;
                             let new_page = Page::new(kept);
                             let pid = backend.write_page(&new_page)?;
+                            reservation.add(pid);
                             surviving.push(PageHandle::from_page(pid, &new_page, config.bits_per_key));
                         }
                     }
@@ -630,6 +640,7 @@ impl SsTable {
         }
 
         if new_tiles.is_empty() && self.range_tombstones.is_empty() {
+            reservation.defuse();
             return Ok((None, stats, obsolete_pages));
         }
 
@@ -688,6 +699,7 @@ impl SsTable {
             range_tombstones: self.range_tombstones.clone(),
             desc: std::sync::OnceLock::new(),
         };
+        reservation.defuse();
         Ok((Some(table), stats, obsolete_pages))
     }
 
